@@ -1,0 +1,310 @@
+// Benchmarks regenerating the paper's tables and figures (one per
+// experiment, DESIGN.md §3) plus microbenchmarks of the core building
+// blocks. Figure benchmarks run the deterministic performance models
+// and report the headline metric the paper plots via b.ReportMetric;
+// run `go test -bench=. -benchmem` or `cmd/experiments` for the full
+// printed tables.
+package dandelion_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"dandelion"
+	"dandelion/internal/dvm"
+	"dandelion/internal/experiments"
+	"dandelion/internal/isolation"
+	"dandelion/internal/memctx"
+	"dandelion/internal/ssb"
+)
+
+// mustCell extracts a numeric cell from an experiment table.
+func mustCell(b *testing.B, t experiments.Table, rowPrefix string, col int) float64 {
+	b.Helper()
+	for _, r := range t.Rows {
+		if len(r) > col && len(rowPrefix) <= len(r[0]) && r[0][:len(rowPrefix)] == rowPrefix {
+			v, err := strconv.ParseFloat(r[col], 64)
+			if err != nil {
+				b.Fatalf("cell %q not numeric", r[col])
+			}
+			return v
+		}
+	}
+	b.Fatalf("row %q not found in %s", rowPrefix, t.Title)
+	return 0
+}
+
+func BenchmarkFig1AzureKnativeMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig1(true)
+		committed := mustCell(b, t, "FC + Knative committed", 1)
+		active := mustCell(b, t, "VMs actively serving", 1)
+		b.ReportMetric(committed/active, "committed/active_x")
+	}
+}
+
+func BenchmarkFig2FirecrackerHotRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig2(true)
+		b.ReportMetric(mustCell(b, t, "FC-snapshot 97% hot", 2), "p99.5_ms_97hot")
+		b.ReportMetric(mustCell(b, t, "FC-snapshot 100% hot", 2), "p99.5_ms_100hot")
+	}
+}
+
+func BenchmarkTable1SandboxBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table1()
+		b.ReportMetric(mustCell(b, t, "Total", 1), "cheri_total_us")
+		b.ReportMetric(mustCell(b, t, "Total", 4), "kvm_total_us")
+	}
+}
+
+func BenchmarkFig5SandboxCreation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig5(true)
+		b.ReportMetric(mustCell(b, t, "D cheri", 2), "cheri_p99_ms")
+		b.ReportMetric(mustCell(b, t, "FC w/ snapshot", 2), "fcsnap_p99_ms")
+	}
+}
+
+func BenchmarkFig6ComputeFunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6(true)
+		b.ReportMetric(mustCell(b, t, "D KVM", 2), "dkvm_median_ms")
+		b.ReportMetric(mustCell(b, t, "WT", 2), "wt_median_ms")
+	}
+}
+
+func BenchmarkFigPhasesComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.FigPhases()
+		// 16-phase row: Dandelion KVM uncached vs FC cold.
+		last := t.Rows[len(t.Rows)-1]
+		d, _ := strconv.ParseFloat(last[1], 64)
+		fc, _ := strconv.ParseFloat(last[4], 64)
+		b.ReportMetric(fc/d, "fccold_over_d_16phases")
+	}
+}
+
+func BenchmarkFig7HybridSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7(true)
+		_ = t
+		b.ReportMetric(float64(len(t.Rows)), "configs_evaluated")
+	}
+}
+
+func BenchmarkFig8Multiplexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8(true)
+		b.ReportMetric(mustCell(b, t, "Dandelion", 4), "dandelion_relvar_pct")
+	}
+}
+
+func BenchmarkFig9SSBQueries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig9(100_000)
+		b.ReportMetric(mustCell(b, t, "Q1.1", 1), "q11_dandelion_ms")
+		b.ReportMetric(mustCell(b, t, "Q1.1", 3), "q11_athena_ms")
+	}
+}
+
+func BenchmarkText2SQLWorkflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunText2SQL(20 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var total float64
+		for _, m := range res.Millis {
+			total += m
+		}
+		b.ReportMetric(total, "e2e_ms")
+		b.ReportMetric(res.Millis[1]/total*100, "llm_pct")
+	}
+}
+
+func BenchmarkFig10AzureMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(true)
+		kn := mustCell(b, t, "FC + Knative committed", 1)
+		dd := mustCell(b, t, "Dandelion committed", 1)
+		b.ReportMetric(kn/dd, "memory_ratio_x")
+	}
+}
+
+// Ablation benches (DESIGN.md §4).
+
+func BenchmarkAblationWarmCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationWarmCache()
+		b.ReportMetric(mustCell(b, t, "always cold", 2), "cold_mean_ms")
+		b.ReportMetric(mustCell(b, t, "warm cache", 2), "warm_mean_ms")
+	}
+}
+
+func BenchmarkAblationStaticSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationStaticSplit()
+		b.ReportMetric(mustCell(b, t, "PI controller", 2), "pi_p99_ms")
+	}
+}
+
+func BenchmarkAblationBinaryCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationBinaryCache()
+		b.ReportMetric(mustCell(b, t, "kvm", 3), "kvm_saved_us")
+	}
+}
+
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	if testing.Short() {
+		b.Skip("real-platform ablation")
+	}
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationZeroCopy()
+		_ = t
+	}
+}
+
+// Microbenchmarks of the core building blocks.
+
+func BenchmarkDvmMatMul16(b *testing.B) {
+	prog := dvm.MatMulProgram(16)
+	a := make([]byte, 16*16*8)
+	inputs := []memctx.Set{{Name: "m", Items: []memctx.Item{
+		{Name: "A", Data: a}, {Name: "B", Data: a},
+	}}}
+	mem := dvm.MatMulMemBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dvm.Run(prog, mem, inputs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsolationColdStart(b *testing.B) {
+	for _, name := range isolation.Names() {
+		b.Run(name, func(b *testing.B) {
+			back, _ := isolation.New(name)
+			if c, ok := back.(isolation.Compiler); ok {
+				if err := c.Compile(dvm.EchoProgram().Encode()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			task := isolation.Task{
+				Binary:   dvm.EchoProgram().Encode(),
+				MemBytes: 4096,
+				Inputs: []memctx.Set{{Name: "in", Items: []memctx.Item{
+					{Name: "x", Data: []byte("payload")},
+				}}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := back.Execute(task); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMemctxTransfer(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	for i := 0; i < b.N; i++ {
+		src := memctx.New(1 << 20)
+		dst := memctx.New(1 << 20)
+		src.SetOutputs([]memctx.Set{{Name: "o", Items: []memctx.Item{{Name: "x", Data: payload}}}})
+		if err := src.TransferOutput("o", dst, "i"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemctxHandoff(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	for i := 0; i < b.N; i++ {
+		src := memctx.New(1 << 20)
+		dst := memctx.New(1 << 20)
+		src.SetOutputs([]memctx.Set{{Name: "o", Items: []memctx.Item{{Name: "x", Data: payload}}}})
+		src.Seal()
+		if err := src.HandoffOutput("o", dst, "i"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatformInvoke(b *testing.B) {
+	p, err := dandelion.New(dandelion.Options{ComputeEngines: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown()
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "Id", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+	}})
+	p.RegisterCompositionText(`
+composition I(In) => Result {
+    Id(x = all In) => (Result = Out);
+}`)
+	input := map[string][]dandelion.Item{"In": {{Name: "x", Data: []byte("y")}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Invoke("I", input); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSBQ11(b *testing.B) {
+	db := ssb.Generate(100_000, 42)
+	b.SetBytes(int64(db.Facts.Len()) * ssb.BytesPerRow)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ssb.RunQuery(db, ssb.Q11, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSBAllQueriesParallel8(b *testing.B) {
+	db := ssb.Generate(100_000, 42)
+	for _, q := range ssb.Queries() {
+		q := q
+		b.Run(string(q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ssb.RunQuery(db, q, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDSLParse(b *testing.B) {
+	const src = `
+composition RenderLogs(AccessToken) => HTMLOutput {
+    Access(AccessToken = all AccessToken) => (AuthRequest = HTTPRequest);
+    HTTP(Request = each AuthRequest) => (AuthResponse = Response);
+    FanOut(HTTPResponse = all AuthResponse) => (LogRequests = HTTPRequests);
+    HTTP(Request = each LogRequests) => (LogResponses = Response);
+    Render(HTTPResponses = all LogResponses) => (HTMLOutput = HTMLOutput);
+}`
+	p, err := dandelion.New(dandelion.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Parse via a fresh registration each time under a unique name.
+		text := fmt.Sprintf("composition C%d(I) => O { F(x = all I) => (O = Out); }", i)
+		if _, err := p.RegisterCompositionText(text); err != nil {
+			b.Fatal(err)
+		}
+		_ = src
+	}
+}

@@ -1,0 +1,48 @@
+// Command dandelion runs one Dandelion worker node with its HTTP
+// frontend (§5): clients register compute-function binaries and
+// composition DAGs, then invoke compositions, all over HTTP.
+//
+// Example session (with the node on :8080):
+//
+//	dvmasm -builtin echo -o echo.dvm
+//	curl -X POST --data-binary @echo.dvm -H 'X-Output-Sets: Copy' \
+//	     localhost:8080/register/function/Echo
+//	printf 'composition E(In) => Result { Echo(x = all In) => (Result = Copy); }' |
+//	     curl -X POST --data-binary @- localhost:8080/register/composition
+//	curl -X POST --data-binary 'hello' 'localhost:8080/invoke/E?input=In'
+//	curl localhost:8080/stats
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"dandelion"
+	"dandelion/internal/frontend"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "frontend listen address")
+	backend := flag.String("backend", "cheri", "isolation backend: cheri|rwasm|process|kvm")
+	computeEngines := flag.Int("compute-engines", 0, "initial compute engines (0 = default)")
+	commEngines := flag.Int("comm-engines", 0, "initial communication engines (0 = default)")
+	balance := flag.Bool("balance", true, "enable the PI-controller core balancer")
+	cache := flag.Bool("cache-binaries", true, "keep decoded binaries in memory")
+	flag.Parse()
+
+	p, err := dandelion.New(dandelion.Options{
+		Backend:        *backend,
+		ComputeEngines: *computeEngines,
+		CommEngines:    *commEngines,
+		Balance:        *balance,
+		CacheBinaries:  *cache,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	log.Printf("dandelion worker node on http://%s (backend=%s)", *addr, *backend)
+	log.Fatal(http.ListenAndServe(*addr, frontend.New(p)))
+}

@@ -1,0 +1,71 @@
+// Command dvmasm assembles, disassembles, and inspects dvm function
+// binaries — the format compute functions are registered in.
+//
+//	dvmasm -o fn.dvm fn.s         assemble
+//	dvmasm -d fn.dvm              disassemble to stdout
+//	dvmasm -builtin matmul128 -o matmul.dvm
+//	                              emit a built-in program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dandelion/internal/dvm"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout for -d)")
+	disasm := flag.Bool("d", false, "disassemble instead of assembling")
+	builtin := flag.String("builtin", "", "emit a built-in program: echo|matmul1|matmul128|reduce")
+	flag.Parse()
+
+	var prog *dvm.Program
+	switch {
+	case *builtin != "":
+		switch *builtin {
+		case "echo":
+			prog = dvm.EchoProgram()
+		case "matmul1":
+			prog = dvm.MatMulProgram(1)
+		case "matmul128":
+			prog = dvm.MatMulProgram(128)
+		case "reduce":
+			prog = dvm.ReduceProgram()
+		default:
+			log.Fatalf("unknown builtin %q", *builtin)
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *disasm {
+			prog, err = dvm.Decode(data)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(dvm.Disassemble(prog))
+			return
+		}
+		prog, err = dvm.Assemble(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dvmasm [-d] [-o out] file | dvmasm -builtin name -o out")
+		os.Exit(2)
+	}
+
+	enc := prog.Encode()
+	if *out == "" {
+		log.Fatal("-o required when emitting a binary")
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d instructions, %d data bytes, %d bytes total\n",
+		*out, len(prog.Code), len(prog.Data), len(enc))
+}

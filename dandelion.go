@@ -1,0 +1,161 @@
+// Package dandelion is the public API of Dandelion-Go, a from-scratch
+// reproduction of "Unlocking True Elasticity for the Cloud-Native Era
+// with Dandelion" (SOSP 2025).
+//
+// Dandelion is an elastic cloud platform with a declarative cloud-native
+// programming model: applications are DAGs ("compositions") of pure
+// compute functions and platform-provided communication functions.
+// Compute functions run in lightweight per-request sandboxes that cold
+// start in microseconds; communication functions (HTTP) run on trusted
+// cooperative engines; a PI controller re-balances CPU cores between
+// the two.
+//
+// Quickstart:
+//
+//	p, _ := dandelion.New(dandelion.Options{})
+//	defer p.Shutdown()
+//	p.RegisterFunction(dandelion.ComputeFunc{
+//	    Name: "Greet",
+//	    Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+//	        name := string(in[0].Items[0].Data)
+//	        return []dandelion.Set{{Name: "Out", Items: []dandelion.Item{
+//	            {Name: "greeting", Data: []byte("hello " + name)},
+//	        }}}, nil
+//	    },
+//	})
+//	p.RegisterCompositionText(`
+//	composition Hello(Name) => Greeting {
+//	    Greet(x = all Name) => (Greeting = Out);
+//	}`)
+//	out, _ := p.Invoke("Hello", map[string][]dandelion.Item{
+//	    "Name": {{Name: "n", Data: []byte("world")}},
+//	})
+//	fmt.Println(string(out["Greeting"][0].Data))
+package dandelion
+
+import (
+	"fmt"
+	"net/http"
+
+	"dandelion/internal/core"
+	"dandelion/internal/httpfn"
+	"dandelion/internal/isolation"
+	"dandelion/internal/memctx"
+	"dandelion/internal/storagefn"
+)
+
+// Item is one data item flowing through a composition.
+type Item = memctx.Item
+
+// Set is a named collection of items, the unit of dataflow.
+type Set = memctx.Set
+
+// ComputeFunc describes a compute function to register: either a dvm
+// binary (untrusted, sandboxed) or a native-SDK Go body.
+type ComputeFunc = core.ComputeFunc
+
+// GoFunc is a native-SDK compute function body.
+type GoFunc = core.GoFunc
+
+// CommFunc is the interface of platform communication functions.
+type CommFunc = core.CommFunc
+
+// Stats snapshots platform gauges.
+type Stats = core.Stats
+
+// Options configures a platform node.
+type Options struct {
+	// Backend selects the compute isolation backend: "cheri" (default),
+	// "rwasm", "process", or "kvm".
+	Backend string
+	// ComputeEngines and CommEngines size the initial engine pools.
+	ComputeEngines int
+	CommEngines    int
+	// CacheBinaries keeps decoded function binaries in memory.
+	CacheBinaries bool
+	// ZeroCopy shares data between contexts instead of copying.
+	ZeroCopy bool
+	// Balance enables the PI-controller core re-balancer.
+	Balance bool
+	// HTTPClient is used by the HTTP communication function (nil
+	// selects http.DefaultClient).
+	HTTPClient *http.Client
+	// AllowHost optionally restricts HTTP destinations.
+	AllowHost func(host string) bool
+	// StorageURL, when set, registers the "Storage" communication
+	// function (GET/PUT/DELETE/LIST against an S3-style object store
+	// at this base URL).
+	StorageURL string
+}
+
+// Platform is one Dandelion worker node.
+type Platform struct {
+	*core.Platform
+}
+
+// New builds a worker node with the HTTP communication function
+// pre-registered.
+func New(opts Options) (*Platform, error) {
+	name := opts.Backend
+	if name == "" {
+		name = "cheri"
+	}
+	backend, err := isolation.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("dandelion: %w", err)
+	}
+	p, err := core.NewPlatform(core.Options{
+		Backend:        backend,
+		ComputeEngines: opts.ComputeEngines,
+		CommEngines:    opts.CommEngines,
+		CacheBinaries:  opts.CacheBinaries,
+		ZeroCopy:       opts.ZeroCopy,
+		Balance:        opts.Balance,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dandelion: %w", err)
+	}
+	httpFn := &httpfn.Function{Client: opts.HTTPClient, AllowHost: opts.AllowHost}
+	if err := p.RegisterComm(httpFn); err != nil {
+		p.Shutdown()
+		return nil, fmt.Errorf("dandelion: %w", err)
+	}
+	if opts.StorageURL != "" {
+		storeFn := &storagefn.Function{BaseURL: opts.StorageURL, Client: opts.HTTPClient}
+		if err := p.RegisterComm(storeFn); err != nil {
+			p.Shutdown()
+			return nil, fmt.Errorf("dandelion: %w", err)
+		}
+	}
+	return &Platform{Platform: p}, nil
+}
+
+// StorageOp renders an operation item for the Storage communication
+// function: verb is GET, PUT, DELETE, or LIST; payload applies to PUT.
+func StorageOp(verb, bucket, key string, payload []byte) []byte {
+	return storagefn.FormatOp(verb, bucket, key, payload)
+}
+
+// ParseStorageResult splits a Storage result item into success flag and
+// payload.
+func ParseStorageResult(item []byte) (ok bool, payload []byte) {
+	return storagefn.ParseResult(item)
+}
+
+// Backends lists the available isolation backend names.
+func Backends() []string { return isolation.Names() }
+
+// HTTPRequest renders a request item for the HTTP communication
+// function: compute functions emit these to talk to remote services.
+func HTTPRequest(method, url string, headers map[string]string, body []byte) []byte {
+	return httpfn.FormatRequest(method, url, headers, body)
+}
+
+// HTTPResponse is a parsed response item.
+type HTTPResponse = httpfn.Response
+
+// ParseHTTPResponse parses a response item produced by the HTTP
+// communication function.
+func ParseHTTPResponse(item []byte) (*HTTPResponse, error) {
+	return httpfn.ParseResponse(item)
+}

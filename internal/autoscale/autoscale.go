@@ -1,0 +1,188 @@
+// Package autoscale implements a Knative-KPA-style autoscaler: the
+// baseline policy that provisions warm sandboxes ahead of demand, whose
+// committed-memory cost Figures 1 and 10 of the paper quantify.
+//
+// Per function, the autoscaler tracks concurrency over a stable window
+// (and a short panic window for bursts) and sets the desired replica
+// count to ceil(avgConcurrency / target). Replicas scale up immediately
+// (a cold start for the triggering request) and scale down only after
+// the stable window has justified it continuously for the scale-down
+// delay, mimicking Knative's conservative down-scaling that keeps idle
+// sandboxes in memory.
+package autoscale
+
+import (
+	"math"
+)
+
+// Config parameterizes the autoscaler; zero values select Knative-like
+// defaults.
+type Config struct {
+	// TargetConcurrency per replica (default 1, container-concurrency
+	// style).
+	TargetConcurrency float64
+	// StableWindowS is the averaging window (default 60s).
+	StableWindowS float64
+	// PanicWindowS is the burst window (default 6s).
+	PanicWindowS float64
+	// PanicThreshold multiplies desired replicas to enter panic mode
+	// (default 2.0: 200% of capacity).
+	PanicThreshold float64
+	// ScaleDownDelayS holds replicas after the window justifies
+	// removal (default 30s).
+	ScaleDownDelayS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetConcurrency <= 0 {
+		c.TargetConcurrency = 1
+	}
+	if c.StableWindowS <= 0 {
+		c.StableWindowS = 60
+	}
+	if c.PanicWindowS <= 0 {
+		c.PanicWindowS = 6
+	}
+	if c.PanicThreshold <= 0 {
+		c.PanicThreshold = 2
+	}
+	if c.ScaleDownDelayS <= 0 {
+		c.ScaleDownDelayS = 30
+	}
+	return c
+}
+
+// FnScaler autoscales one function. Callers drive it with Arrive/Done
+// events and periodic Tick calls carrying the simulation clock.
+type FnScaler struct {
+	cfg Config
+
+	replicas     int
+	concurrency  int     // in-flight requests
+	lastDecrease float64 // last time a scale-down happened or was blocked
+
+	// Concurrency-time accumulators for windowed averages.
+	samples []sample
+}
+
+type sample struct {
+	t    float64
+	conc int
+}
+
+// NewFnScaler creates a scaler starting at zero replicas.
+func NewFnScaler(cfg Config) *FnScaler {
+	return &FnScaler{cfg: cfg.withDefaults()}
+}
+
+// Replicas reports the current warm replica count.
+func (s *FnScaler) Replicas() int { return s.replicas }
+
+// Concurrency reports in-flight requests.
+func (s *FnScaler) Concurrency() int { return s.concurrency }
+
+// Arrive records a request arrival at time now (seconds). It reports
+// whether the request is a cold start: no replica with spare capacity
+// is available, so one must be created on the critical path (the
+// autoscaler also scales up to cover it).
+func (s *FnScaler) Arrive(now float64) (cold bool) {
+	s.observe(now)
+	s.concurrency++
+	capacity := float64(s.replicas) * s.cfg.TargetConcurrency
+	if float64(s.concurrency) > capacity {
+		s.replicas++
+		cold = true
+	}
+	return cold
+}
+
+// Done records a request completion at time now.
+func (s *FnScaler) Done(now float64) {
+	s.observe(now)
+	if s.concurrency > 0 {
+		s.concurrency--
+	}
+}
+
+// Tick runs one autoscaler evaluation at time now, scaling down when the
+// windowed average justifies it.
+func (s *FnScaler) Tick(now float64) {
+	s.observe(now)
+	stableAvg := s.windowAvg(now, s.cfg.StableWindowS)
+	panicAvg := s.windowAvg(now, s.cfg.PanicWindowS)
+
+	desired := int(math.Ceil(stableAvg / s.cfg.TargetConcurrency))
+	panicDesired := int(math.Ceil(panicAvg / s.cfg.TargetConcurrency))
+	// Panic mode: bursts hold the higher of the two.
+	if float64(panicDesired) >= s.cfg.PanicThreshold*math.Max(1, float64(desired)) {
+		desired = panicDesired
+	}
+	if s.concurrency > 0 && desired < 1 {
+		desired = 1
+	}
+
+	switch {
+	case desired > s.replicas:
+		s.replicas = desired
+		s.lastDecrease = now
+	case desired < s.replicas:
+		// Only scale down after the delay, and never below in-flight
+		// demand.
+		if now-s.lastDecrease >= s.cfg.ScaleDownDelayS {
+			floor := int(math.Ceil(float64(s.concurrency) / s.cfg.TargetConcurrency))
+			if desired < floor {
+				desired = floor
+			}
+			if desired < s.replicas {
+				s.replicas = desired
+				s.lastDecrease = now
+			}
+		}
+	default:
+		s.lastDecrease = now
+	}
+	s.trim(now)
+}
+
+// observe appends a concurrency sample.
+func (s *FnScaler) observe(now float64) {
+	s.samples = append(s.samples, sample{t: now, conc: s.concurrency})
+}
+
+// windowAvg computes the time-weighted average concurrency over the
+// trailing window.
+func (s *FnScaler) windowAvg(now, window float64) float64 {
+	start := now - window
+	var area float64
+	prevT := start
+	prevC := 0
+	// Find the concurrency level at window start: last sample <= start.
+	for _, sm := range s.samples {
+		if sm.t <= start {
+			prevC = sm.conc
+			continue
+		}
+		if sm.t > now {
+			break
+		}
+		area += float64(prevC) * (sm.t - prevT)
+		prevT, prevC = sm.t, sm.conc
+	}
+	area += float64(prevC) * (now - prevT)
+	if window <= 0 {
+		return 0
+	}
+	return area / window
+}
+
+// trim discards samples older than the stable window.
+func (s *FnScaler) trim(now float64) {
+	cutoff := now - s.cfg.StableWindowS - 1
+	i := 0
+	for i < len(s.samples)-1 && s.samples[i+1].t < cutoff {
+		i++
+	}
+	if i > 0 {
+		s.samples = append(s.samples[:0], s.samples[i:]...)
+	}
+}

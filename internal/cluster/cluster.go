@@ -1,0 +1,159 @@
+// Package cluster implements the cluster manager layer of §5: the
+// component (Dirigent in the paper) that orchestrates multiple Dandelion
+// worker nodes and load-balances composition invocations across them.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dandelion/internal/memctx"
+)
+
+// Node is one worker the manager can route invocations to. A
+// *core.Platform satisfies it; tests use fakes.
+type Node interface {
+	Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
+// Policy selects a worker for an invocation.
+type Policy uint8
+
+const (
+	// RoundRobin rotates through workers.
+	RoundRobin Policy = iota
+	// LeastLoaded picks the worker with the fewest in-flight
+	// invocations routed by this manager.
+	LeastLoaded
+)
+
+// Manager routes invocations across registered workers.
+type Manager struct {
+	policy Policy
+
+	mu      sync.RWMutex
+	names   []string
+	workers map[string]*member
+	rr      atomic.Uint64
+}
+
+type member struct {
+	node     Node
+	inflight atomic.Int64
+	total    atomic.Uint64
+	failures atomic.Uint64
+}
+
+// Manager errors.
+var (
+	ErrNoWorkers  = errors.New("cluster: no workers registered")
+	ErrDupWorker  = errors.New("cluster: worker already registered")
+	ErrNoSuchNode = errors.New("cluster: no such worker")
+)
+
+// NewManager creates a manager with the given balancing policy.
+func NewManager(policy Policy) *Manager {
+	return &Manager{policy: policy, workers: map[string]*member{}}
+}
+
+// Register adds a worker under a unique name.
+func (m *Manager) Register(name string, n Node) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.workers[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupWorker, name)
+	}
+	m.workers[name] = &member{node: n}
+	m.names = append(m.names, name)
+	return nil
+}
+
+// Deregister removes a worker; in-flight invocations complete normally.
+func (m *Manager) Deregister(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.workers[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchNode, name)
+	}
+	delete(m.workers, name)
+	for i, n := range m.names {
+		if n == name {
+			m.names = append(m.names[:i], m.names[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Workers lists registered worker names in registration order.
+func (m *Manager) Workers() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.names...)
+}
+
+// pick chooses a worker per the policy.
+func (m *Manager) pick() (string, *member, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.names) == 0 {
+		return "", nil, ErrNoWorkers
+	}
+	switch m.policy {
+	case LeastLoaded:
+		bestName := m.names[0]
+		best := m.workers[bestName]
+		for _, n := range m.names[1:] {
+			w := m.workers[n]
+			if w.inflight.Load() < best.inflight.Load() {
+				best, bestName = w, n
+			}
+		}
+		return bestName, best, nil
+	default:
+		i := m.rr.Add(1) - 1
+		name := m.names[i%uint64(len(m.names))]
+		return name, m.workers[name], nil
+	}
+}
+
+// Invoke routes one composition invocation to a worker.
+func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	_, w, err := m.pick()
+	if err != nil {
+		return nil, err
+	}
+	w.inflight.Add(1)
+	w.total.Add(1)
+	defer w.inflight.Add(-1)
+	out, err := w.node.Invoke(name, inputs)
+	if err != nil {
+		w.failures.Add(1)
+	}
+	return out, err
+}
+
+// WorkerStats reports per-worker routing counters.
+type WorkerStats struct {
+	Name     string
+	InFlight int64
+	Total    uint64
+	Failures uint64
+}
+
+// Stats snapshots every worker's counters in registration order.
+func (m *Manager) Stats() []WorkerStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]WorkerStats, 0, len(m.names))
+	for _, n := range m.names {
+		w := m.workers[n]
+		out = append(out, WorkerStats{
+			Name: n, InFlight: w.inflight.Load(),
+			Total: w.total.Load(), Failures: w.failures.Load(),
+		})
+	}
+	return out
+}

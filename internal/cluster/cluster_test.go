@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dandelion/internal/memctx"
+)
+
+type fakeNode struct {
+	calls    atomic.Int64
+	inflight atomic.Int64
+	peak     atomic.Int64
+	delay    time.Duration
+	fail     bool
+}
+
+func (f *fakeNode) Invoke(name string, in map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	f.calls.Add(1)
+	c := f.inflight.Add(1)
+	for {
+		p := f.peak.Load()
+		if c <= p || f.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	f.inflight.Add(-1)
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	return map[string][]memctx.Item{"Out": {{Name: "r", Data: []byte(name)}}}, nil
+}
+
+func TestNoWorkers(t *testing.T) {
+	m := NewManager(RoundRobin)
+	if _, err := m.Invoke("X", nil); !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	m := NewManager(RoundRobin)
+	n := &fakeNode{}
+	if err := m.Register("w1", n); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("w1", n); !errors.Is(err, ErrDupWorker) {
+		t.Fatalf("dup err = %v", err)
+	}
+	if err := m.Deregister("ghost"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("deregister err = %v", err)
+	}
+	if err := m.Deregister("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Workers()) != 0 {
+		t.Fatal("worker list not empty after deregister")
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	m := NewManager(RoundRobin)
+	nodes := []*fakeNode{{}, {}, {}}
+	for i, n := range nodes {
+		m.Register(string(rune('a'+i)), n)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := m.Invoke("C", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		if n.calls.Load() != 10 {
+			t.Fatalf("node %d got %d calls, want 10", i, n.calls.Load())
+		}
+	}
+}
+
+func TestLeastLoadedPrefersIdle(t *testing.T) {
+	m := NewManager(LeastLoaded)
+	slow := &fakeNode{delay: 50 * time.Millisecond}
+	fast := &fakeNode{}
+	m.Register("slow", slow)
+	m.Register("fast", fast)
+
+	var wg sync.WaitGroup
+	// Occupy "slow" with one long invocation, then fire more.
+	wg.Add(1)
+	go func() { defer wg.Done(); m.Invoke("C", nil) }()
+	time.Sleep(5 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); m.Invoke("C", nil) }()
+	}
+	wg.Wait()
+	if fast.calls.Load() < 9 {
+		t.Fatalf("least-loaded did not prefer idle node: fast=%d slow=%d",
+			fast.calls.Load(), slow.calls.Load())
+	}
+}
+
+func TestStatsAndFailures(t *testing.T) {
+	m := NewManager(RoundRobin)
+	ok := &fakeNode{}
+	bad := &fakeNode{fail: true}
+	m.Register("ok", ok)
+	m.Register("bad", bad)
+	var failures int
+	for i := 0; i < 10; i++ {
+		if _, err := m.Invoke("C", nil); err != nil {
+			failures++
+		}
+	}
+	if failures != 5 {
+		t.Fatalf("failures = %d, want 5", failures)
+	}
+	stats := m.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, s := range stats {
+		if s.Total != 5 {
+			t.Fatalf("total = %d, want 5", s.Total)
+		}
+		if s.Name == "bad" && s.Failures != 5 {
+			t.Fatalf("bad failures = %d", s.Failures)
+		}
+		if s.Name == "ok" && s.Failures != 0 {
+			t.Fatalf("ok failures = %d", s.Failures)
+		}
+		if s.InFlight != 0 {
+			t.Fatalf("inflight = %d after drain", s.InFlight)
+		}
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	m := NewManager(LeastLoaded)
+	nodes := []*fakeNode{{delay: time.Millisecond}, {delay: time.Millisecond}}
+	m.Register("a", nodes[0])
+	m.Register("b", nodes[1])
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Invoke("C", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	total := nodes[0].calls.Load() + nodes[1].calls.Load()
+	if total != 100 {
+		t.Fatalf("total calls = %d", total)
+	}
+	// Both nodes must have participated.
+	if nodes[0].calls.Load() == 0 || nodes[1].calls.Load() == 0 {
+		t.Fatalf("load not spread: %d/%d", nodes[0].calls.Load(), nodes[1].calls.Load())
+	}
+}

@@ -1,0 +1,185 @@
+// Package controlplane implements the worker control plane of §5: a
+// Proportional-Integral controller that dynamically re-balances CPU
+// cores between compute and communication engines to maximize goodput.
+//
+// Every period (30 ms in the paper) the controller measures the growth
+// rate of each engine type's queue. The difference between the growth
+// rates is the error signal: a positive control signal moves one core
+// from communication to compute; a negative one moves a core the other
+// way. The same Controller drives both the live runtime (via Balancer)
+// and the discrete-event performance model.
+package controlplane
+
+import (
+	"sync"
+	"time"
+
+	"dandelion/internal/engine"
+)
+
+// DefaultPeriod is the paper's 30 ms control interval.
+const DefaultPeriod = 30 * time.Millisecond
+
+// Controller is the PI controller. It is mechanism-agnostic: callers
+// feed it queue growth observations and apply the returned core moves.
+type Controller struct {
+	// Kp and Ki are the proportional and integral gains.
+	Kp, Ki float64
+	// Deadband suppresses moves for small control signals, avoiding
+	// oscillation when the system is balanced.
+	Deadband float64
+	// IntegralClamp bounds the integral term (anti-windup).
+	IntegralClamp float64
+
+	integral float64
+}
+
+// NewController returns a controller with gains that settle within a few
+// control periods for queue-growth error signals measured in tasks per
+// period.
+func NewController() *Controller {
+	return &Controller{Kp: 0.5, Ki: 0.1, Deadband: 0.5, IntegralClamp: 50}
+}
+
+// Step consumes one observation of the two queues' growth over the last
+// period (pushed − popped deltas) and returns the number of cores to
+// move: positive means move that many cores from communication to
+// compute, negative the reverse, zero means hold. At most one core moves
+// per step, matching the paper's one-core-at-a-time reassignment.
+func (c *Controller) Step(computeGrowth, commGrowth float64) int {
+	err := computeGrowth - commGrowth
+	c.integral += err
+	if c.integral > c.IntegralClamp {
+		c.integral = c.IntegralClamp
+	}
+	if c.integral < -c.IntegralClamp {
+		c.integral = -c.IntegralClamp
+	}
+	u := c.Kp*err + c.Ki*c.integral
+	switch {
+	case u > c.Deadband:
+		return 1
+	case u < -c.Deadband:
+		return -1
+	}
+	return 0
+}
+
+// Reset clears the integral state.
+func (c *Controller) Reset() { c.integral = 0 }
+
+// Balancer periodically rebalances two engine pools using a Controller.
+// It preserves the total core count and keeps at least MinPerKind
+// engines of each type.
+type Balancer struct {
+	Controller *Controller
+	Compute    *engine.Pool
+	Comm       *engine.Pool
+	// MinPerKind is the floor for each pool (default 1).
+	MinPerKind int
+	// Period between control steps (default DefaultPeriod).
+	Period time.Duration
+
+	mu           sync.Mutex
+	prevComputeP uint64
+	prevComputeC uint64
+	prevCommP    uint64
+	prevCommC    uint64
+	stop         chan struct{}
+	done         chan struct{}
+	moves        int
+}
+
+// NewBalancer wires a controller to two pools. Callers set the initial
+// pool sizes before Start.
+func NewBalancer(ctrl *Controller, compute, comm *engine.Pool) *Balancer {
+	return &Balancer{
+		Controller: ctrl, Compute: compute, Comm: comm,
+		MinPerKind: 1, Period: DefaultPeriod,
+	}
+}
+
+// Moves reports the cumulative number of core reassignments.
+func (b *Balancer) Moves() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.moves
+}
+
+// StepOnce performs one observation + actuation cycle; exposed for tests
+// and for callers with their own timers.
+func (b *Balancer) StepOnce() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	compP, compC := b.Compute.Queue().Pushed(), b.Compute.Queue().Popped()
+	commP, commC := b.Comm.Queue().Pushed(), b.Comm.Queue().Popped()
+
+	computeGrowth := float64(compP-b.prevComputeP) - float64(compC-b.prevComputeC)
+	commGrowth := float64(commP-b.prevCommP) - float64(commC-b.prevCommC)
+	b.prevComputeP, b.prevComputeC = compP, compC
+	b.prevCommP, b.prevCommC = commP, commC
+
+	move := b.Controller.Step(computeGrowth, commGrowth)
+	// Never move a core toward an engine type with an empty queue: a
+	// draining backlog reads as negative growth, but handing its cores
+	// to an idle type would only slow the drain.
+	if move > 0 && b.Compute.Queue().Len() == 0 {
+		move = 0
+	}
+	if move < 0 && b.Comm.Queue().Len() == 0 {
+		move = 0
+	}
+	switch {
+	case move > 0 && b.Comm.Count() > b.MinPerKind:
+		b.Comm.SetCount(b.Comm.Count() - 1)
+		b.Compute.SetCount(b.Compute.Count() + 1)
+		b.moves++
+	case move < 0 && b.Compute.Count() > b.MinPerKind:
+		b.Compute.SetCount(b.Compute.Count() - 1)
+		b.Comm.SetCount(b.Comm.Count() + 1)
+		b.moves++
+	}
+}
+
+// Start launches the periodic control loop.
+func (b *Balancer) Start() {
+	b.mu.Lock()
+	if b.stop != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.stop = make(chan struct{})
+	b.done = make(chan struct{})
+	stop, done := b.stop, b.done
+	period := b.Period
+	if period <= 0 {
+		period = DefaultPeriod
+	}
+	b.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				b.StepOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the control loop and waits for it to exit.
+func (b *Balancer) Stop() {
+	b.mu.Lock()
+	stop, done := b.stop, b.done
+	b.stop, b.done = nil, nil
+	b.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

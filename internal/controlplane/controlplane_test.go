@@ -1,0 +1,175 @@
+package controlplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dandelion/internal/engine"
+)
+
+func TestControllerDirection(t *testing.T) {
+	c := NewController()
+	// Compute queue growing much faster: move cores to compute.
+	if got := c.Step(10, 0); got != 1 {
+		t.Fatalf("Step(10,0) = %d, want 1", got)
+	}
+	c.Reset()
+	if got := c.Step(0, 10); got != -1 {
+		t.Fatalf("Step(0,10) = %d, want -1", got)
+	}
+}
+
+func TestControllerDeadband(t *testing.T) {
+	c := NewController()
+	if got := c.Step(0.1, 0); got != 0 {
+		t.Fatalf("tiny error moved a core: %d", got)
+	}
+	// Balanced growth: no move even when both queues grow.
+	c.Reset()
+	if got := c.Step(50, 50); got != 0 {
+		t.Fatalf("balanced growth moved a core: %d", got)
+	}
+}
+
+func TestControllerIntegralAccumulates(t *testing.T) {
+	c := &Controller{Kp: 0.1, Ki: 0.3, Deadband: 0.5, IntegralClamp: 50}
+	// A persistent small error should eventually trip the deadband via
+	// the integral term.
+	moved := false
+	for i := 0; i < 20; i++ {
+		if c.Step(1, 0) == 1 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("integral term never acted on persistent error")
+	}
+}
+
+func TestControllerAntiWindup(t *testing.T) {
+	c := NewController()
+	for i := 0; i < 1000; i++ {
+		c.Step(100, 0)
+	}
+	if c.integral > c.IntegralClamp {
+		t.Fatalf("integral %v exceeds clamp %v", c.integral, c.IntegralClamp)
+	}
+	// After the pressure reverses, the controller must recover quickly
+	// instead of staying saturated.
+	flips := 0
+	for i := 0; i < 20; i++ {
+		if c.Step(0, 100) == -1 {
+			flips++
+		}
+	}
+	if flips == 0 {
+		t.Fatal("controller stuck after saturation")
+	}
+}
+
+func newPools() (*engine.Pool, *engine.Pool) {
+	comp := engine.NewPool(engine.Compute, engine.NewQueue())
+	comm := engine.NewPool(engine.Communication, engine.NewQueue())
+	return comp, comm
+}
+
+func TestBalancerMovesCoreTowardComputeLoad(t *testing.T) {
+	comp, comm := newPools()
+	defer comp.Shutdown()
+	defer comm.Shutdown()
+	comp.SetCount(2)
+	comm.SetCount(2)
+	b := NewBalancer(NewController(), comp, comm)
+
+	// Flood the compute queue with slow tasks so its growth dominates.
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		comp.Queue().Push(engine.Task{Do: func() {
+			time.Sleep(2 * time.Millisecond)
+			wg.Done()
+		}})
+	}
+	total := comp.Count() + comm.Count()
+	for i := 0; i < 5; i++ {
+		b.StepOnce()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if comp.Count() <= 2 {
+		t.Fatalf("compute pool not grown: %d", comp.Count())
+	}
+	if comp.Count()+comm.Count() != total {
+		t.Fatalf("core total changed: %d + %d != %d", comp.Count(), comm.Count(), total)
+	}
+	if comm.Count() < b.MinPerKind {
+		t.Fatalf("comm pool below floor: %d", comm.Count())
+	}
+	wg.Wait()
+}
+
+func TestBalancerRespectsFloor(t *testing.T) {
+	comp, comm := newPools()
+	defer comp.Shutdown()
+	defer comm.Shutdown()
+	comp.SetCount(1)
+	comm.SetCount(1)
+	b := NewBalancer(NewController(), comp, comm)
+	// Huge compute pressure, but comm is already at the floor.
+	for i := 0; i < 100; i++ {
+		comp.Queue().Push(engine.Task{Do: func() { time.Sleep(time.Millisecond) }})
+	}
+	for i := 0; i < 3; i++ {
+		b.StepOnce()
+	}
+	if comm.Count() != 1 {
+		t.Fatalf("comm shrunk below floor: %d", comm.Count())
+	}
+	if b.Moves() != 0 {
+		t.Fatalf("moves = %d, want 0 (floor)", b.Moves())
+	}
+}
+
+func TestBalancerStartStop(t *testing.T) {
+	comp, comm := newPools()
+	defer comp.Shutdown()
+	defer comm.Shutdown()
+	comp.SetCount(2)
+	comm.SetCount(2)
+	b := NewBalancer(NewController(), comp, comm)
+	b.Period = time.Millisecond
+	b.Start()
+	b.Start() // double start is a no-op
+	time.Sleep(20 * time.Millisecond)
+	b.Stop()
+	b.Stop() // double stop is a no-op
+}
+
+func TestBalancerReverses(t *testing.T) {
+	comp, comm := newPools()
+	defer comp.Shutdown()
+	defer comm.Shutdown()
+	comm.SetCommConcurrency(4)
+	comp.SetCount(3)
+	comm.SetCount(1)
+	b := NewBalancer(NewController(), comp, comm)
+	b.StepOnce() // baseline
+	// Now flood the comm queue beyond one engine's green-thread capacity.
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		comm.Queue().Push(engine.Task{Do: func() {
+			time.Sleep(10 * time.Millisecond)
+			wg.Done()
+		}})
+	}
+	for i := 0; i < 5; i++ {
+		b.StepOnce()
+		time.Sleep(3 * time.Millisecond)
+	}
+	if comm.Count() <= 1 {
+		t.Fatalf("comm pool not grown under I/O load: %d", comm.Count())
+	}
+	wg.Wait()
+}

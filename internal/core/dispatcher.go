@@ -1,0 +1,484 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dandelion/internal/controlplane"
+	"dandelion/internal/engine"
+	"dandelion/internal/graph"
+	"dandelion/internal/isolation"
+	"dandelion/internal/memctx"
+)
+
+// Execution errors.
+var (
+	ErrTooDeep        = errors.New("core: nested composition depth limit exceeded")
+	ErrInstanceFanout = errors.New("core: mismatched instance counts across inputs")
+	ErrMissingInput   = errors.New("core: missing composition input")
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Backend isolates compute functions; nil selects the CHERI-style
+	// backend (the fastest in Table 1).
+	Backend isolation.Backend
+	// ComputeEngines and CommEngines size the initial pools; zero
+	// values default to 2 and 1 (the paper boots with a single I/O
+	// core and grows it on demand).
+	ComputeEngines int
+	CommEngines    int
+	// CacheBinaries keeps decoded programs in memory (§7.4 "cached").
+	CacheBinaries bool
+	// ZeroCopy shares item payloads between contexts instead of
+	// copying (§6.1's future-work data path, used by the ablation).
+	ZeroCopy bool
+	// Balance starts the PI-controller core balancer.
+	Balance bool
+	// MaxDepth bounds nested composition recursion (default 16).
+	MaxDepth int
+}
+
+// Platform is one Dandelion worker node: registry + dispatcher +
+// engines. It is safe for concurrent use.
+type Platform struct {
+	reg     *registry
+	backend isolation.Backend
+	opts    Options
+
+	computePool *engine.Pool
+	commPool    *engine.Pool
+	balancer    *controlplane.Balancer
+
+	invocations  atomic.Uint64
+	memCommitted atomic.Int64
+	memPeak      atomic.Int64
+}
+
+// NewPlatform builds and starts a worker node.
+func NewPlatform(opts Options) (*Platform, error) {
+	if opts.Backend == nil {
+		b, err := isolation.New("cheri")
+		if err != nil {
+			return nil, err
+		}
+		opts.Backend = b
+	}
+	if opts.ComputeEngines <= 0 {
+		opts.ComputeEngines = 2
+	}
+	if opts.CommEngines <= 0 {
+		opts.CommEngines = 1
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 16
+	}
+	p := &Platform{
+		reg:     newRegistry(),
+		backend: opts.Backend,
+		opts:    opts,
+	}
+	p.computePool = engine.NewPool(engine.Compute, engine.NewQueue())
+	p.commPool = engine.NewPool(engine.Communication, engine.NewQueue())
+	p.computePool.SetCount(opts.ComputeEngines)
+	p.commPool.SetCount(opts.CommEngines)
+	if opts.Balance {
+		p.balancer = controlplane.NewBalancer(controlplane.NewController(), p.computePool, p.commPool)
+		p.balancer.Start()
+	}
+	return p, nil
+}
+
+// Shutdown stops engines and the balancer, waiting for in-flight work.
+func (p *Platform) Shutdown() {
+	if p.balancer != nil {
+		p.balancer.Stop()
+	}
+	p.computePool.Shutdown()
+	p.commPool.Shutdown()
+}
+
+// RegisterFunction registers a compute function.
+func (p *Platform) RegisterFunction(f ComputeFunc) error {
+	return p.reg.addFunc(f, p.backend, p.opts.CacheBinaries)
+}
+
+// RegisterComm registers a communication function. Only the platform
+// should call this; user code cannot supply implementations.
+func (p *Platform) RegisterComm(f CommFunc) error { return p.reg.addComm(f) }
+
+// RegisterComposition registers a parsed composition DAG.
+func (p *Platform) RegisterComposition(c *graph.Composition) error {
+	return p.reg.addComposition(c)
+}
+
+// RegisterCompositionText parses DSL source and registers every
+// composition it contains, returning their names.
+func (p *Platform) RegisterCompositionText(src string) ([]string, error) {
+	return p.reg.addCompositionText(src)
+}
+
+// Stats is a point-in-time snapshot of platform gauges.
+type Stats struct {
+	Invocations      uint64
+	ComputeEngines   int
+	CommEngines      int
+	ComputeQueueLen  int
+	CommQueueLen     int
+	CommittedBytes   int64
+	PeakCommitted    int64
+	ComputeCompleted uint64
+	CommCompleted    uint64
+}
+
+// Stats reports current platform gauges.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Invocations:      p.invocations.Load(),
+		ComputeEngines:   p.computePool.Count(),
+		CommEngines:      p.commPool.Count(),
+		ComputeQueueLen:  p.computePool.Queue().Len(),
+		CommQueueLen:     p.commPool.Queue().Len(),
+		CommittedBytes:   p.memCommitted.Load(),
+		PeakCommitted:    p.memPeak.Load(),
+		ComputeCompleted: p.computePool.Completed(),
+		CommCompleted:    p.commPool.Completed(),
+	}
+}
+
+// Invoke runs a registered composition with the given input items and
+// returns its output sets keyed by output name.
+func (p *Platform) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	comp, err := p.reg.composition(name)
+	if err != nil {
+		return nil, err
+	}
+	p.invocations.Add(1)
+	return p.invoke(comp, inputs, 0)
+}
+
+// valueStore holds the dataflow values of one invocation.
+type valueStore struct {
+	mu   sync.Mutex
+	vals map[string][]memctx.Item
+}
+
+func (s *valueStore) get(name string, clone bool) []memctx.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	items := s.vals[name]
+	if !clone {
+		return items
+	}
+	out := make([]memctx.Item, len(items))
+	for i, it := range items {
+		out[i] = it.Clone()
+	}
+	return out
+}
+
+func (s *valueStore) set(name string, items []memctx.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[name] = items
+}
+
+func (p *Platform) invoke(comp *graph.Composition, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
+	if depth >= p.opts.MaxDepth {
+		return nil, fmt.Errorf("%w (%d)", ErrTooDeep, p.opts.MaxDepth)
+	}
+	store := &valueStore{vals: map[string][]memctx.Item{}}
+	for _, in := range comp.Inputs {
+		items, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingInput, in)
+		}
+		store.set(in, items)
+	}
+
+	deps := comp.Deps()
+	done := make([]chan struct{}, len(comp.Stmts))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	var failed atomic.Bool
+	setErr := func(err error) {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		failed.Store(true)
+	}
+
+	var wg sync.WaitGroup
+	for i := range comp.Stmts {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[i])
+			for _, d := range deps[i] {
+				<-done[d]
+			}
+			if failed.Load() {
+				return
+			}
+			if err := p.runStatement(comp.Stmts[i], store, depth); err != nil {
+				setErr(fmt.Errorf("core: %s: statement %d (%s): %w", comp.Name, i, comp.Stmts[i].Func, err))
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := map[string][]memctx.Item{}
+	for _, b := range comp.Outputs {
+		out[b.Name] = store.get(b.Value, false)
+	}
+	return out, nil
+}
+
+// runStatement expands a statement into instances per the edge modes,
+// executes them on the appropriate engines, and merges outputs.
+func (p *Platform) runStatement(st graph.Stmt, store *valueStore, depth int) error {
+	v, err := p.reg.resolve(st.Func)
+	if err != nil {
+		return err
+	}
+
+	// Gather argument items; decide skip (§4.4): any non-optional input
+	// set with zero items suppresses execution, defining empty outputs.
+	argItems := make([][]memctx.Item, len(st.Args))
+	skip := false
+	for ai, a := range st.Args {
+		argItems[ai] = store.get(a.Value, !p.opts.ZeroCopy)
+		if len(argItems[ai]) == 0 && !a.Optional {
+			skip = true
+		}
+	}
+	if skip {
+		for _, r := range st.Rets {
+			store.set(r.Value, nil)
+		}
+		return nil
+	}
+
+	instances, err := expandInstances(st.Args, argItems)
+	if err != nil {
+		return err
+	}
+
+	// Execute instances concurrently; collect outputs per instance to
+	// keep merge order deterministic.
+	results := make([][]memctx.Set, len(instances))
+	errs := make([]error, len(instances))
+	var wg sync.WaitGroup
+	for idx, inst := range instances {
+		idx, inst := idx, inst
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			outs, err := p.runInstance(v, st, inst, depth)
+			results[idx], errs[idx] = outs, err
+		}
+		switch {
+		case v.comm != nil:
+			if err := p.commPool.Queue().Push(engine.Task{Do: run}); err != nil {
+				wg.Done()
+				errs[idx] = err
+			}
+		case v.fn != nil:
+			if err := p.computePool.Queue().Push(engine.Task{Do: run}); err != nil {
+				wg.Done()
+				errs[idx] = err
+			}
+		default:
+			// Nested composition: orchestrated inline by the dispatcher
+			// green thread; its statements use the engines themselves.
+			go run()
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge instance outputs in instance order under each Ret binding.
+	for _, r := range st.Rets {
+		var merged []memctx.Item
+		for _, outs := range results {
+			for _, s := range outs {
+				if s.Name == r.Set {
+					merged = append(merged, s.Items...)
+				}
+			}
+		}
+		store.set(r.Value, merged)
+	}
+	return nil
+}
+
+// instance is one function instantiation: the input sets it receives.
+type instance []memctx.Set
+
+// expandInstances applies the all/each/key distribution keywords. Args
+// in `all` mode broadcast to every instance; `each`/`key` args split
+// into groups. All split args must agree on the group count (or be
+// broadcast), matching co-partitioned zip semantics.
+func expandInstances(args []graph.Arg, items [][]memctx.Item) ([]instance, error) {
+	type argGroups struct {
+		groups [][]memctx.Item
+	}
+	split := make([]argGroups, len(args))
+	n := 1
+	for ai, a := range args {
+		switch a.Mode {
+		case graph.All:
+			split[ai].groups = [][]memctx.Item{items[ai]}
+		case graph.Each:
+			gs := make([][]memctx.Item, len(items[ai]))
+			for i := range items[ai] {
+				gs[i] = items[ai][i : i+1]
+			}
+			split[ai].groups = gs
+		case graph.Key:
+			sets := memctx.GroupByKey(memctx.Set{Name: a.Param, Items: items[ai]})
+			gs := make([][]memctx.Item, len(sets))
+			for i := range sets {
+				gs[i] = sets[i].Items
+			}
+			split[ai].groups = gs
+		default:
+			return nil, fmt.Errorf("core: unknown distribution mode %v", a.Mode)
+		}
+		if g := len(split[ai].groups); g > 1 {
+			if n > 1 && g != n {
+				return nil, fmt.Errorf("%w: %d vs %d", ErrInstanceFanout, n, g)
+			}
+			n = g
+		}
+	}
+	out := make([]instance, n)
+	for i := 0; i < n; i++ {
+		inst := make(instance, len(args))
+		for ai, a := range args {
+			gs := split[ai].groups
+			var group []memctx.Item
+			if len(gs) == 1 {
+				group = gs[0]
+			} else {
+				group = gs[i]
+			}
+			inst[ai] = memctx.Set{Name: a.Param, Items: group}
+		}
+		out[i] = inst
+	}
+	return out, nil
+}
+
+// runInstance executes one instance of a vertex. It is called on an
+// engine worker (compute or communication) or, for nested compositions,
+// on a dispatcher goroutine.
+func (p *Platform) runInstance(v vertex, st graph.Stmt, inst instance, depth int) ([]memctx.Set, error) {
+	switch {
+	case v.comm != nil:
+		return v.comm.Invoke(inst)
+	case v.fn != nil:
+		return p.runCompute(v.fn, inst)
+	default:
+		childInputs := map[string][]memctx.Item{}
+		for _, s := range inst {
+			childInputs[s.Name] = s.Items
+		}
+		childOut, err := p.invoke(v.comp, childInputs, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		sets := make([]memctx.Set, 0, len(childOut))
+		for name, items := range childOut {
+			sets = append(sets, memctx.Set{Name: name, Items: items})
+		}
+		return sets, nil
+	}
+}
+
+// runCompute prepares an isolated memory context, executes the function
+// under the configured backend, and harvests outputs.
+func (p *Platform) runCompute(f *registeredFunc, inst instance) (outs []memctx.Set, err error) {
+	memBytes := f.MemBytes
+	if memBytes <= 0 {
+		memBytes = memctx.DefaultLimit
+	}
+	ctx := memctx.New(memBytes)
+	for _, s := range inst {
+		if err := ctx.AddInputSet(s); err != nil {
+			return nil, err
+		}
+	}
+	charge := int64(ctx.CommittedBytes())
+	p.chargeMemory(charge)
+	defer p.releaseMemory(&charge)
+
+	if f.Go != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: function %q crashed: %v", f.Name, r)
+				outs = nil
+			}
+		}()
+		outs, err = f.Go(ctx.InputSets())
+	} else {
+		task := isolation.Task{
+			Binary:   f.Binary,
+			Prepared: f.prepared,
+			MemBytes: memBytes,
+			Inputs:   ctx.InputSets(),
+			GasLimit: f.GasLimit,
+		}
+		outs, err = p.backend.Execute(task)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Positional rename for dvm outputs (out0, out1, ...).
+	if f.Go == nil && len(f.OutputSets) > 0 {
+		for i := range outs {
+			for k, declared := range f.OutputSets {
+				if outs[i].Name == fmt.Sprintf("out%d", k) {
+					outs[i].Name = declared
+				}
+			}
+		}
+	}
+	if err := ctx.SetOutputs(outs); err != nil {
+		return nil, err
+	}
+	ctx.Seal()
+	newCharge := int64(ctx.CommittedBytes())
+	p.chargeMemory(newCharge - charge)
+	charge = newCharge
+	return ctx.OutputSets(), nil
+}
+
+func (p *Platform) chargeMemory(delta int64) {
+	cur := p.memCommitted.Add(delta)
+	for {
+		peak := p.memPeak.Load()
+		if cur <= peak || p.memPeak.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+func (p *Platform) releaseMemory(charge *int64) {
+	p.memCommitted.Add(-*charge)
+}

@@ -1,0 +1,260 @@
+package dsl
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dandelion/internal/graph"
+)
+
+// listing2 is the composition from Listing 2 of the paper, verbatim
+// modulo whitespace.
+const listing2 = `
+composition RenderLogs(AccessToken) => HTMLOutput {
+    Access(AccessToken = all AccessToken)
+        => (AuthRequest = HTTPRequest);
+    HTTP(Request = each AuthRequest)
+        => (AuthResponse = Response);
+    FanOut(HTTPResponse = all AuthResponse)
+        => (LogRequests = HTTPRequests);
+    HTTP(Request = each LogRequests)
+        => (LogResponses = Response);
+    Render(HTTPResponses = all LogResponses)
+        => (HTMLOutput = HTMLOutput);
+}
+`
+
+func TestParseListing2(t *testing.T) {
+	c, err := Parse(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "RenderLogs" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if len(c.Inputs) != 1 || c.Inputs[0] != "AccessToken" {
+		t.Errorf("inputs = %v", c.Inputs)
+	}
+	if len(c.Outputs) != 1 || c.Outputs[0].Name != "HTMLOutput" {
+		t.Errorf("outputs = %v", c.Outputs)
+	}
+	if len(c.Stmts) != 5 {
+		t.Fatalf("stmts = %d, want 5", len(c.Stmts))
+	}
+	if c.Stmts[1].Func != "HTTP" || c.Stmts[1].Args[0].Mode != graph.Each {
+		t.Errorf("stmt1 = %+v", c.Stmts[1])
+	}
+	if c.Stmts[4].Args[0].Mode != graph.All {
+		t.Errorf("render mode = %v", c.Stmts[4].Args[0].Mode)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+composition C(In) => Out { // trailing
+    F(x = all In) => (Out = o); # after statement
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "C" {
+		t.Fatalf("name = %q", c.Name)
+	}
+}
+
+func TestParseOptionalKeyword(t *testing.T) {
+	src := `
+composition C(In, Errs) => Out {
+    F(x = all In, e = optional all Errs) => (Out = o);
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Stmts[0].Args[1].Optional {
+		t.Fatal("optional flag not set")
+	}
+	if c.Stmts[0].Args[0].Optional {
+		t.Fatal("optional flag leaked to first arg")
+	}
+}
+
+func TestParseKeyMode(t *testing.T) {
+	src := `
+composition C(In) => Out {
+    F(x = key In) => (Out = o);
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stmts[0].Args[0].Mode != graph.Key {
+		t.Fatalf("mode = %v, want key", c.Stmts[0].Args[0].Mode)
+	}
+}
+
+func TestParseMultipleOutputsAndArgs(t *testing.T) {
+	src := `
+composition C(A, B) => X, Y {
+    F(p = all A, q = each B) => (X = o1, Y = o2);
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outputs) != 2 || len(c.Stmts[0].Rets) != 2 || len(c.Stmts[0].Args) != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestParseNoInputs(t *testing.T) {
+	src := `
+composition Gen() => Out {
+    Seed() => (s = o);
+    F(x = all s) => (Out = o);
+}
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Inputs) != 0 || len(c.Stmts) != 2 {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestParseFileMultiple(t *testing.T) {
+	src := `
+composition A(I) => O { F(x = all I) => (O = o); }
+composition B(I) => O { G(x = each I) => (O = o); }
+`
+	cs, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Name != "A" || cs[1].Name != "B" {
+		t.Fatalf("parsed %d compositions", len(cs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                          // empty
+		"composition",               // truncated
+		"composition C(I) => O { }", // no statements (fails validation)
+		"composition C(I) => O { F(x = wrong I) => (O = o); }", // bad mode
+		"composition C(I) => O { F(x = all Ghost) => (O = o); }",
+		"composition C(I) => O { F(x = all I) => (O = o) }",  // missing ;
+		"composition C(I) => O F(x = all I) => (O = o);",     // missing {
+		"composition C(I) -> O { F(x = all I) => (O = o); }", // bad arrow
+		"composition C(I) => O { F(x all I) => (O = o); }",   // missing =
+		"composition C(I) => O { F(x = all I) => (O = o); } trailing",
+		"composition C(I) => O { F(x = all I) => (O = o); } composition", // truncated second
+		"composition C(I) => O { F(x = all I) @ (O = o); }",              // bad char
+	}
+	for _, src := range cases {
+		if _, err := ParseFile(src); !errors.Is(err, ErrParse) {
+			t.Errorf("ParseFile(%.40q) err = %v, want ErrParse", src, err)
+		}
+	}
+}
+
+func TestParseRejectsTwoForParse(t *testing.T) {
+	src := `
+composition A(I) => O { F(x = all I) => (O = o); }
+composition B(I) => O { G(x = each I) => (O = o); }
+`
+	if _, err := Parse(src); !errors.Is(err, ErrParse) {
+		t.Fatalf("Parse of two compositions err = %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	c, err := Parse(listing2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(c)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(c, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", c, back)
+	}
+}
+
+func TestFormatContainsKeywords(t *testing.T) {
+	c, _ := Parse(listing2)
+	text := Format(c)
+	for _, kw := range []string{"composition RenderLogs", "all", "each", "=>", ";"} {
+		if !strings.Contains(text, kw) {
+			t.Errorf("formatted text missing %q", kw)
+		}
+	}
+}
+
+// Property: Format/Parse round-trips randomly generated compositions.
+func TestFormatParseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		c := randComposition(rng)
+		text := Format(c)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse failed: %v\n%s", trial, err, text)
+		}
+		if !reflect.DeepEqual(c, back) {
+			t.Fatalf("trial %d: round trip mismatch\n%s", trial, text)
+		}
+	}
+}
+
+func randComposition(rng *rand.Rand) *graph.Composition {
+	c := &graph.Composition{Name: "Rand", Inputs: []string{"In0", "In1"}}
+	avail := append([]string{}, c.Inputs...)
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		st := graph.Stmt{Func: fname(rng, i)}
+		nargs := 1 + rng.Intn(2)
+		for a := 0; a < nargs; a++ {
+			v := avail[rng.Intn(len(avail))]
+			dup := false
+			for _, ex := range st.Args {
+				if ex.Value == v {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			st.Args = append(st.Args, graph.Arg{
+				Param:    "p" + string(rune('a'+a)),
+				Value:    v,
+				Mode:     graph.Mode(rng.Intn(3)),
+				Optional: rng.Intn(4) == 0,
+			})
+		}
+		val := "v" + string(rune('A'+i))
+		st.Rets = []graph.Ret{{Value: val, Set: "out"}}
+		avail = append(avail, val)
+		c.Stmts = append(c.Stmts, st)
+	}
+	last := avail[len(avail)-1]
+	c.Outputs = []graph.OutputBinding{{Value: last, Name: last}}
+	return c
+}
+
+func fname(rng *rand.Rand, i int) string {
+	names := []string{"Access", "FanOut", "Render", "HTTP", "Compress", "Score"}
+	return names[(i+rng.Intn(len(names)))%len(names)]
+}

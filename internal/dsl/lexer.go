@@ -1,0 +1,187 @@
+// Package dsl implements Dandelion's composition language (§4.1,
+// Listing 2 of the paper): the textual front end that users write to
+// express DAGs of compute and communication functions.
+//
+//	composition RenderLogs(AccessToken) => HTMLOutput {
+//	    Access(AccessToken = all AccessToken)
+//	        => (AuthRequest = HTTPRequest);
+//	    HTTP(Request = each AuthRequest)
+//	        => (AuthResponse = Response);
+//	    ...
+//	}
+//
+// The parser produces graph.Composition values; Format renders them back
+// to canonical text.
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokSemi
+	tokAssign // =
+	tokArrow  // =>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokAssign:
+		return "'='"
+	case tokArrow:
+		return "'=>'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token, skipping whitespace and comments
+// (// and # to end of line).
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.advance()
+				}
+			} else {
+				return token{}, fmt.Errorf("dsl: line %d:%d: unexpected '/'", l.line, l.col)
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+scan:
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case isIdentStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: string(l.src[start:l.pos]), line: line, col: col}, nil
+	case r == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case r == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case r == '{':
+		l.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case r == '}':
+		l.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case r == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: line, col: col}, nil
+	case r == ';':
+		l.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case r == '=':
+		l.advance()
+		if l.pos < len(l.src) && l.peek() == '>' {
+			l.advance()
+			return token{kind: tokArrow, text: "=>", line: line, col: col}, nil
+		}
+		return token{kind: tokAssign, text: "=", line: line, col: col}, nil
+	}
+	return token{}, fmt.Errorf("dsl: line %d:%d: unexpected character %q", line, col, string(r))
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

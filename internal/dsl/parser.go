@@ -1,0 +1,279 @@
+package dsl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dandelion/internal/graph"
+)
+
+// ErrParse wraps all syntax errors reported by the parser.
+var ErrParse = errors.New("dsl: parse error")
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) take() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, fmt.Errorf("%w: line %d:%d: expected %v, found %v %q",
+			ErrParse, t.line, t.col, k, t.kind, t.text)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return fmt.Errorf("%w: line %d:%d: expected %q, found %q", ErrParse, t.line, t.col, kw, t.text)
+	}
+	return nil
+}
+
+// Parse parses one composition from src.
+func Parse(src string) (*graph.Composition, error) {
+	cs, err := ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(cs) != 1 {
+		return nil, fmt.Errorf("%w: expected exactly one composition, found %d", ErrParse, len(cs))
+	}
+	return cs[0], nil
+}
+
+// ParseFile parses a file containing one or more compositions. Each
+// composition is validated before being returned.
+func ParseFile(src string) ([]*graph.Composition, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	p := &parser{toks: toks}
+	var out []*graph.Composition
+	for p.cur().kind != tokEOF {
+		c, err := p.composition()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: composition %q: %v", ErrParse, c.Name, err)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no compositions found", ErrParse)
+	}
+	return out, nil
+}
+
+// composition := "composition" IDENT "(" idents? ")" "=>" idents "{" stmt* "}"
+func (p *parser) composition() (*graph.Composition, error) {
+	if err := p.expectKeyword("composition"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	c := &graph.Composition{Name: name.text}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokRParen {
+		ins, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		c.Inputs = ins
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	outs, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		c.Outputs = append(c.Outputs, graph.OutputBinding{Value: o, Name: o})
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	for p.cur().kind != tokRBrace {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		c.Stmts = append(c.Stmts, st)
+	}
+	p.take() // }
+	return c, nil
+}
+
+func (p *parser) identList() ([]string, error) {
+	var out []string
+	for {
+		t, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if p.cur().kind != tokComma {
+			return out, nil
+		}
+		p.take()
+	}
+}
+
+// statement := IDENT "(" arg ("," arg)* ")" "=>" "(" ret ("," ret)* ")" ";"
+// arg := IDENT "=" ["optional"] ("all"|"each"|"key") IDENT
+// ret := IDENT "=" IDENT
+func (p *parser) statement() (graph.Stmt, error) {
+	var st graph.Stmt
+	fn, err := p.expect(tokIdent)
+	if err != nil {
+		return st, err
+	}
+	st.Func = fn.text
+	if _, err := p.expect(tokLParen); err != nil {
+		return st, err
+	}
+	for p.cur().kind != tokRParen {
+		a, err := p.arg()
+		if err != nil {
+			return st, err
+		}
+		st.Args = append(st.Args, a)
+		if p.cur().kind == tokComma {
+			p.take()
+		}
+	}
+	p.take() // )
+	if _, err := p.expect(tokArrow); err != nil {
+		return st, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return st, err
+	}
+	for p.cur().kind != tokRParen {
+		r, err := p.ret()
+		if err != nil {
+			return st, err
+		}
+		st.Rets = append(st.Rets, r)
+		if p.cur().kind == tokComma {
+			p.take()
+		}
+	}
+	p.take() // )
+	if _, err := p.expect(tokSemi); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func (p *parser) arg() (graph.Arg, error) {
+	var a graph.Arg
+	param, err := p.expect(tokIdent)
+	if err != nil {
+		return a, err
+	}
+	a.Param = param.text
+	if _, err := p.expect(tokAssign); err != nil {
+		return a, err
+	}
+	mode, err := p.expect(tokIdent)
+	if err != nil {
+		return a, err
+	}
+	if mode.text == "optional" {
+		a.Optional = true
+		mode, err = p.expect(tokIdent)
+		if err != nil {
+			return a, err
+		}
+	}
+	switch strings.ToLower(mode.text) {
+	case "all":
+		a.Mode = graph.All
+	case "each":
+		a.Mode = graph.Each
+	case "key":
+		a.Mode = graph.Key
+	default:
+		return a, fmt.Errorf("%w: line %d:%d: expected distribution keyword all/each/key, found %q",
+			ErrParse, mode.line, mode.col, mode.text)
+	}
+	val, err := p.expect(tokIdent)
+	if err != nil {
+		return a, err
+	}
+	a.Value = val.text
+	return a, nil
+}
+
+func (p *parser) ret() (graph.Ret, error) {
+	var r graph.Ret
+	val, err := p.expect(tokIdent)
+	if err != nil {
+		return r, err
+	}
+	r.Value = val.text
+	if _, err := p.expect(tokAssign); err != nil {
+		return r, err
+	}
+	set, err := p.expect(tokIdent)
+	if err != nil {
+		return r, err
+	}
+	r.Set = set.text
+	return r, nil
+}
+
+// Format renders a composition in canonical DSL text; Parse(Format(c))
+// reproduces c for every valid composition whose output bindings use
+// identical external and local names.
+func Format(c *graph.Composition) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "composition %s(%s) => %s {\n",
+		c.Name, strings.Join(c.Inputs, ", "), joinOutputs(c.Outputs))
+	for _, st := range c.Stmts {
+		args := make([]string, len(st.Args))
+		for i, a := range st.Args {
+			opt := ""
+			if a.Optional {
+				opt = "optional "
+			}
+			args[i] = fmt.Sprintf("%s = %s%s %s", a.Param, opt, a.Mode, a.Value)
+		}
+		rets := make([]string, len(st.Rets))
+		for i, r := range st.Rets {
+			rets[i] = fmt.Sprintf("%s = %s", r.Value, r.Set)
+		}
+		fmt.Fprintf(&b, "    %s(%s)\n        => (%s);\n",
+			st.Func, strings.Join(args, ", "), strings.Join(rets, ", "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func joinOutputs(outs []graph.OutputBinding) string {
+	names := make([]string, len(outs))
+	for i, o := range outs {
+		names[i] = o.Name
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,312 @@
+package dvm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrAsm reports an assembly error; details are wrapped around it.
+var ErrAsm = errors.New("dvm: assembly error")
+
+// Assemble translates dvm assembly text into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment (also //)
+//	label:
+//	li   r1, 42
+//	add  r0, r1, r2
+//	ld   r3, r1, 8       ; rd, base, offset
+//	st   r1, r3, 0       ; base, src, offset
+//	beq  r1, r2, loop
+//	jmp  done
+//	host 4
+//	.data "raw bytes"    ; appended to the data segment
+//	.word 123            ; 8-byte little-endian word in the data segment
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instr int    // index into code
+		label string // unresolved target
+		line  int
+	}
+	p := &Program{}
+	labels := map[string]int64{}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels: may share a line with an instruction ("loop: add ...").
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("%w: line %d: bad label %q", ErrAsm, ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("%w: line %d: duplicate label %q", ErrAsm, ln+1, name)
+			}
+			labels[name] = int64(len(p.Code))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnem := strings.ToLower(fields[0])
+		rest := strings.TrimSpace(line[len(fields[0]):])
+		args := splitArgs(rest)
+
+		switch mnem {
+		case ".data":
+			s, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: .data wants a quoted string: %v", ErrAsm, ln+1, err)
+			}
+			p.Data = append(p.Data, s...)
+			continue
+		case ".word":
+			v, err := strconv.ParseInt(rest, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: .word: %v", ErrAsm, ln+1, err)
+			}
+			var w [8]byte
+			for i := 0; i < 8; i++ {
+				w[i] = byte(v >> (8 * i))
+			}
+			p.Data = append(p.Data, w[:]...)
+			continue
+		}
+
+		op, ok := mnemonics[mnem]
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: unknown mnemonic %q", ErrAsm, ln+1, mnem)
+		}
+		ins := Instr{Op: op}
+		fail := func(msg string) error {
+			return fmt.Errorf("%w: line %d: %s %s: %s", ErrAsm, ln+1, mnem, rest, msg)
+		}
+		reg := func(s string) (uint8, error) {
+			if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+				return 0, fail(fmt.Sprintf("want register, got %q", s))
+			}
+			v, err := strconv.Atoi(s[1:])
+			if err != nil || v < 0 || v >= NumRegs {
+				return 0, fail(fmt.Sprintf("bad register %q", s))
+			}
+			return uint8(v), nil
+		}
+		imm := func(s string) (int64, error) {
+			v, err := strconv.ParseInt(s, 0, 64)
+			if err != nil {
+				return 0, fail(fmt.Sprintf("bad immediate %q", s))
+			}
+			return v, nil
+		}
+		// target resolves a label or numeric immediate, deferring
+		// unknown labels to the fixup pass.
+		target := func(s string) (int64, bool, error) {
+			if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+				return v, true, nil
+			}
+			if !isIdent(s) {
+				return 0, false, fail(fmt.Sprintf("bad target %q", s))
+			}
+			if v, ok := labels[s]; ok {
+				return v, true, nil
+			}
+			fixups = append(fixups, pending{instr: len(p.Code), label: s, line: ln + 1})
+			return 0, false, nil
+		}
+		need := func(n int) error {
+			if len(args) != n {
+				return fail(fmt.Sprintf("want %d operands, got %d", n, len(args)))
+			}
+			return nil
+		}
+
+		var err error
+		switch op {
+		case OpHalt, OpRet:
+			err = need(0)
+		case OpLi:
+			if err = need(2); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					ins.Imm, err = imm(args[1])
+				}
+			}
+		case OpMov:
+			if err = need(2); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					ins.Rs, err = reg(args[1])
+				}
+			}
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			if err = need(3); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					if ins.Rs, err = reg(args[1]); err == nil {
+						ins.Rt, err = reg(args[2])
+					}
+				}
+			}
+		case OpAddi, OpMuli:
+			if err = need(3); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					if ins.Rs, err = reg(args[1]); err == nil {
+						ins.Imm, err = imm(args[2])
+					}
+				}
+			}
+		case OpLd, OpLdb:
+			if err = need(3); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					if ins.Rs, err = reg(args[1]); err == nil {
+						ins.Imm, err = imm(args[2])
+					}
+				}
+			}
+		case OpSt, OpStb:
+			if err = need(3); err == nil {
+				if ins.Rd, err = reg(args[0]); err == nil {
+					if ins.Rs, err = reg(args[1]); err == nil {
+						ins.Imm, err = imm(args[2])
+					}
+				}
+			}
+		case OpJmp, OpCall:
+			if err = need(1); err == nil {
+				var v int64
+				v, _, err = target(args[0])
+				ins.Imm = v
+			}
+		case OpBeq, OpBne, OpBlt, OpBge:
+			if err = need(3); err == nil {
+				if ins.Rs, err = reg(args[0]); err == nil {
+					if ins.Rt, err = reg(args[1]); err == nil {
+						var v int64
+						v, _, err = target(args[2])
+						ins.Imm = v
+					}
+				}
+			}
+		case OpHost, OpSyscall:
+			if err = need(1); err == nil {
+				ins.Imm, err = imm(args[0])
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.Code = append(p.Code, ins)
+	}
+
+	for _, f := range fixups {
+		v, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: undefined label %q", ErrAsm, f.line, f.label)
+		}
+		p.Code[f.instr].Imm = v
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var mnemonics = map[string]Op{
+	"halt": OpHalt, "li": OpLi, "mov": OpMov, "add": OpAdd, "sub": OpSub,
+	"mul": OpMul, "div": OpDiv, "mod": OpMod, "and": OpAnd, "or": OpOr,
+	"xor": OpXor, "shl": OpShl, "shr": OpShr, "addi": OpAddi, "muli": OpMuli,
+	"ld": OpLd, "st": OpSt, "ldb": OpLdb, "stb": OpStb, "jmp": OpJmp,
+	"beq": OpBeq, "bne": OpBne, "blt": OpBlt, "bge": OpBge,
+	"call": OpCall, "ret": OpRet, "host": OpHost, "syscall": OpSyscall,
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders a program back to assembler text. Branch targets
+// are emitted as numeric instruction indices with generated labels.
+func Disassemble(p *Program) string {
+	targets := map[int64]string{}
+	for _, ins := range p.Code {
+		switch ins.Op {
+		case OpJmp, OpBeq, OpBne, OpBlt, OpBge, OpCall:
+			if _, ok := targets[ins.Imm]; !ok {
+				targets[ins.Imm] = fmt.Sprintf("L%d", ins.Imm)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, ins := range p.Code {
+		if lbl, ok := targets[int64(i)]; ok {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		b.WriteString("\t")
+		switch ins.Op {
+		case OpHalt, OpRet:
+			b.WriteString(ins.Op.String())
+		case OpLi:
+			fmt.Fprintf(&b, "%s r%d, %d", ins.Op, ins.Rd, ins.Imm)
+		case OpMov:
+			fmt.Fprintf(&b, "%s r%d, r%d", ins.Op, ins.Rd, ins.Rs)
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr:
+			fmt.Fprintf(&b, "%s r%d, r%d, r%d", ins.Op, ins.Rd, ins.Rs, ins.Rt)
+		case OpAddi, OpMuli, OpLd, OpLdb, OpSt, OpStb:
+			fmt.Fprintf(&b, "%s r%d, r%d, %d", ins.Op, ins.Rd, ins.Rs, ins.Imm)
+		case OpJmp, OpCall:
+			fmt.Fprintf(&b, "%s %s", ins.Op, targets[ins.Imm])
+		case OpBeq, OpBne, OpBlt, OpBge:
+			fmt.Fprintf(&b, "%s r%d, r%d, %s", ins.Op, ins.Rs, ins.Rt, targets[ins.Imm])
+		case OpHost, OpSyscall:
+			fmt.Fprintf(&b, "%s %d", ins.Op, ins.Imm)
+		default:
+			fmt.Fprintf(&b, "%s", ins.Op)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

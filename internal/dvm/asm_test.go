@@ -1,0 +1,183 @@
+package dvm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p := mustAssemble(t, `
+	; comment line
+	start:  li r1, 0x10   // hex immediate
+	        addi r1, r1, -1
+	        bne r1, r2, start
+	        halt
+	`)
+	if len(p.Code) != 4 {
+		t.Fatalf("code len = %d, want 4", len(p.Code))
+	}
+	if p.Code[0].Imm != 16 {
+		t.Fatalf("hex imm = %d, want 16", p.Code[0].Imm)
+	}
+	if p.Code[2].Imm != 0 {
+		t.Fatalf("branch target = %d, want 0", p.Code[2].Imm)
+	}
+}
+
+func TestAssembleForwardLabel(t *testing.T) {
+	p := mustAssemble(t, `
+	        jmp end
+	        li r0, 1
+	end:    halt
+	`)
+	if p.Code[0].Imm != 2 {
+		t.Fatalf("forward label target = %d, want 2", p.Code[0].Imm)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2\n",
+		"li r99, 1\n",
+		"li r1\n",
+		"jmp missing\n",
+		"dup: halt\ndup: halt\n",
+		"li rX, 1\n",
+		"add r1, r2\n",
+		".word abc\n",
+		`.data unquoted`,
+		"1bad: halt\n",
+	}
+	for _, src := range cases {
+		if _, err := Assemble(src); !errors.Is(err, ErrAsm) {
+			t.Errorf("Assemble(%q) err = %v, want ErrAsm", src, err)
+		}
+	}
+}
+
+func TestAssembleWordDirective(t *testing.T) {
+	p := mustAssemble(t, ".word 0x0102030405060708\nhalt\n")
+	want := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	if !bytes.Equal(p.Data, want) {
+		t.Fatalf("data = %v, want %v", p.Data, want)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := MatMulProgram(4)
+	p.Data = []byte("segment")
+	enc := p.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Code) != len(p.Code) || !bytes.Equal(dec.Data, p.Data) {
+		t.Fatal("decode mismatch")
+	}
+	for i := range p.Code {
+		if dec.Code[i] != p.Code[i] {
+			t.Fatalf("instr %d mismatch: %+v vs %+v", i, dec.Code[i], p.Code[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x00\x00\x00\x00"),
+		append([]byte("DVM1"), 0xff, 0xff, 0xff, 0x7f), // huge code len
+	}
+	for _, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrBadBinary) {
+			t.Errorf("Decode(%q) err = %v, want ErrBadBinary", b, err)
+		}
+	}
+	// Valid header, truncated data segment.
+	p := EchoProgram()
+	enc := p.Encode()
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestDecodeValidates(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: OpJmp, Imm: 99}}}
+	if _, err := Decode(p.Encode()); err == nil {
+		t.Fatal("decode accepted out-of-range branch")
+	}
+}
+
+func TestDisassembleReassemble(t *testing.T) {
+	orig := MatMulProgram(2)
+	text := Disassemble(orig)
+	back, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if len(back.Code) != len(orig.Code) {
+		t.Fatalf("code len %d vs %d", len(back.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		if back.Code[i] != orig.Code[i] {
+			t.Fatalf("instr %d: %+v vs %+v", i, back.Code[i], orig.Code[i])
+		}
+	}
+}
+
+func TestDisassembleContainsMnemonics(t *testing.T) {
+	text := Disassemble(ReduceProgram())
+	for _, m := range []string{"host", "blt", "halt"} {
+		if !strings.Contains(text, m) {
+			t.Errorf("disassembly missing %q", m)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []*Program{
+		{Code: []Instr{{Op: opMax}}},
+		{Code: []Instr{{Op: OpAdd, Rd: 16}}},
+		{Code: []Instr{{Op: OpBeq, Imm: -1}}},
+		{Code: []Instr{{Op: OpCall, Imm: 5}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid program", i)
+		}
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary valid instruction fields.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(rd, rs, rt uint8, imm int64, data []byte) bool {
+		p := &Program{
+			Code: []Instr{
+				{Op: OpLi, Rd: rd % NumRegs, Imm: imm},
+				{Op: OpAdd, Rd: rd % NumRegs, Rs: rs % NumRegs, Rt: rt % NumRegs},
+				{Op: OpHalt},
+			},
+			Data: data,
+		}
+		dec, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return dec.Code[0].Imm == imm && bytes.Equal(dec.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpSyscall.String() != "syscall" {
+		t.Fatal("op names wrong")
+	}
+	if s := Op(200).String(); !strings.Contains(s, "200") {
+		t.Fatalf("unknown op string = %q", s)
+	}
+}

@@ -1,0 +1,344 @@
+package dvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dandelion/internal/memctx"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func i64s(vals ...int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 6
+		li r2, 7
+		mul r3, r1, r2
+		li r4, 0
+		st r4, r3, 0
+		li r1, 0
+		li r2, 0
+		li r3, 8
+		li r4, 0
+		host 5
+		halt
+	`)
+	res, err := Run(p, 1024, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Error("expected halt")
+	}
+	got := int64(binary.LittleEndian.Uint64(res.Outputs[0].Items[0].Data))
+	if got != 42 {
+		t.Fatalf("result = %d, want 42", got)
+	}
+}
+
+func TestFallOffEndIsCleanStop(t *testing.T) {
+	p := mustAssemble(t, "li r0, 1\n")
+	res, err := Run(p, 64, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Error("fall-off-end should not report Halted")
+	}
+}
+
+func TestSyscallTraps(t *testing.T) {
+	_, err := Run(SyscallProgram(), 64, nil, 0)
+	if !errors.Is(err, ErrSyscallAttempt) {
+		t.Fatalf("err = %v, want ErrSyscallAttempt", err)
+	}
+}
+
+func TestGasExhaustion(t *testing.T) {
+	_, err := Run(SpinProgram(), 64, nil, 1000)
+	if !errors.Is(err, ErrGasExhausted) {
+		t.Fatalf("err = %v, want ErrGasExhausted", err)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	cases := []string{
+		"li r1, 100\nld r0, r1, 0\nhalt\n", // read past end (mem=64)
+		"li r1, -9\nld r0, r1, 0\nhalt\n",  // negative address
+		"li r1, 60\nst r1, r1, 0\nhalt\n",  // 8-byte store crossing end
+		"li r1, 64\nstb r1, r1, 0\nhalt\n", // byte store at end
+	}
+	for _, src := range cases {
+		p := mustAssemble(t, src)
+		if _, err := Run(p, 64, nil, 0); !errors.Is(err, ErrMemFault) {
+			t.Errorf("program %q err = %v, want ErrMemFault", src, err)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	for _, src := range []string{
+		"li r1, 5\nli r2, 0\ndiv r0, r1, r2\nhalt\n",
+		"li r1, 5\nli r2, 0\nmod r0, r1, r2\nhalt\n",
+	} {
+		p := mustAssemble(t, src)
+		if _, err := Run(p, 64, nil, 0); !errors.Is(err, ErrDivByZero) {
+			t.Errorf("err = %v, want ErrDivByZero", err)
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 10
+		call double
+		call double
+		li r4, 0
+		st r4, r1, 0
+		li r1, 0
+		li r2, 0
+		li r3, 8
+		li r4, 0
+		host 5
+		halt
+	double:
+		add r1, r1, r1
+		ret
+	`)
+	res, err := Run(p, 64, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := int64(binary.LittleEndian.Uint64(res.Outputs[0].Items[0].Data))
+	if got != 40 {
+		t.Fatalf("result = %d, want 40", got)
+	}
+}
+
+func TestRetUnderflow(t *testing.T) {
+	p := mustAssemble(t, "ret\n")
+	if _, err := Run(p, 64, nil, 0); !errors.Is(err, ErrStackUnderflow) {
+		t.Fatalf("err = %v, want ErrStackUnderflow", err)
+	}
+}
+
+func TestCallStackOverflow(t *testing.T) {
+	p := mustAssemble(t, "f: call f\n")
+	if _, err := Run(p, 64, nil, 0); !errors.Is(err, ErrStackOverflow) {
+		t.Fatalf("err = %v, want ErrStackOverflow", err)
+	}
+}
+
+func TestHostReadWrite(t *testing.T) {
+	in := []memctx.Set{{Name: "args", Items: []memctx.Item{{Name: "x", Data: []byte("abc")}}}}
+	res, err := Run(EchoProgram(), 1024, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || string(res.Outputs[0].Items[0].Data) != "abc" {
+		t.Fatalf("echo output = %+v", res.Outputs)
+	}
+}
+
+func TestHostBadIndices(t *testing.T) {
+	cases := []string{
+		"li r1, 5\nhost 2\nhalt\n",           // set index out of range
+		"li r1, 0\nli r2, 9\nhost 3\nhalt\n", // item index out of range
+		"host 99\nhalt\n",                    // unknown call
+		"li r1, -1\nhost 2\nhalt\n",          // negative set
+	}
+	in := []memctx.Set{{Name: "s", Items: []memctx.Item{{Name: "i", Data: []byte("x")}}}}
+	for _, src := range cases {
+		p := mustAssemble(t, src)
+		if _, err := Run(p, 64, in, 0); !errors.Is(err, ErrBadHostCall) {
+			t.Errorf("program %q err = %v, want ErrBadHostCall", src, err)
+		}
+	}
+}
+
+func TestHostReadIntoBadMemory(t *testing.T) {
+	// Read item into an address beyond memory.
+	src := "li r1, 0\nli r2, 0\nli r3, 1000\nhost 4\nhalt\n"
+	in := []memctx.Set{{Name: "s", Items: []memctx.Item{{Name: "i", Data: []byte("xyz")}}}}
+	p := mustAssemble(t, src)
+	if _, err := Run(p, 64, in, 0); !errors.Is(err, ErrMemFault) {
+		t.Fatalf("err = %v, want ErrMemFault", err)
+	}
+}
+
+func TestHostNames(t *testing.T) {
+	src := `
+		li r1, 0
+		li r2, 0
+		host 6          ; set name -> mem[0..]
+		mov r5, r0
+		li r1, 0
+		li r2, 0
+		li r3, 32
+		host 7          ; item name -> mem[32..]
+		; emit set name as output
+		li r1, 0
+		li r2, 0
+		mov r3, r5
+		li r4, 0
+		host 5
+		halt
+	`
+	in := []memctx.Set{{Name: "inputs", Items: []memctx.Item{{Name: "file1", Data: nil}}}}
+	p := mustAssemble(t, src)
+	res, err := Run(p, 128, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Outputs[0].Items[0].Data) != "inputs" {
+		t.Fatalf("set name = %q", res.Outputs[0].Items[0].Data)
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAssemble(t, `
+		li r1, 0
+		li r2, 0
+		li r3, 5
+		li r4, 0
+		host 5
+		halt
+		.data "hello"
+	`)
+	res, err := Run(p, 64, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Outputs[0].Items[0].Data) != "hello" {
+		t.Fatalf("data = %q", res.Outputs[0].Items[0].Data)
+	}
+}
+
+func TestDataSegmentTooBig(t *testing.T) {
+	p := &Program{Data: make([]byte, 100)}
+	if _, err := Run(p, 64, nil, 0); !errors.Is(err, ErrMemFault) {
+		t.Fatalf("err = %v, want ErrMemFault", err)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		a := make([]int64, n*n)
+		b := make([]int64, n*n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		for i := range a {
+			a[i] = int64(rng.Intn(100))
+			b[i] = int64(rng.Intn(100))
+		}
+		want := make([]int64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var acc int64
+				for k := 0; k < n; k++ {
+					acc += a[i*n+k] * b[k*n+j]
+				}
+				want[i*n+j] = acc
+			}
+		}
+		in := []memctx.Set{{Name: "m", Items: []memctx.Item{
+			{Name: "A", Data: i64s(a...)},
+			{Name: "B", Data: i64s(b...)},
+		}}}
+		res, err := Run(MatMulProgram(n), MatMulMemBytes(n), in, 0)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := res.Outputs[0].Items[0].Data
+		for i, w := range want {
+			g := int64(binary.LittleEndian.Uint64(got[i*8:]))
+			if g != w {
+				t.Fatalf("n=%d: C[%d] = %d, want %d", n, i, g, w)
+			}
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	vals := []int64{5, -3, 42, 0, 17}
+	in := []memctx.Set{{Name: "arr", Items: []memctx.Item{{Name: "a", Data: i64s(vals...)}}}}
+	res, err := Run(ReduceProgram(), 4096, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[0].Items[0].Data
+	sum := int64(binary.LittleEndian.Uint64(out[0:]))
+	mn := int64(binary.LittleEndian.Uint64(out[8:]))
+	mx := int64(binary.LittleEndian.Uint64(out[16:]))
+	if sum != 61 || mn != -3 || mx != 42 {
+		t.Fatalf("sum/min/max = %d/%d/%d, want 61/-3/42", sum, mn, mx)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	in := []memctx.Set{{Name: "arr", Items: []memctx.Item{{Name: "a", Data: nil}}}}
+	res, err := Run(ReduceProgram(), 4096, in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[0].Items[0].Data
+	for i := 0; i < 24; i++ {
+		if out[i] != 0 {
+			t.Fatalf("empty reduce non-zero: %v", out)
+		}
+	}
+}
+
+// Property: dvm matmul agrees with a Go reference for random matrices.
+func TestMatMulProperty(t *testing.T) {
+	prog := MatMulProgram(3)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]int64, 9)
+		b := make([]int64, 9)
+		for i := range a {
+			a[i] = int64(rng.Intn(2001) - 1000)
+			b[i] = int64(rng.Intn(2001) - 1000)
+		}
+		in := []memctx.Set{{Name: "m", Items: []memctx.Item{
+			{Name: "A", Data: i64s(a...)}, {Name: "B", Data: i64s(b...)},
+		}}}
+		res, err := Run(prog, MatMulMemBytes(3), in, 0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				var acc int64
+				for k := 0; k < 3; k++ {
+					acc += a[i*3+k] * b[k*3+j]
+				}
+				g := int64(binary.LittleEndian.Uint64(res.Outputs[0].Items[0].Data[(i*3+j)*8:]))
+				if g != acc {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package dvm implements the Dandelion virtual machine: a small
+// register-based bytecode VM used to run untrusted compute functions.
+//
+// In the paper, compute functions are native binaries executing inside a
+// hardware sandbox (KVM, CHERI, process, or rWasm). This repository has
+// no sandboxing hardware, so user code is expressed as dvm bytecode and
+// interpreted with the same guarantees enforced in software:
+//
+//   - hard memory bounds (every load/store is checked against the
+//     function's memory region — the memctx limit),
+//   - no system calls (the SYSCALL opcode exists so programs can *attempt*
+//     one; the VM traps and aborts the function, exactly like the
+//     ptrace-based process backend in §6.2),
+//   - run-to-completion with a gas limit standing in for the engine's
+//     timeout preemption (§5, footnote 2),
+//   - I/O only through the set/item host interface, which mirrors the
+//     dlibc lower-level system interface of §4.1.
+//
+// The package provides the instruction set, a binary encoding (so the
+// registry can store "function binaries" and the load-from-disk path is
+// real), an assembler/disassembler, and the interpreter.
+package dvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op is a dvm opcode.
+type Op uint8
+
+// Instruction set. Arithmetic is three-address over 16 general registers.
+const (
+	OpHalt    Op = iota // stop successfully
+	OpLi                // rd <- imm
+	OpMov               // rd <- rs
+	OpAdd               // rd <- rs + rt
+	OpSub               // rd <- rs - rt
+	OpMul               // rd <- rs * rt
+	OpDiv               // rd <- rs / rt (trap on zero)
+	OpMod               // rd <- rs % rt (trap on zero)
+	OpAnd               // rd <- rs & rt
+	OpOr                // rd <- rs | rt
+	OpXor               // rd <- rs ^ rt
+	OpShl               // rd <- rs << (rt & 63)
+	OpShr               // rd <- rs >> (rt & 63) (logical)
+	OpAddi              // rd <- rs + imm
+	OpMuli              // rd <- rs * imm
+	OpLd                // rd <- mem64[rs + imm]
+	OpSt                // mem64[rd + imm] <- rs
+	OpLdb               // rd <- mem8[rs + imm]
+	OpStb               // mem8[rd + imm] <- rs (low byte)
+	OpJmp               // pc <- imm
+	OpBeq               // if rs == rt: pc <- imm
+	OpBne               // if rs != rt: pc <- imm
+	OpBlt               // if rs < rt (signed): pc <- imm
+	OpBge               // if rs >= rt (signed): pc <- imm
+	OpCall              // push pc+1 on call stack, pc <- imm
+	OpRet               // pop pc from call stack
+	OpHost              // host interface call #imm (set/item I/O)
+	OpSyscall           // attempt an OS system call: always traps
+	opMax
+)
+
+var opNames = [...]string{
+	OpHalt: "halt", OpLi: "li", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpAddi: "addi", OpMuli: "muli",
+	OpLd: "ld", OpSt: "st", OpLdb: "ldb", OpStb: "stb", OpJmp: "jmp",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpCall: "call", OpRet: "ret", OpHost: "host", OpSyscall: "syscall",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Instr is one decoded instruction. Rd/Rs/Rt are register numbers; Imm is
+// the immediate operand (value, memory offset, branch target, or host
+// call number depending on the opcode).
+type Instr struct {
+	Op         Op
+	Rd, Rs, Rt uint8
+	Imm        int64
+}
+
+// Program is a sequence of instructions plus an optional read-only data
+// segment mapped at the top of function memory.
+type Program struct {
+	Code []Instr
+	Data []byte
+}
+
+// Validate checks static well-formedness: register numbers in range,
+// branch/call targets inside the code segment, known opcodes.
+func (p *Program) Validate() error {
+	n := int64(len(p.Code))
+	for i, ins := range p.Code {
+		if ins.Op >= opMax {
+			return fmt.Errorf("dvm: instruction %d: unknown opcode %d", i, ins.Op)
+		}
+		if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+			return fmt.Errorf("dvm: instruction %d: register out of range", i)
+		}
+		switch ins.Op {
+		case OpJmp, OpBeq, OpBne, OpBlt, OpBge, OpCall:
+			if ins.Imm < 0 || ins.Imm >= n {
+				return fmt.Errorf("dvm: instruction %d: branch target %d outside code [0,%d)", i, ins.Imm, n)
+			}
+		}
+	}
+	return nil
+}
+
+// Binary encoding: magic, version, code length, instructions (fixed
+// 12-byte records), data segment length, data bytes.
+var magic = [4]byte{'D', 'V', 'M', '1'}
+
+// ErrBadBinary reports a malformed encoded program.
+var ErrBadBinary = errors.New("dvm: malformed binary")
+
+// Encode serializes the program to the dvm binary format.
+func (p *Program) Encode() []byte {
+	out := make([]byte, 0, 4+4+len(p.Code)*12+4+len(p.Data))
+	out = append(out, magic[:]...)
+	var tmp [12]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(p.Code)))
+	out = append(out, tmp[:4]...)
+	for _, ins := range p.Code {
+		tmp[0] = byte(ins.Op)
+		tmp[1] = ins.Rd
+		tmp[2] = ins.Rs
+		tmp[3] = ins.Rt
+		binary.LittleEndian.PutUint64(tmp[4:], uint64(ins.Imm))
+		out = append(out, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(p.Data)))
+	out = append(out, tmp[:4]...)
+	out = append(out, p.Data...)
+	return out
+}
+
+// Decode parses a dvm binary produced by Encode.
+func Decode(b []byte) (*Program, error) {
+	if len(b) < 8 || b[0] != magic[0] || b[1] != magic[1] || b[2] != magic[2] || b[3] != magic[3] {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadBinary)
+	}
+	n := int(binary.LittleEndian.Uint32(b[4:8]))
+	off := 8
+	if n < 0 || off+n*12 > len(b) {
+		return nil, fmt.Errorf("%w: truncated code segment", ErrBadBinary)
+	}
+	p := &Program{Code: make([]Instr, n)}
+	for i := 0; i < n; i++ {
+		rec := b[off : off+12]
+		p.Code[i] = Instr{
+			Op: Op(rec[0]), Rd: rec[1], Rs: rec[2], Rt: rec[3],
+			Imm: int64(binary.LittleEndian.Uint64(rec[4:])),
+		}
+		off += 12
+	}
+	if off+4 > len(b) {
+		return nil, fmt.Errorf("%w: missing data header", ErrBadBinary)
+	}
+	dn := int(binary.LittleEndian.Uint32(b[off : off+4]))
+	off += 4
+	if dn < 0 || off+dn != len(b) {
+		return nil, fmt.Errorf("%w: data segment size mismatch", ErrBadBinary)
+	}
+	p.Data = append([]byte(nil), b[off:]...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

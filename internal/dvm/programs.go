@@ -1,0 +1,172 @@
+package dvm
+
+import "fmt"
+
+// This file holds the compute-function programs used across the paper's
+// microbenchmarks: N×N int64 matrix multiplication (Figures 2, 5, 6) and
+// the sum/min/max reduction over a fetched array (the "fetch and compute"
+// phase workload of §7.4/§7.5).
+
+// MatMulProgram returns a dvm program that multiplies two n×n int64
+// matrices. Input: set 0, item 0 = A, item 1 = B, both row-major
+// little-endian int64. Output: set 0, item 0 = C.
+//
+// Memory layout: A at 0, B at n²·8, C at 2·n²·8.
+func MatMulProgram(n int) *Program {
+	nn8 := int64(n) * int64(n) * 8
+	src := fmt.Sprintf(`
+; r15 = n
+        li   r15, %d
+; load A (set 0 item 0) to 0, B (item 1) to %d
+        li   r1, 0
+        li   r2, 0
+        li   r3, 0
+        host 4
+        li   r2, 1
+        li   r3, %d
+        host 4
+; loop i (r10), j (r11), k (r12)
+        li   r10, 0
+iloop:  bge  r10, r15, done
+        li   r11, 0
+jloop:  bge  r11, r15, inext
+        li   r13, 0          ; acc
+        li   r12, 0
+kloop:  bge  r12, r15, kdone
+        ; a = A[i*n+k]
+        mul  r4, r10, r15
+        add  r4, r4, r12
+        muli r4, r4, 8
+        ld   r5, r4, 0
+        ; b = B[k*n+j]
+        mul  r4, r12, r15
+        add  r4, r4, r11
+        muli r4, r4, 8
+        ld   r6, r4, %d
+        mul  r5, r5, r6
+        add  r13, r13, r5
+        addi r12, r12, 1
+        jmp  kloop
+kdone:  ; C[i*n+j] = acc
+        mul  r4, r10, r15
+        add  r4, r4, r11
+        muli r4, r4, 8
+        addi r4, r4, %d
+        st   r4, r13, 0
+        addi r11, r11, 1
+        jmp  jloop
+inext:  addi r10, r10, 1
+        jmp  iloop
+done:   ; write C as output set 0
+        li   r1, 0
+        li   r2, %d
+        li   r3, %d
+        li   r4, 0
+        host 5
+        halt
+`, n, nn8, nn8, nn8, 2*nn8, 2*nn8, nn8)
+	p, err := Assemble(src)
+	if err != nil {
+		panic("dvm: internal matmul program failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// MatMulMemBytes reports the memory a MatMulProgram(n) execution needs.
+func MatMulMemBytes(n int) int { return 3*n*n*8 + 64 }
+
+// ReduceProgram returns a program computing sum, min, and max over an
+// int64 array supplied as input set 0 item 0. Output set 0 item 0 is
+// three int64 words: sum, min, max. This is the "compute" half of the
+// fetch-and-compute phase microbenchmark (§7.4).
+func ReduceProgram() *Program {
+	src := `
+; load array to address 0, length (bytes) in r7
+        li   r1, 0
+        li   r2, 0
+        li   r3, 0
+        host 4
+        mov  r7, r0          ; byte length
+        li   r8, 8
+        div  r7, r7, r8      ; element count
+        li   r10, 0          ; index
+        li   r11, 0          ; sum
+        li   r12, 0          ; min
+        li   r13, 0          ; max
+        ; handle empty array: outputs stay zero
+        beq  r7, r10, emit
+        ld   r12, r10, 0     ; min = a[0]
+        mov  r13, r12        ; max = a[0]
+loop:   bge  r10, r7, emit
+        muli r4, r10, 8
+        ld   r5, r4, 0
+        add  r11, r11, r5
+        blt  r5, r12, newmin
+chkmax: blt  r13, r5, newmax
+cont:   addi r10, r10, 1
+        jmp  loop
+newmin: mov  r12, r5
+        jmp  chkmax
+newmax: mov  r13, r5
+        jmp  cont
+emit:   ; store results after the array
+        muli r6, r7, 8
+        st   r6, r11, 0
+        st   r6, r12, 8
+        st   r6, r13, 16
+        li   r1, 0
+        mov  r2, r6
+        li   r3, 24
+        li   r4, 0
+        host 5
+        halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		panic("dvm: internal reduce program failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// EchoProgram returns a program that copies input set 0 item 0 to output
+// set 0 unchanged — the "hello world" / 1x1 identity-style workload used
+// for sandbox-creation measurements.
+func EchoProgram() *Program {
+	src := `
+        li   r1, 0
+        li   r2, 0
+        li   r3, 0
+        host 4
+        li   r1, 0
+        li   r2, 0
+        mov  r3, r0
+        li   r4, 0
+        host 5
+        halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		panic("dvm: internal echo program failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// SyscallProgram returns a program that immediately attempts a system
+// call; used by isolation tests to verify trapping.
+func SyscallProgram() *Program {
+	p, err := Assemble("syscall 60\n")
+	if err != nil {
+		panic("dvm: internal syscall program failed to assemble: " + err.Error())
+	}
+	return p
+}
+
+// SpinProgram returns a program that loops forever; used to verify gas
+// exhaustion (timeout preemption).
+func SpinProgram() *Program {
+	p, err := Assemble("loop: jmp loop\n")
+	if err != nil {
+		panic("dvm: internal spin program failed to assemble: " + err.Error())
+	}
+	return p
+}

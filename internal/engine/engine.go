@@ -1,0 +1,304 @@
+// Package engine implements Dandelion's execution engines (§5 of the
+// paper). Engines abstract CPU resources: compute engines run one
+// untrusted function at a time to completion on a dedicated core, while
+// communication engines are trusted and multiplex many I/O-bound
+// requests cooperatively (green threads — goroutines here).
+//
+// Each engine type polls a single type-specific queue, giving late
+// binding of tasks to engines. The worker control plane re-assigns
+// engines between the two types at runtime via SetCount.
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two engine types.
+type Kind uint8
+
+const (
+	// Compute engines execute untrusted user code.
+	Compute Kind = iota
+	// Communication engines execute trusted platform I/O functions.
+	Communication
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Compute {
+		return "compute"
+	}
+	return "communication"
+}
+
+// Task is one unit of work: a prepared memory context plus metadata,
+// reduced here to the closure that performs the execution and delivers
+// results back to the dispatcher.
+type Task struct {
+	// Do performs the work. It must not be nil.
+	Do func()
+}
+
+// ErrQueueClosed is returned by Push after Close.
+var ErrQueueClosed = errors.New("engine: queue closed")
+
+// Queue is the type-specific task queue engines poll. It is unbounded
+// and FIFO; Pop blocks until a task arrives or the queue closes.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Task
+	closed bool
+	pushed uint64
+	popped uint64
+}
+
+// NewQueue creates an empty queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a task.
+func (q *Queue) Push(t Task) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	q.items = append(q.items, t)
+	q.pushed++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop removes the oldest task, blocking while the queue is empty. It
+// returns ok=false when the queue has closed and drained, or when the
+// provided stop flag is raised (checked on every wakeup).
+func (q *Queue) Pop(stop *atomic.Bool) (Task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if stop != nil && stop.Load() {
+			return Task{}, false
+		}
+		if len(q.items) > 0 {
+			t := q.items[0]
+			q.items = q.items[1:]
+			q.popped++
+			return t, true
+		}
+		if q.closed {
+			return Task{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryPop removes the oldest task without blocking.
+func (q *Queue) TryPop() (Task, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return Task{}, false
+	}
+	t := q.items[0]
+	q.items = q.items[1:]
+	q.popped++
+	return t, true
+}
+
+// Len reports the number of queued tasks.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Pushed reports the cumulative number of tasks ever enqueued; the
+// control plane differentiates this to estimate queue growth rates.
+func (q *Queue) Pushed() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed
+}
+
+// Popped reports the cumulative number of tasks ever dequeued.
+func (q *Queue) Popped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popped
+}
+
+// Close wakes all blocked Pops; queued tasks still drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// wakeAll nudges blocked workers to re-check their stop flags.
+func (q *Queue) wakeAll() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Pool is a resizable set of engines of one kind polling one queue.
+//
+// Compute pools run exactly one task at a time per engine (run to
+// completion, no context switches). Communication pools have each
+// engine spawn a goroutine per task — the cooperative async runtime —
+// so one engine can have many requests in flight.
+type Pool struct {
+	kind  Kind
+	queue *Queue
+
+	// commCap bounds the green threads per communication engine; the
+	// cooperative runtime has finite capacity, so an overloaded comm
+	// engine's queue grows — the signal the control plane needs.
+	commCap int
+
+	mu      sync.Mutex
+	workers []*worker
+	// inflight counts tasks currently executing (all engines).
+	inflight atomic.Int64
+	// completed counts finished tasks.
+	completed atomic.Uint64
+	wg        sync.WaitGroup
+}
+
+type worker struct {
+	stop atomic.Bool
+}
+
+// DefaultCommConcurrency is the default green-thread capacity of one
+// communication engine.
+const DefaultCommConcurrency = 64
+
+// NewPool creates a pool of the given kind polling q, initially with
+// zero engines.
+func NewPool(kind Kind, q *Queue) *Pool {
+	return &Pool{kind: kind, queue: q, commCap: DefaultCommConcurrency}
+}
+
+// SetCommConcurrency bounds the number of concurrent green threads per
+// communication engine. It affects engines started after the call.
+func (p *Pool) SetCommConcurrency(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commCap = n
+}
+
+// Kind reports the pool's engine type.
+func (p *Pool) Kind() Kind { return p.kind }
+
+// Queue exposes the pool's task queue.
+func (p *Pool) Queue() *Queue { return p.queue }
+
+// Count reports the current number of engines.
+func (p *Pool) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// InFlight reports the number of currently executing tasks.
+func (p *Pool) InFlight() int { return int(p.inflight.Load()) }
+
+// Completed reports the cumulative number of finished tasks.
+func (p *Pool) Completed() uint64 { return p.completed.Load() }
+
+// SetCount resizes the pool. Growing spawns engines immediately;
+// shrinking marks the excess engines to exit after their current task
+// (cores are not preempted).
+func (p *Pool) SetCount(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.workers) < n {
+		w := &worker{}
+		p.workers = append(p.workers, w)
+		p.wg.Add(1)
+		go p.run(w)
+	}
+	if len(p.workers) > n {
+		for _, w := range p.workers[n:] {
+			w.stop.Store(true)
+		}
+		p.workers = p.workers[:n]
+		p.queue.wakeAll()
+	}
+}
+
+func (p *Pool) run(w *worker) {
+	defer p.wg.Done()
+	if p.kind == Compute {
+		for {
+			t, ok := p.queue.Pop(&w.stop)
+			if !ok {
+				return
+			}
+			// Run to completion on this engine; nothing else runs here.
+			p.execute(t)
+		}
+	}
+	// Communication: cooperative green thread per request, bounded by
+	// the engine's concurrency capacity. The engine keeps polling while
+	// I/O is in flight; at capacity it stops popping, so queue growth
+	// reflects overload.
+	p.mu.Lock()
+	capacity := p.commCap
+	p.mu.Unlock()
+	sem := make(chan struct{}, capacity)
+	for {
+		sem <- struct{}{} // reserve a green-thread slot first
+		t, ok := p.queue.Pop(&w.stop)
+		if !ok {
+			<-sem
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				p.wg.Done()
+			}()
+			p.execute(t)
+		}()
+	}
+}
+
+func (p *Pool) execute(t Task) {
+	p.inflight.Add(1)
+	defer func() {
+		p.inflight.Add(-1)
+		p.completed.Add(1)
+	}()
+	if t.Do != nil {
+		t.Do()
+	}
+}
+
+// Shutdown stops all engines and waits for in-flight work to finish.
+// The queue is closed; pending tasks are dropped once workers exit.
+func (p *Pool) Shutdown() {
+	p.queue.Close()
+	p.mu.Lock()
+	for _, w := range p.workers {
+		w.stop.Store(true)
+	}
+	p.workers = nil
+	p.mu.Unlock()
+	p.queue.wakeAll()
+	p.wg.Wait()
+}

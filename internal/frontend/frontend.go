@@ -1,0 +1,151 @@
+// Package frontend implements the worker node's HTTP frontend (§5 of
+// the paper): the component that manages client communication, handling
+// composition/function registration and invocation requests, forwarding
+// them to the dispatcher, and serializing results back to clients.
+//
+// The frontend also enables the paper's dynamic control flow (§4.1):
+// since it is an ordinary HTTP service, a running composition can spawn
+// further compositions by sending requests to the frontend through the
+// HTTP communication function.
+package frontend
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"dandelion"
+)
+
+// New builds the frontend handler for a platform node.
+//
+// Routes:
+//
+//	POST /register/function/<name>   body = dvm binary
+//	     headers: X-Memory-Bytes, X-Gas-Limit, X-Output-Sets
+//	POST /register/composition       body = DSL text
+//	POST /invoke/<composition>?input=<InputSet>[&output=<OutputSet>]
+//	     body = single input item; response = first item of the
+//	     requested (or first non-empty) output set
+//	GET  /stats                      JSON platform gauges
+func New(p *dandelion.Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/register/function/", func(w http.ResponseWriter, r *http.Request) {
+		handleRegisterFunction(p, w, r)
+	})
+	mux.HandleFunc("/register/composition", func(w http.ResponseWriter, r *http.Request) {
+		handleRegisterComposition(p, w, r)
+	})
+	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
+		handleInvoke(p, w, r)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.Stats())
+	})
+	return mux
+}
+
+func handleRegisterFunction(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/register/function/")
+	if name == "" {
+		http.Error(w, "function name required", http.StatusBadRequest)
+		return
+	}
+	binary, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fn := dandelion.ComputeFunc{Name: name, Binary: binary}
+	if v := r.Header.Get("X-Memory-Bytes"); v != "" {
+		if fn.MemBytes, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad X-Memory-Bytes", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.Header.Get("X-Gas-Limit"); v != "" {
+		if fn.GasLimit, err = strconv.ParseInt(v, 10, 64); err != nil {
+			http.Error(w, "bad X-Gas-Limit", http.StatusBadRequest)
+			return
+		}
+	}
+	if v := r.Header.Get("X-Output-Sets"); v != "" {
+		fn.OutputSets = strings.Split(v, ",")
+	}
+	if err := p.RegisterFunction(fn); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "registered function %s (%d bytes)\n", name, len(binary))
+}
+
+func handleRegisterComposition(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	src, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	names, err := p.RegisterCompositionText(string(src))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "registered compositions: %s\n", strings.Join(names, ", "))
+}
+
+func handleInvoke(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
+	input := r.URL.Query().Get("input")
+	if name == "" || input == "" {
+		http.Error(w, "need /invoke/<composition>?input=<InputSet>", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, err := p.Invoke(name, map[string][]dandelion.Item{
+		input: {{Name: "item0", Data: body}},
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if want := r.URL.Query().Get("output"); want != "" {
+		items, ok := out[want]
+		if !ok {
+			http.Error(w, fmt.Sprintf("no output set %q", want), http.StatusNotFound)
+			return
+		}
+		if len(items) == 0 {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Write(items[0].Data)
+		return
+	}
+	for _, items := range out {
+		if len(items) > 0 {
+			w.Write(items[0].Data)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,168 @@
+package frontend
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dandelion"
+	"dandelion/internal/dvm"
+)
+
+func newServer(t *testing.T) (*dandelion.Platform, *httptest.Server) {
+	t.Helper()
+	p, err := dandelion.New(dandelion.Options{CacheBinaries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func post(t *testing.T, url string, headers map[string]string, body []byte) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestRegisterAndInvokeOverHTTP(t *testing.T) {
+	_, srv := newServer(t)
+
+	// Register a dvm echo function with its output-set mapping.
+	code, body := post(t, srv.URL+"/register/function/Echo",
+		map[string]string{"X-Memory-Bytes": "4096", "X-Output-Sets": "Copy"},
+		dvm.EchoProgram().Encode())
+	if code != 200 {
+		t.Fatalf("register function: %d %s", code, body)
+	}
+
+	code, body = post(t, srv.URL+"/register/composition", nil, []byte(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Copy);
+}`))
+	if code != 200 || !strings.Contains(body, "E") {
+		t.Fatalf("register composition: %d %s", code, body)
+	}
+
+	code, body = post(t, srv.URL+"/invoke/E?input=In", nil, []byte("over the wire"))
+	if code != 200 || body != "over the wire" {
+		t.Fatalf("invoke: %d %q", code, body)
+	}
+
+	// Explicit output selection.
+	code, body = post(t, srv.URL+"/invoke/E?input=In&output=Result", nil, []byte("x"))
+	if code != 200 || body != "x" {
+		t.Fatalf("invoke with output: %d %q", code, body)
+	}
+	code, _ = post(t, srv.URL+"/invoke/E?input=In&output=Ghost", nil, []byte("x"))
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown output: %d", code)
+	}
+}
+
+func TestFrontendErrors(t *testing.T) {
+	_, srv := newServer(t)
+	cases := []struct {
+		url  string
+		hdrs map[string]string
+		body []byte
+		want int
+	}{
+		{srv.URL + "/register/function/", nil, nil, http.StatusBadRequest},
+		{srv.URL + "/register/function/Bad", nil, []byte("garbage"), http.StatusBadRequest},
+		{srv.URL + "/register/function/Bad", map[string]string{"X-Memory-Bytes": "abc"}, dvm.EchoProgram().Encode(), http.StatusBadRequest},
+		{srv.URL + "/register/function/Bad", map[string]string{"X-Gas-Limit": "xyz"}, dvm.EchoProgram().Encode(), http.StatusBadRequest},
+		{srv.URL + "/register/composition", nil, []byte("not dsl"), http.StatusBadRequest},
+		{srv.URL + "/invoke/Ghost?input=In", nil, []byte("x"), http.StatusInternalServerError},
+		{srv.URL + "/invoke/", nil, nil, http.StatusBadRequest},
+		{srv.URL + "/invoke/E", nil, nil, http.StatusBadRequest}, // missing input param
+	}
+	for _, c := range cases {
+		code, _ := post(t, c.url, c.hdrs, c.body)
+		if code != c.want {
+			t.Errorf("POST %s = %d, want %d", c.url, code, c.want)
+		}
+	}
+	// GET on POST-only endpoints.
+	resp, err := http.Get(srv.URL + "/register/composition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET register = %d", resp.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, srv := newServer(t)
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(b), "ComputeEngines") {
+		t.Fatalf("stats = %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestDynamicCompositionSpawn exercises §4.1's dynamic control flow: a
+// composition spawns another composition by calling the frontend's own
+// invoke endpoint through the HTTP communication function.
+func TestDynamicCompositionSpawn(t *testing.T) {
+	p, srv := newServer(t)
+
+	// Inner composition: upper-case.
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "Upper", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		return []dandelion.Set{{Name: "Out", Items: []dandelion.Item{
+			{Name: "u", Data: []byte(strings.ToUpper(string(in[0].Items[0].Data)))},
+		}}}, nil
+	}})
+	// Outer: a compute function forms a request to the frontend, HTTP
+	// carries it, a second compute function unwraps the response.
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "Spawn", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		req := dandelion.HTTPRequest("POST", srv.URL+"/invoke/Inner?input=In", nil, in[0].Items[0].Data)
+		return []dandelion.Set{{Name: "Request", Items: []dandelion.Item{{Name: "r", Data: req}}}}, nil
+	}})
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "Unwrap", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		resp, err := dandelion.ParseHTTPResponse(in[0].Items[0].Data)
+		if err != nil {
+			return nil, err
+		}
+		return []dandelion.Set{{Name: "Out", Items: []dandelion.Item{{Name: "u", Data: resp.Body}}}}, nil
+	}})
+	if _, err := p.RegisterCompositionText(`
+composition Inner(In) => Result {
+    Upper(x = all In) => (Result = Out);
+}
+composition Outer(In) => Result {
+    Spawn(x = all In) => (req = Request);
+    HTTP(Request = each req) => (resp = Response);
+    Unwrap(x = all resp) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := post(t, srv.URL+"/invoke/Outer?input=In", nil, []byte("nested"))
+	if code != 200 || body != "NESTED" {
+		t.Fatalf("dynamic spawn = %d %q", code, body)
+	}
+}

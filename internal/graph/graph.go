@@ -1,0 +1,256 @@
+// Package graph defines the semantic model of Dandelion compositions: a
+// DAG whose vertices are compute functions, communication functions, or
+// nested compositions, and whose edges carry set-distribution metadata
+// (`all`, `each`, `key` — §4.1 of the paper).
+//
+// The DSL front end (internal/dsl) parses composition text into this
+// model; the dispatcher (internal/core) executes it.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode says how the items of a value are distributed to instances of the
+// consuming function (§4.1).
+type Mode uint8
+
+const (
+	// All items go to a single instance.
+	All Mode = iota
+	// Each item goes to its own instance.
+	Each
+	// Key groups items by Item.Key; one instance per group.
+	Key
+)
+
+// String returns the DSL keyword for the mode.
+func (m Mode) String() string {
+	switch m {
+	case All:
+		return "all"
+	case Each:
+		return "each"
+	case Key:
+		return "key"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Arg binds one input set of an invoked function to a composition-local
+// value.
+type Arg struct {
+	// Param is the function's declared input set name.
+	Param string
+	// Value is the composition-local dataflow value feeding it.
+	Value string
+	// Mode is the distribution keyword on the edge.
+	Mode Mode
+	// Optional marks an input set that may be empty without suppressing
+	// execution (§4.4). Non-optional sets must contain at least one item
+	// for the function to run.
+	Optional bool
+}
+
+// Ret binds one output set of an invoked function to a new local value.
+type Ret struct {
+	// Value is the new composition-local value name.
+	Value string
+	// Set is the function's declared output set name.
+	Set string
+}
+
+// Stmt is one invocation in a composition body.
+type Stmt struct {
+	// Func names the invoked vertex: a registered compute function, a
+	// platform communication function (e.g. "HTTP"), or another
+	// composition.
+	Func string
+	Args []Arg
+	Rets []Ret
+}
+
+// OutputBinding exposes a local value as a composition output set.
+type OutputBinding struct {
+	// Value is the local value to expose.
+	Value string
+	// Name is the externally visible output set name.
+	Name string
+}
+
+// Composition is a complete Dandelion program: G = (V, E) with explicit
+// input and output sets.
+type Composition struct {
+	Name    string
+	Inputs  []string
+	Outputs []OutputBinding
+	Stmts   []Stmt
+}
+
+// Validation errors.
+var (
+	ErrEmptyName      = errors.New("graph: empty name")
+	ErrDuplicateValue = errors.New("graph: value defined more than once")
+	ErrUndefinedValue = errors.New("graph: use of undefined value")
+	ErrCycle          = errors.New("graph: composition contains a cycle")
+	ErrNoStatements   = errors.New("graph: composition has no statements")
+)
+
+// Validate checks structural well-formedness: unique value definitions,
+// all uses defined, and acyclicity. It returns nil for a valid DAG.
+func (c *Composition) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("%w: composition", ErrEmptyName)
+	}
+	if len(c.Stmts) == 0 {
+		return ErrNoStatements
+	}
+	defined := map[string]int{} // value -> defining stmt index (-1 = composition input)
+	for _, in := range c.Inputs {
+		if in == "" {
+			return fmt.Errorf("%w: composition input", ErrEmptyName)
+		}
+		if _, dup := defined[in]; dup {
+			return fmt.Errorf("%w: input %q", ErrDuplicateValue, in)
+		}
+		defined[in] = -1
+	}
+	for i, s := range c.Stmts {
+		if s.Func == "" {
+			return fmt.Errorf("%w: statement %d function", ErrEmptyName, i)
+		}
+		seenParams := map[string]bool{}
+		for _, a := range s.Args {
+			if a.Param == "" || a.Value == "" {
+				return fmt.Errorf("%w: statement %d argument", ErrEmptyName, i)
+			}
+			if seenParams[a.Param] {
+				return fmt.Errorf("graph: statement %d: parameter %q bound twice", i, a.Param)
+			}
+			seenParams[a.Param] = true
+		}
+		for _, r := range s.Rets {
+			if r.Value == "" || r.Set == "" {
+				return fmt.Errorf("%w: statement %d return", ErrEmptyName, i)
+			}
+			if _, dup := defined[r.Value]; dup {
+				return fmt.Errorf("%w: %q (statement %d)", ErrDuplicateValue, r.Value, i)
+			}
+			defined[r.Value] = i
+		}
+	}
+	for i, s := range c.Stmts {
+		for _, a := range s.Args {
+			if _, ok := defined[a.Value]; !ok {
+				return fmt.Errorf("%w: %q (statement %d)", ErrUndefinedValue, a.Value, i)
+			}
+		}
+	}
+	for _, o := range c.Outputs {
+		if o.Value == "" || o.Name == "" {
+			return fmt.Errorf("%w: output binding", ErrEmptyName)
+		}
+		if _, ok := defined[o.Value]; !ok {
+			return fmt.Errorf("%w: output %q", ErrUndefinedValue, o.Value)
+		}
+	}
+	if _, err := c.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deps reports, for each statement, the indices of statements whose
+// outputs it consumes (composition inputs excluded).
+func (c *Composition) Deps() [][]int {
+	def := map[string]int{}
+	for i, s := range c.Stmts {
+		for _, r := range s.Rets {
+			def[r.Value] = i
+		}
+	}
+	deps := make([][]int, len(c.Stmts))
+	for i, s := range c.Stmts {
+		seen := map[int]bool{}
+		for _, a := range s.Args {
+			if j, ok := def[a.Value]; ok && j != i && !seen[j] {
+				seen[j] = true
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	return deps
+}
+
+// TopoOrder returns statement indices in a dependency-respecting order,
+// or ErrCycle if the value graph is cyclic. Ordering is deterministic:
+// among ready statements, the lowest index runs first.
+func (c *Composition) TopoOrder() ([]int, error) {
+	deps := c.Deps()
+	n := len(c.Stmts)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, d := range ds {
+			succ[d] = append(succ[d], i)
+		}
+	}
+	var order []int
+	ready := []int{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		// Take the smallest index for determinism.
+		minI := 0
+		for k := 1; k < len(ready); k++ {
+			if ready[k] < ready[minI] {
+				minI = k
+			}
+		}
+		v := ready[minI]
+		ready = append(ready[:minI], ready[minI+1:]...)
+		order = append(order, v)
+		for _, s := range succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// Consumers reports, for each value name, the list of statement indices
+// that consume it. Used by the dispatcher to free contexts once every
+// data-dependent function has consumed its output (§5).
+func (c *Composition) Consumers() map[string][]int {
+	out := map[string][]int{}
+	for i, s := range c.Stmts {
+		for _, a := range s.Args {
+			out[a.Value] = append(out[a.Value], i)
+		}
+	}
+	return out
+}
+
+// FuncNames returns the distinct vertex names referenced by the
+// composition, in first-use order.
+func (c *Composition) FuncNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, s := range c.Stmts {
+		if !seen[s.Func] {
+			seen[s.Func] = true
+			names = append(names, s.Func)
+		}
+	}
+	return names
+}

@@ -1,0 +1,301 @@
+// Package httpfn implements Dandelion's HTTP communication function
+// (§4.1, §6.3 of the paper): the trusted, platform-provided function that
+// lets compositions interact with external services over REST APIs.
+//
+// Compute functions emit *request items* — a textual HTTP request whose
+// first line carries method, absolute URI, and protocol version. The
+// communication engine sanitizes each item before touching the network:
+// the method must be one of GET/PUT/POST/DELETE, the version must be a
+// known HTTP version, and the URI's host part must be a syntactically
+// valid domain name or IP literal (optionally filtered by an allowlist).
+// Responses are handed back as response items. Network-level failures
+// become synthesized 502 responses so downstream functions can handle
+// them through ordinary conditional control flow (§4.4).
+package httpfn
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"dandelion/internal/memctx"
+)
+
+// Errors reported by input sanitization. These abort the communication
+// function with a user-visible error: malformed requests are treated as
+// potentially malicious (§6.3).
+var (
+	ErrBadRequestLine = errors.New("httpfn: malformed request line")
+	ErrBadMethod      = errors.New("httpfn: method not allowed")
+	ErrBadVersion     = errors.New("httpfn: unsupported protocol version")
+	ErrBadURI         = errors.New("httpfn: invalid request URI")
+	ErrHostDenied     = errors.New("httpfn: host not permitted")
+)
+
+// allowedMethods is the fixed set of options the sanitizer checks the
+// method against.
+var allowedMethods = map[string]bool{
+	"GET": true, "PUT": true, "POST": true, "DELETE": true,
+}
+
+var allowedVersions = map[string]bool{
+	"HTTP/1.0": true, "HTTP/1.1": true,
+}
+
+// Request is a parsed, sanitized request item.
+type Request struct {
+	Method  string
+	URL     *url.URL
+	Version string
+	Headers map[string]string
+	Body    []byte
+}
+
+// FormatRequest renders a request item in the wire format compute
+// functions emit. Header order follows map iteration and is not
+// significant.
+func FormatRequest(method, rawurl string, headers map[string]string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, rawurl)
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	b.Write(body)
+	return b.Bytes()
+}
+
+// ParseRequest parses and sanitizes one request item. Only the first
+// line is trusted to be structured; headers and body are passed through
+// after basic shape checks.
+func ParseRequest(item []byte) (*Request, error) {
+	r := bufio.NewReader(bytes.NewReader(item))
+	first, err := r.ReadString('\n')
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequestLine, err)
+	}
+	first = strings.TrimRight(first, "\r\n")
+	parts := strings.Fields(first)
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("%w: %q", ErrBadRequestLine, first)
+	}
+	method, rawurl, version := parts[0], parts[1], parts[2]
+	if !allowedMethods[method] {
+		return nil, fmt.Errorf("%w: %q", ErrBadMethod, method)
+	}
+	if !allowedVersions[version] {
+		return nil, fmt.Errorf("%w: %q", ErrBadVersion, version)
+	}
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadURI, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("%w: scheme %q", ErrBadURI, u.Scheme)
+	}
+	if err := validateHost(u.Hostname()); err != nil {
+		return nil, err
+	}
+
+	req := &Request{Method: method, URL: u, Version: version, Headers: map[string]string{}}
+	for {
+		line, err := r.ReadString('\n')
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			if errors.Is(err, io.EOF) && line == "" {
+				// No blank separator and no body: done.
+				return req, nil
+			}
+			break // blank line: body follows
+		}
+		i := strings.Index(trimmed, ":")
+		if i <= 0 {
+			return nil, fmt.Errorf("%w: header %q", ErrBadRequestLine, trimmed)
+		}
+		req.Headers[strings.TrimSpace(trimmed[:i])] = strings.TrimSpace(trimmed[i+1:])
+		if errors.Is(err, io.EOF) {
+			return req, nil
+		}
+	}
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body: %v", ErrBadRequestLine, err)
+	}
+	req.Body = body
+	return req, nil
+}
+
+// validateHost accepts IP literals and syntactically valid DNS names.
+func validateHost(host string) error {
+	if host == "" {
+		return fmt.Errorf("%w: empty host", ErrBadURI)
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		return nil
+	}
+	if len(host) > 253 {
+		return fmt.Errorf("%w: host too long", ErrBadURI)
+	}
+	for _, label := range strings.Split(host, ".") {
+		if label == "" || len(label) > 63 {
+			return fmt.Errorf("%w: bad label in %q", ErrBadURI, host)
+		}
+		for i, r := range label {
+			ok := r == '-' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+			if !ok || (r == '-' && (i == 0 || i == len(label)-1)) {
+				return fmt.Errorf("%w: bad character in host %q", ErrBadURI, host)
+			}
+		}
+	}
+	return nil
+}
+
+// FormatResponse renders a response item: status line, headers, blank
+// line, body.
+func FormatResponse(status int, statusText string, headers map[string]string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText)
+	for k, v := range headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	}
+	b.WriteString("\r\n")
+	b.Write(body)
+	return b.Bytes()
+}
+
+// Response is a parsed response item, the form downstream compute
+// functions consume.
+type Response struct {
+	Status  int
+	Headers map[string]string
+	Body    []byte
+}
+
+// ParseResponse parses a response item produced by FormatResponse.
+func ParseResponse(item []byte) (*Response, error) {
+	r := bufio.NewReader(bytes.NewReader(item))
+	first, _ := r.ReadString('\n')
+	first = strings.TrimRight(first, "\r\n")
+	parts := strings.SplitN(first, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		return nil, fmt.Errorf("%w: %q", ErrBadRequestLine, first)
+	}
+	var status int
+	if _, err := fmt.Sscanf(parts[1], "%d", &status); err != nil {
+		return nil, fmt.Errorf("%w: status %q", ErrBadRequestLine, parts[1])
+	}
+	resp := &Response{Status: status, Headers: map[string]string{}}
+	for {
+		line, err := r.ReadString('\n')
+		trimmed := strings.TrimRight(line, "\r\n")
+		if trimmed == "" {
+			if errors.Is(err, io.EOF) && line == "" {
+				return resp, nil
+			}
+			break
+		}
+		if i := strings.Index(trimmed, ":"); i > 0 {
+			resp.Headers[strings.TrimSpace(trimmed[:i])] = strings.TrimSpace(trimmed[i+1:])
+		}
+		if errors.Is(err, io.EOF) {
+			return resp, nil
+		}
+	}
+	body, _ := io.ReadAll(r)
+	resp.Body = body
+	return resp, nil
+}
+
+// Function is the HTTP communication function. Its interface to the
+// dispatcher matches compute functions: input sets in, output sets out
+// (§6.3). The zero value uses http.DefaultClient and allows all hosts.
+type Function struct {
+	// Client issues the requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// AllowHost optionally restricts destinations; nil allows any
+	// syntactically valid host.
+	AllowHost func(host string) bool
+}
+
+// Name implements the communication-function registry interface.
+func (f *Function) Name() string { return "HTTP" }
+
+// InputSets declares the single input set ("Request").
+func (f *Function) InputSets() []string { return []string{"Request"} }
+
+// OutputSets declares the single output set ("Response").
+func (f *Function) OutputSets() []string { return []string{"Response"} }
+
+// Invoke sanitizes and performs every request item in the "Request"
+// input set, producing one response item per request in order. A
+// sanitization failure aborts the invocation with an error; network
+// failures synthesize 502 response items instead (the composition's
+// conditional control flow decides how to proceed, §4.4).
+func (f *Function) Invoke(inputs []memctx.Set) ([]memctx.Set, error) {
+	var reqSet *memctx.Set
+	for i := range inputs {
+		if inputs[i].Name == "Request" {
+			reqSet = &inputs[i]
+			break
+		}
+	}
+	if reqSet == nil && len(inputs) == 1 {
+		// Single unnamed set: accept it as the request set.
+		reqSet = &inputs[0]
+	}
+	if reqSet == nil {
+		return nil, errors.New("httpfn: missing Request input set")
+	}
+	out := memctx.Set{Name: "Response"}
+	for _, item := range reqSet.Items {
+		req, err := ParseRequest(item.Data)
+		if err != nil {
+			return nil, err
+		}
+		if f.AllowHost != nil && !f.AllowHost(req.URL.Hostname()) {
+			return nil, fmt.Errorf("%w: %q", ErrHostDenied, req.URL.Hostname())
+		}
+		respItem := f.perform(req)
+		respItem.Name = item.Name
+		respItem.Key = item.Key
+		out.Items = append(out.Items, respItem)
+	}
+	return []memctx.Set{out}, nil
+}
+
+func (f *Function) perform(req *Request) memctx.Item {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	httpReq, err := http.NewRequest(req.Method, req.URL.String(), bytes.NewReader(req.Body))
+	if err != nil {
+		return memctx.Item{Data: FormatResponse(http.StatusBadGateway, "Bad Gateway",
+			map[string]string{"X-Dandelion-Error": err.Error()}, nil)}
+	}
+	for k, v := range req.Headers {
+		httpReq.Header.Set(k, v)
+	}
+	resp, err := client.Do(httpReq)
+	if err != nil {
+		return memctx.Item{Data: FormatResponse(http.StatusBadGateway, "Bad Gateway",
+			map[string]string{"X-Dandelion-Error": err.Error()}, nil)}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return memctx.Item{Data: FormatResponse(http.StatusBadGateway, "Bad Gateway",
+			map[string]string{"X-Dandelion-Error": err.Error()}, nil)}
+	}
+	headers := map[string]string{}
+	for k := range resp.Header {
+		headers[k] = resp.Header.Get(k)
+	}
+	return memctx.Item{Data: FormatResponse(resp.StatusCode, http.StatusText(resp.StatusCode), headers, body)}
+}

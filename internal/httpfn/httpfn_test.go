@@ -1,0 +1,235 @@
+package httpfn
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dandelion/internal/memctx"
+)
+
+func TestFormatParseRequestRoundTrip(t *testing.T) {
+	raw := FormatRequest("POST", "http://api.example.com/v1/items?x=1",
+		map[string]string{"Content-Type": "application/json"}, []byte(`{"a":1}`))
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "POST" || req.URL.Host != "api.example.com" || req.URL.Path != "/v1/items" {
+		t.Fatalf("parsed %+v", req)
+	}
+	if req.Headers["Content-Type"] != "application/json" {
+		t.Fatalf("headers = %v", req.Headers)
+	}
+	if string(req.Body) != `{"a":1}` {
+		t.Fatalf("body = %q", req.Body)
+	}
+}
+
+func TestParseRequestNoBody(t *testing.T) {
+	req, err := ParseRequest([]byte("GET http://h.example/ HTTP/1.1\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Body) != 0 {
+		t.Fatalf("body = %q", req.Body)
+	}
+	// Bare request line without trailing blank line.
+	req, err = ParseRequest([]byte("GET http://h.example/ HTTP/1.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" {
+		t.Fatal("bare request line not parsed")
+	}
+}
+
+func TestSanitizationRejects(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want error
+	}{
+		{"", ErrBadRequestLine},
+		{"GEThttp://x HTTP/1.1", ErrBadRequestLine},
+		{"TRACE http://h.example/ HTTP/1.1", ErrBadMethod},
+		{"PATCH http://h.example/ HTTP/1.1", ErrBadMethod},
+		{"GET http://h.example/ HTTP/9.9", ErrBadVersion},
+		{"GET http://h.example/ SMTP", ErrBadVersion},
+		{"GET ftp://h.example/ HTTP/1.1", ErrBadURI},
+		{"GET /relative/path HTTP/1.1", ErrBadURI},
+		{"GET http:// HTTP/1.1", ErrBadURI},
+		{"GET http://bad_host/ HTTP/1.1", ErrBadURI},
+		{"GET http://-bad.example/ HTTP/1.1", ErrBadURI},
+		{"GET http://h.example/ HTTP/1.1\r\nbadheader\r\n\r\n", ErrBadRequestLine},
+	}
+	for _, c := range cases {
+		_, err := ParseRequest([]byte(c.raw))
+		if !errors.Is(err, c.want) {
+			t.Errorf("ParseRequest(%q) err = %v, want %v", c.raw, err, c.want)
+		}
+	}
+}
+
+func TestValidateHostIPLiterals(t *testing.T) {
+	for _, h := range []string{"127.0.0.1", "10.1.2.3", "::1"} {
+		if err := validateHost(h); err != nil {
+			t.Errorf("validateHost(%q) = %v", h, err)
+		}
+	}
+	long := strings.Repeat("a", 254)
+	if err := validateHost(long); err == nil {
+		t.Error("overlong host accepted")
+	}
+	if err := validateHost("a..b"); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestFormatParseResponseRoundTrip(t *testing.T) {
+	raw := FormatResponse(404, "Not Found", map[string]string{"X-A": "b"}, []byte("missing"))
+	resp, err := ParseResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 404 || resp.Headers["X-A"] != "b" || string(resp.Body) != "missing" {
+		t.Fatalf("parsed %+v", resp)
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	for _, raw := range []string{"", "garbage", "HTTP/1.1 xyz OK"} {
+		if _, err := ParseResponse([]byte(raw)); err == nil {
+			t.Errorf("ParseResponse(%q) accepted", raw)
+		}
+	}
+}
+
+func TestInvokeAgainstServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "echo %s %s", r.Method, r.URL.Path)
+	}))
+	defer srv.Close()
+
+	fn := &Function{}
+	inputs := []memctx.Set{{Name: "Request", Items: []memctx.Item{
+		{Name: "r1", Key: "k1", Data: FormatRequest("GET", srv.URL+"/a", nil, nil)},
+		{Name: "r2", Data: FormatRequest("GET", srv.URL+"/missing", nil, nil)},
+	}}}
+	out, err := fn.Invoke(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Name != "Response" || len(out[0].Items) != 2 {
+		t.Fatalf("outputs = %+v", out)
+	}
+	r1, err := ParseResponse(out[0].Items[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != 200 || string(r1.Body) != "echo GET /a" {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	if out[0].Items[0].Key != "k1" || out[0].Items[0].Name != "r1" {
+		t.Fatal("item identity not preserved")
+	}
+	// 404 is forwarded as a response, not an error (§4.4).
+	r2, _ := ParseResponse(out[0].Items[1].Data)
+	if r2.Status != 404 {
+		t.Fatalf("r2 status = %d, want 404", r2.Status)
+	}
+}
+
+func TestInvokeNetworkFailureSynthesizes502(t *testing.T) {
+	fn := &Function{}
+	// Port 1 on localhost: connection refused.
+	inputs := []memctx.Set{{Name: "Request", Items: []memctx.Item{
+		{Name: "r", Data: FormatRequest("GET", "http://127.0.0.1:1/x", nil, nil)},
+	}}}
+	out, err := fn.Invoke(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ParseResponse(out[0].Items[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 {
+		t.Fatalf("status = %d, want 502", resp.Status)
+	}
+	if resp.Headers["X-Dandelion-Error"] == "" {
+		t.Fatal("missing error detail header")
+	}
+}
+
+func TestInvokeRejectsMalformedItem(t *testing.T) {
+	fn := &Function{}
+	inputs := []memctx.Set{{Name: "Request", Items: []memctx.Item{
+		{Name: "bad", Data: []byte("TRACE http://h.example/ HTTP/1.1")},
+	}}}
+	if _, err := fn.Invoke(inputs); !errors.Is(err, ErrBadMethod) {
+		t.Fatalf("err = %v, want ErrBadMethod", err)
+	}
+}
+
+func TestInvokeAllowHost(t *testing.T) {
+	fn := &Function{AllowHost: func(h string) bool { return h == "allowed.example" }}
+	inputs := []memctx.Set{{Name: "Request", Items: []memctx.Item{
+		{Name: "r", Data: FormatRequest("GET", "http://denied.example/", nil, nil)},
+	}}}
+	if _, err := fn.Invoke(inputs); !errors.Is(err, ErrHostDenied) {
+		t.Fatalf("err = %v, want ErrHostDenied", err)
+	}
+}
+
+func TestInvokeMissingRequestSet(t *testing.T) {
+	fn := &Function{}
+	if _, err := fn.Invoke([]memctx.Set{{Name: "A"}, {Name: "B"}}); err == nil {
+		t.Fatal("missing Request set accepted")
+	}
+	// A single set with a different name is accepted as the request set.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	out, err := fn.Invoke([]memctx.Set{{Name: "Anything", Items: []memctx.Item{
+		{Name: "r", Data: FormatRequest("GET", srv.URL, nil, nil)},
+	}}})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("single-set fallback failed: %v", err)
+	}
+}
+
+func TestFunctionMetadata(t *testing.T) {
+	fn := &Function{}
+	if fn.Name() != "HTTP" {
+		t.Fatal("name")
+	}
+	if fn.InputSets()[0] != "Request" || fn.OutputSets()[0] != "Response" {
+		t.Fatal("set declarations")
+	}
+}
+
+// Property: request round-trip preserves method, URL, and body for
+// well-formed inputs.
+func TestRequestRoundTripProperty(t *testing.T) {
+	methods := []string{"GET", "PUT", "POST", "DELETE"}
+	f := func(pathSeed uint16, body []byte, mi uint8) bool {
+		method := methods[int(mi)%len(methods)]
+		rawurl := fmt.Sprintf("http://svc.example:8080/p%d", pathSeed)
+		raw := FormatRequest(method, rawurl, map[string]string{"K": "v"}, body)
+		req, err := ParseRequest(raw)
+		if err != nil {
+			return false
+		}
+		return req.Method == method && req.URL.String() == rawurl && string(req.Body) == string(body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package isolation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dandelion/internal/dvm"
+	"dandelion/internal/memctx"
+)
+
+func echoTask(t *testing.T, prepared bool) Task {
+	t.Helper()
+	p := dvm.EchoProgram()
+	task := Task{
+		Binary:   p.Encode(),
+		MemBytes: 4096,
+		Inputs: []memctx.Set{{Name: "in", Items: []memctx.Item{
+			{Name: "x", Data: []byte("payload")},
+		}}},
+	}
+	if prepared {
+		task.Prepared = p
+	}
+	return task
+}
+
+func allBackends(t *testing.T) []Backend {
+	t.Helper()
+	var out []Backend
+	for _, n := range Names() {
+		b, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("firecracker"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestAllBackendsExecuteEcho(t *testing.T) {
+	for _, b := range allBackends(t) {
+		task := echoTask(t, false)
+		if c, ok := b.(Compiler); ok {
+			if err := c.Compile(task.Binary); err != nil {
+				t.Fatalf("%s: compile: %v", b.Name(), err)
+			}
+		}
+		out, err := b.Execute(task)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if len(out) != 1 || string(out[0].Items[0].Data) != "payload" {
+			t.Fatalf("%s: output = %+v", b.Name(), out)
+		}
+	}
+}
+
+func TestAllBackendsPreparedPath(t *testing.T) {
+	for _, b := range allBackends(t) {
+		out, err := b.Execute(echoTask(t, true))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		if string(out[0].Items[0].Data) != "payload" {
+			t.Fatalf("%s: bad output", b.Name())
+		}
+	}
+}
+
+func TestSyscallTrappedEverywhere(t *testing.T) {
+	for _, b := range allBackends(t) {
+		task := Task{Prepared: dvm.SyscallProgram(), MemBytes: 64}
+		if _, err := b.Execute(task); !errors.Is(err, dvm.ErrSyscallAttempt) {
+			t.Errorf("%s: err = %v, want syscall trap", b.Name(), err)
+		}
+	}
+}
+
+func TestGasPreemption(t *testing.T) {
+	for _, b := range allBackends(t) {
+		task := Task{Prepared: dvm.SpinProgram(), MemBytes: 64, GasLimit: 500}
+		if _, err := b.Execute(task); !errors.Is(err, dvm.ErrGasExhausted) {
+			t.Errorf("%s: err = %v, want gas exhaustion", b.Name(), err)
+		}
+	}
+}
+
+func TestMemoryFaultSurfaced(t *testing.T) {
+	p, err := dvm.Assemble("li r1, 999999\nld r0, r1, 0\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range allBackends(t) {
+		task := Task{Prepared: p, MemBytes: 64}
+		if _, err := b.Execute(task); !errors.Is(err, dvm.ErrMemFault) {
+			t.Errorf("%s: err = %v, want memory fault", b.Name(), err)
+		}
+	}
+}
+
+func TestUncachedDecodeRejectsGarbage(t *testing.T) {
+	for _, name := range []string{"kvm", "process", "cheri"} {
+		b, _ := New(name)
+		if _, err := b.Execute(Task{Binary: []byte("garbage"), MemBytes: 64}); err == nil {
+			t.Errorf("%s: garbage binary accepted", name)
+		}
+	}
+}
+
+func TestRWasmRequiresCompilation(t *testing.T) {
+	b, _ := New("rwasm")
+	task := echoTask(t, false)
+	if _, err := b.Execute(task); !errors.Is(err, ErrNotCompiled) {
+		t.Fatalf("err = %v, want ErrNotCompiled", err)
+	}
+	if err := b.(Compiler).Compile(task.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Execute(task); err != nil {
+		t.Fatalf("after compile: %v", err)
+	}
+	if err := b.(Compiler).Compile([]byte("junk")); err == nil {
+		t.Fatal("rwasm compiled garbage")
+	}
+}
+
+func TestTable1Totals(t *testing.T) {
+	// The Morello profiles must reproduce the Table 1 totals exactly.
+	cases := []struct {
+		p    CostProfile
+		want float64
+	}{
+		{MorelloCheri, 89}, {MorelloRWasm, 241}, {MorelloProcess, 486}, {MorelloKVM, 889},
+	}
+	for _, c := range cases {
+		if got := c.p.TotalUS(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("total = %v, want %v", got, c.want)
+		}
+	}
+}
+
+func TestX86TotalsMatchPaper(t *testing.T) {
+	// §7.2: "the total latencies of the rWasm, process, and KVM backends
+	// are 109, 539, and 218 microseconds" on the default kernel.
+	cases := []struct {
+		p    CostProfile
+		want float64
+	}{
+		{X86RWasm, 109}, {X86Process, 539}, {X86KVM, 218},
+	}
+	for _, c := range cases {
+		if got := c.p.TotalUS(); math.Abs(got-c.want) > 0.5 {
+			t.Errorf("x86 total = %v, want %v", got, c.want)
+		}
+	}
+}
+
+func TestCachedColdStartCheaper(t *testing.T) {
+	for _, p := range []CostProfile{MorelloCheri, MorelloRWasm, MorelloProcess, MorelloKVM} {
+		if p.ColdStartUS(true) >= p.ColdStartUS(false) {
+			t.Errorf("cached cold start not cheaper: %+v", p)
+		}
+	}
+}
+
+func TestBackendOrderFastestToSlowest(t *testing.T) {
+	// Table 1's headline: cheri < rwasm < process < kvm on Morello.
+	var prev float64
+	for i, n := range Names() {
+		b, _ := New(n)
+		tot := b.Cost().TotalUS()
+		if i > 0 && tot <= prev {
+			t.Fatalf("backend order violated at %s", n)
+		}
+		prev = tot
+	}
+}
+
+func TestComputeFactorOnlyRWasmSlower(t *testing.T) {
+	for _, b := range allBackends(t) {
+		f := b.Cost().ComputeFactor
+		if b.Name() == "rwasm" {
+			if f <= 1 {
+				t.Errorf("rwasm compute factor = %v, want > 1", f)
+			}
+		} else if f != 1 {
+			t.Errorf("%s compute factor = %v, want 1", b.Name(), f)
+		}
+	}
+}
+
+func TestProcessBackendConfinesPanic(t *testing.T) {
+	// A nil Prepared with a nil Binary makes dvm.Decode fail — but a
+	// panic inside user code must not take down the engine. Build a task
+	// whose program is valid but provokes an interpreter-level error
+	// surfaced as an error, then assert the goroutine boundary works by
+	// running many executions concurrently.
+	b, _ := New("process")
+	done := make(chan bool, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := b.Execute(Task{Prepared: dvm.SyscallProgram(), MemBytes: 64})
+			done <- err != nil
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if !<-done {
+			t.Fatal("expected failures")
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package memctx implements Dandelion's memory contexts (§5 of the
+// paper): bounded, contiguous memory regions that the dispatcher prepares
+// for each function instance before it runs.
+//
+// A context carries the function's input sets and items, provides a byte
+// region the sandboxed code computes over, and is harvested for output
+// sets after execution. Contexts expose offset read/write primitives and
+// data-transfer methods between contexts, so different isolation backends
+// can specialize the copy path (or avoid the copy entirely via Handoff,
+// the zero-copy variant sketched as future work in §6.1).
+package memctx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Common context errors.
+var (
+	ErrOutOfBounds  = errors.New("memctx: access out of context bounds")
+	ErrSealed       = errors.New("memctx: context is sealed")
+	ErrNoSuchSet    = errors.New("memctx: no such set")
+	ErrNoSuchItem   = errors.New("memctx: no such item")
+	ErrDuplicateSet = errors.New("memctx: duplicate set name")
+)
+
+// Item is one data item within a set: a named, optionally keyed blob.
+// Keys are user-assigned and only used for `key`-distributed edges (§4.1).
+type Item struct {
+	Name string
+	Key  string
+	Data []byte
+}
+
+// Clone returns a deep copy of the item.
+func (it Item) Clone() Item {
+	d := make([]byte, len(it.Data))
+	copy(d, it.Data)
+	return Item{Name: it.Name, Key: it.Key, Data: d}
+}
+
+// Set is a named collection of items, the unit of dataflow between
+// functions: every edge in a composition maps one output set to one
+// input set.
+type Set struct {
+	Name  string
+	Items []Item
+}
+
+// Clone returns a deep copy of the set.
+func (s Set) Clone() Set {
+	items := make([]Item, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.Clone()
+	}
+	return Set{Name: s.Name, Items: items}
+}
+
+// TotalBytes reports the summed payload size of all items.
+func (s Set) TotalBytes() int {
+	n := 0
+	for _, it := range s.Items {
+		n += len(it.Data)
+	}
+	return n
+}
+
+// Context is a bounded memory region plus the set/item descriptors the
+// platform exchanges with the sandboxed function. The maximum size is set
+// when the function is registered (like AWS Lambda memory sizing); the
+// backing region grows lazily up to that bound, modelling demand paging
+// of reserved virtual memory.
+type Context struct {
+	mu     sync.Mutex
+	limit  int
+	region []byte
+	inputs []Set
+	output []Set
+	sealed bool
+	// committed tracks the high-water mark of touched bytes, the number
+	// the memory-accounting experiments (Figures 1/10) charge for.
+	committed int
+}
+
+// New creates a context bounded at limit bytes. A non-positive limit
+// means "no explicit bound" and is clamped to a 256 MiB default, matching
+// common FaaS defaults.
+const DefaultLimit = 256 << 20
+
+func New(limit int) *Context {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Context{limit: limit}
+}
+
+// Limit reports the maximum size of the context in bytes.
+func (c *Context) Limit() int { return c.limit }
+
+// CommittedBytes reports the high-water mark of bytes actually backed,
+// i.e. what the host has committed for this context.
+func (c *Context) CommittedBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed
+}
+
+// ensure grows the backing region to cover [0, n). Callers hold c.mu.
+func (c *Context) ensure(n int) error {
+	if n > c.limit {
+		return fmt.Errorf("%w: need %d bytes, limit %d", ErrOutOfBounds, n, c.limit)
+	}
+	if n > len(c.region) {
+		grown := make([]byte, n)
+		copy(grown, c.region)
+		c.region = grown
+	}
+	if n > c.committed {
+		c.committed = n
+	}
+	return nil
+}
+
+// WriteAt copies p into the region at off, growing the committed region
+// on demand (demand paging). It fails if the write would exceed the limit
+// or the context is sealed.
+func (c *Context) WriteAt(p []byte, off int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return ErrSealed
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset %d", ErrOutOfBounds, off)
+	}
+	if err := c.ensure(off + len(p)); err != nil {
+		return err
+	}
+	copy(c.region[off:], p)
+	return nil
+}
+
+// ReadAt copies len(p) bytes from the region at off into p. Reading
+// beyond the committed region yields zeroes up to the limit, matching
+// demand-paged zero pages.
+func (c *Context) ReadAt(p []byte, off int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset %d", ErrOutOfBounds, off)
+	}
+	if off+len(p) > c.limit {
+		return fmt.Errorf("%w: read [%d,%d) past limit %d", ErrOutOfBounds, off, off+len(p), c.limit)
+	}
+	n := copy(p, c.region[min(off, len(c.region)):])
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	return nil
+}
+
+// Seal marks the context read-only. The dispatcher seals a context after
+// the function exits so downstream transfers see an immutable snapshot.
+func (c *Context) Seal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sealed = true
+}
+
+// Sealed reports whether the context has been sealed.
+func (c *Context) Sealed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sealed
+}
+
+// AddInputSet installs an input set descriptor, charging its payload to
+// the committed footprint. Duplicate set names are rejected.
+func (c *Context) AddInputSet(s Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return ErrSealed
+	}
+	for _, ex := range c.inputs {
+		if ex.Name == s.Name {
+			return fmt.Errorf("%w: %q", ErrDuplicateSet, s.Name)
+		}
+	}
+	need := c.committed + s.TotalBytes()
+	if need > c.limit {
+		return fmt.Errorf("%w: inputs need %d bytes, limit %d", ErrOutOfBounds, need, c.limit)
+	}
+	c.committed = need
+	c.inputs = append(c.inputs, s.Clone())
+	return nil
+}
+
+// InputSet returns a copy of the named input set.
+func (c *Context) InputSet(name string) (Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.inputs {
+		if s.Name == name {
+			return s.Clone(), nil
+		}
+	}
+	return Set{}, fmt.Errorf("%w: input %q", ErrNoSuchSet, name)
+}
+
+// InputSets returns copies of all input sets in insertion order.
+func (c *Context) InputSets() []Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Set, len(c.inputs))
+	for i, s := range c.inputs {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// SetOutputs installs the function's output sets; called by the isolation
+// backend when harvesting a finished function.
+func (c *Context) SetOutputs(sets []Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return ErrSealed
+	}
+	seen := map[string]bool{}
+	total := c.committed
+	for _, s := range sets {
+		if seen[s.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateSet, s.Name)
+		}
+		seen[s.Name] = true
+		total += s.TotalBytes()
+	}
+	if total > c.limit {
+		return fmt.Errorf("%w: outputs need %d bytes, limit %d", ErrOutOfBounds, total, c.limit)
+	}
+	c.committed = total
+	c.output = make([]Set, len(sets))
+	for i, s := range sets {
+		c.output[i] = s.Clone()
+	}
+	return nil
+}
+
+// OutputSet returns a copy of the named output set.
+func (c *Context) OutputSet(name string) (Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.output {
+		if s.Name == name {
+			return s.Clone(), nil
+		}
+	}
+	return Set{}, fmt.Errorf("%w: output %q", ErrNoSuchSet, name)
+}
+
+// OutputSets returns copies of all output sets.
+func (c *Context) OutputSets() []Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Set, len(c.output))
+	for i, s := range c.output {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// TransferOutput copies the named output set of c into dst as an input
+// set named dstName. This is the default copying data path (§6.1).
+func (c *Context) TransferOutput(setName string, dst *Context, dstName string) error {
+	s, err := c.OutputSet(setName)
+	if err != nil {
+		return err
+	}
+	s.Name = dstName
+	return dst.AddInputSet(s)
+}
+
+// HandoffOutput moves the named output set of c into dst without copying
+// item payloads (zero-copy remap, the §6.1 future-work variant). The
+// source context must be sealed first, guaranteeing immutability; the
+// set is removed from c's outputs so ownership is unique.
+func (c *Context) HandoffOutput(setName string, dst *Context, dstName string) error {
+	c.mu.Lock()
+	if !c.sealed {
+		c.mu.Unlock()
+		return errors.New("memctx: handoff requires a sealed source context")
+	}
+	idx := -1
+	for i, s := range c.output {
+		if s.Name == setName {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: output %q", ErrNoSuchSet, setName)
+	}
+	s := c.output[idx]
+	c.output = append(c.output[:idx:idx], c.output[idx+1:]...)
+	c.mu.Unlock()
+
+	s.Name = dstName
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.sealed {
+		return ErrSealed
+	}
+	for _, ex := range dst.inputs {
+		if ex.Name == dstName {
+			return fmt.Errorf("%w: %q", ErrDuplicateSet, dstName)
+		}
+	}
+	// Zero-copy: charge only descriptor bookkeeping, payloads are shared.
+	dst.inputs = append(dst.inputs, s)
+	return nil
+}
+
+// GroupByKey partitions a set's items by Item.Key, returning groups in
+// lexicographic key order. It implements the `key` edge keyword.
+func GroupByKey(s Set) []Set {
+	byKey := map[string][]Item{}
+	for _, it := range s.Items {
+		byKey[it.Key] = append(byKey[it.Key], it)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Set, len(keys))
+	for i, k := range keys {
+		out[i] = Set{Name: s.Name, Items: byKey[k]}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+package memctx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := New(1024)
+	data := []byte("hello dandelion")
+	if err := c.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestReadBeyondCommittedIsZero(t *testing.T) {
+	c := New(1024)
+	if err := c.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := c.ReadAt(got, 500); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("uncommitted read not zero: %v", got)
+		}
+	}
+}
+
+func TestBoundsEnforced(t *testing.T) {
+	c := New(64)
+	if err := c.WriteAt(make([]byte, 65), 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("oversized write err = %v", err)
+	}
+	if err := c.WriteAt([]byte{1}, 64); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("write at limit err = %v", err)
+	}
+	if err := c.WriteAt([]byte{1}, -1); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("negative write err = %v", err)
+	}
+	if err := c.ReadAt(make([]byte, 1), 64); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("read past limit err = %v", err)
+	}
+	if err := c.ReadAt(make([]byte, 1), -2); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("negative read err = %v", err)
+	}
+}
+
+func TestDefaultLimit(t *testing.T) {
+	c := New(0)
+	if c.Limit() != DefaultLimit {
+		t.Fatalf("limit = %d, want default", c.Limit())
+	}
+}
+
+func TestCommittedHighWaterMark(t *testing.T) {
+	c := New(1 << 20)
+	if c.CommittedBytes() != 0 {
+		t.Fatal("fresh context should commit nothing")
+	}
+	c.WriteAt(make([]byte, 100), 0)
+	c.WriteAt(make([]byte, 10), 0) // smaller write, no growth
+	if got := c.CommittedBytes(); got != 100 {
+		t.Fatalf("committed = %d, want 100", got)
+	}
+	c.WriteAt(make([]byte, 1), 5000)
+	if got := c.CommittedBytes(); got != 5001 {
+		t.Fatalf("committed = %d, want 5001", got)
+	}
+}
+
+func TestSealBlocksWrites(t *testing.T) {
+	c := New(128)
+	c.Seal()
+	if !c.Sealed() {
+		t.Fatal("Sealed() = false after Seal")
+	}
+	if err := c.WriteAt([]byte{1}, 0); !errors.Is(err, ErrSealed) {
+		t.Fatalf("write to sealed err = %v", err)
+	}
+	if err := c.AddInputSet(Set{Name: "x"}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("AddInputSet on sealed err = %v", err)
+	}
+	if err := c.SetOutputs(nil); !errors.Is(err, ErrSealed) {
+		t.Fatalf("SetOutputs on sealed err = %v", err)
+	}
+	// Reads still allowed.
+	if err := c.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatalf("read from sealed err = %v", err)
+	}
+}
+
+func TestInputSets(t *testing.T) {
+	c := New(1 << 20)
+	in := Set{Name: "args", Items: []Item{{Name: "a", Data: []byte("1")}, {Name: "b", Data: []byte("22")}}}
+	if err := c.AddInputSet(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInputSet(Set{Name: "args"}); !errors.Is(err, ErrDuplicateSet) {
+		t.Fatalf("duplicate set err = %v", err)
+	}
+	got, err := c.InputSet("args")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 2 || got.Items[1].Name != "b" {
+		t.Fatalf("input set mismatch: %+v", got)
+	}
+	if _, err := c.InputSet("missing"); !errors.Is(err, ErrNoSuchSet) {
+		t.Fatalf("missing set err = %v", err)
+	}
+	// Mutating the returned copy must not affect the context.
+	got.Items[0].Data[0] = 'X'
+	again, _ := c.InputSet("args")
+	if again.Items[0].Data[0] != '1' {
+		t.Fatal("InputSet returned aliased memory")
+	}
+	if c.CommittedBytes() != 3 {
+		t.Fatalf("committed = %d, want 3", c.CommittedBytes())
+	}
+}
+
+func TestInputLimitCharged(t *testing.T) {
+	c := New(10)
+	err := c.AddInputSet(Set{Name: "big", Items: []Item{{Name: "x", Data: make([]byte, 11)}}})
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("oversized input err = %v", err)
+	}
+}
+
+func TestOutputs(t *testing.T) {
+	c := New(1 << 20)
+	sets := []Set{
+		{Name: "out1", Items: []Item{{Name: "r", Data: []byte("abc")}}},
+		{Name: "out2"},
+	}
+	if err := c.SetOutputs(sets); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOutputs([]Set{{Name: "d"}, {Name: "d"}}); !errors.Is(err, ErrDuplicateSet) {
+		t.Fatalf("duplicate outputs err = %v", err)
+	}
+	got, err := c.OutputSet("out1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Items[0].Data) != "abc" {
+		t.Fatalf("output mismatch: %+v", got)
+	}
+	if _, err := c.OutputSet("nope"); !errors.Is(err, ErrNoSuchSet) {
+		t.Fatalf("missing output err = %v", err)
+	}
+	if n := len(c.OutputSets()); n != 2 {
+		t.Fatalf("OutputSets len = %d, want 2", n)
+	}
+}
+
+func TestTransferOutput(t *testing.T) {
+	src := New(1 << 10)
+	dst := New(1 << 10)
+	src.SetOutputs([]Set{{Name: "resp", Items: []Item{{Name: "r", Data: []byte("payload")}}}})
+	if err := src.TransferOutput("resp", dst, "input"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.InputSet("input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Items[0].Data) != "payload" {
+		t.Fatalf("transfer mismatch: %+v", got)
+	}
+	// Copy semantics: source still owns its output.
+	if _, err := src.OutputSet("resp"); err != nil {
+		t.Fatalf("source lost output after copy transfer: %v", err)
+	}
+}
+
+func TestHandoffOutput(t *testing.T) {
+	src := New(1 << 10)
+	dst := New(1 << 10)
+	src.SetOutputs([]Set{{Name: "resp", Items: []Item{{Name: "r", Data: []byte("zc")}}}})
+	if err := src.HandoffOutput("resp", dst, "in"); err == nil {
+		t.Fatal("handoff from unsealed context should fail")
+	}
+	src.Seal()
+	if err := src.HandoffOutput("resp", dst, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.OutputSet("resp"); !errors.Is(err, ErrNoSuchSet) {
+		t.Fatal("handoff should remove the source output")
+	}
+	got, err := dst.InputSet("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Items[0].Data) != "zc" {
+		t.Fatalf("handoff mismatch: %+v", got)
+	}
+	// Second handoff of the same set must fail.
+	if err := src.HandoffOutput("resp", dst, "in2"); !errors.Is(err, ErrNoSuchSet) {
+		t.Fatalf("double handoff err = %v", err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	s := Set{Name: "logs", Items: []Item{
+		{Name: "a", Key: "srv2", Data: []byte("2a")},
+		{Name: "b", Key: "srv1", Data: []byte("1b")},
+		{Name: "c", Key: "srv2", Data: []byte("2c")},
+	}}
+	groups := GroupByKey(s)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if groups[0].Items[0].Key != "srv1" {
+		t.Fatalf("groups not key-ordered: %+v", groups)
+	}
+	if len(groups[1].Items) != 2 {
+		t.Fatalf("srv2 group size = %d, want 2", len(groups[1].Items))
+	}
+}
+
+func TestGroupByKeyEmpty(t *testing.T) {
+	if g := GroupByKey(Set{Name: "e"}); len(g) != 0 {
+		t.Fatalf("empty set grouped to %d groups", len(g))
+	}
+}
+
+// Property: any write inside bounds reads back identically.
+func TestWriteReadProperty(t *testing.T) {
+	f := func(data []byte, off uint16) bool {
+		c := New(1 << 20)
+		o := int(off)
+		if err := c.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := c.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transfer preserves payload bytes exactly.
+func TestTransferProperty(t *testing.T) {
+	f := func(payload []byte, key string) bool {
+		src := New(1 << 20)
+		dst := New(1 << 20)
+		src.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Key: key, Data: payload}}}})
+		if err := src.TransferOutput("o", dst, "i"); err != nil {
+			return false
+		}
+		got, err := dst.InputSet("i")
+		if err != nil || len(got.Items) != 1 {
+			return false
+		}
+		return bytes.Equal(got.Items[0].Data, payload) && got.Items[0].Key == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetTotalBytes(t *testing.T) {
+	s := Set{Items: []Item{{Data: make([]byte, 3)}, {Data: make([]byte, 4)}}}
+	if s.TotalBytes() != 7 {
+		t.Fatalf("TotalBytes = %d, want 7", s.TotalBytes())
+	}
+}

@@ -1,0 +1,185 @@
+package qoiimg
+
+import (
+	"bytes"
+	"errors"
+	"image"
+	"image/color"
+	"image/png"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := TestImage(64, 48)
+	enc := Encode(img)
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Pix, img.Pix) {
+		t.Fatal("round trip pixel mismatch")
+	}
+}
+
+func TestEncodeDecodeRandomNoise(t *testing.T) {
+	// Noise exercises the RGB/RGBA literal paths (no runs, few matches).
+	rng := rand.New(rand.NewSource(5))
+	img := image.NewNRGBA(image.Rect(0, 0, 31, 17))
+	for i := range img.Pix {
+		img.Pix[i] = byte(rng.Intn(256))
+	}
+	dec, err := Decode(Encode(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Pix, img.Pix) {
+		t.Fatal("noise round trip mismatch")
+	}
+}
+
+func TestEncodeSolidColorUsesRuns(t *testing.T) {
+	img := image.NewNRGBA(image.Rect(0, 0, 100, 100))
+	for y := 0; y < 100; y++ {
+		for x := 0; x < 100; x++ {
+			img.Set(x, y, color.NRGBA{R: 10, G: 20, B: 30, A: 255})
+		}
+	}
+	enc := Encode(img)
+	// 10k identical pixels must compress to well under 1 kB.
+	if len(enc) > 1024 {
+		t.Fatalf("solid color encoded to %d bytes", len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Pix, img.Pix) {
+		t.Fatal("solid round trip mismatch")
+	}
+}
+
+func TestEncodeAlphaTransitions(t *testing.T) {
+	img := image.NewNRGBA(image.Rect(0, 0, 8, 1))
+	for x := 0; x < 8; x++ {
+		img.Set(x, 0, color.NRGBA{R: byte(x), G: 0, B: 0, A: byte(40 * x)})
+	}
+	dec, err := Decode(Encode(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Pix, img.Pix) {
+		t.Fatal("alpha round trip mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	img := TestImage(8, 8)
+	good := Encode(img)
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", []byte("qoif"), ErrTruncated},
+		{"magic", append([]byte("nope"), good[4:]...), ErrBadMagic},
+		{"truncated body", good[:len(good)-12], ErrTruncated},
+		{"missing end", good[:len(good)-8], ErrBadEnd},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+
+	bad := append([]byte{}, good...)
+	bad[12] = 7 // channels
+	if _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad channels err = %v", err)
+	}
+	bad = append([]byte{}, good...)
+	bad[13] = 9 // colorspace
+	if _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad colorspace err = %v", err)
+	}
+	bad = append([]byte{}, good...)
+	bad[4], bad[5], bad[6], bad[7] = 0, 0, 0, 0 // zero width
+	if _, err := Decode(bad); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("zero width err = %v", err)
+	}
+}
+
+func TestToPNG(t *testing.T) {
+	img := TestImage(96, 64)
+	qoi := Encode(img)
+	pngData, err := ToPNG(qoi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := png.Decode(bytes.NewReader(pngData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bounds().Dx() != 96 || back.Bounds().Dy() != 64 {
+		t.Fatalf("png bounds = %v", back.Bounds())
+	}
+	// Spot-check a pixel survives the full transcode.
+	r0, g0, b0, a0 := img.At(10, 10).RGBA()
+	r1, g1, b1, a1 := back.At(10, 10).RGBA()
+	if r0 != r1 || g0 != g1 || b0 != b1 || a0 != a1 {
+		t.Fatal("pixel mismatch after QOI->PNG")
+	}
+	if _, err := ToPNG([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted by ToPNG")
+	}
+}
+
+func TestTestImageSizeNearPaper(t *testing.T) {
+	// §7.6 uses an 18 kB QOI image; ours should be the same order of
+	// magnitude so the compute intensity is comparable.
+	enc := Encode(TestImage(96, 64))
+	if len(enc) < 4<<10 || len(enc) > 64<<10 {
+		t.Fatalf("test image encodes to %d bytes, want tens of kB", len(enc))
+	}
+}
+
+func TestEncodeNonNRGBAInput(t *testing.T) {
+	gray := image.NewGray(image.Rect(0, 0, 10, 10))
+	for i := range gray.Pix {
+		gray.Pix[i] = byte(i * 3)
+	}
+	dec, err := Decode(Encode(gray))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, _, _ := dec.At(3, 3).RGBA()
+	wr, _, _, _ := gray.At(3, 3).RGBA()
+	if r != wr {
+		t.Fatal("gray conversion mismatch")
+	}
+}
+
+// Property: encode/decode round-trips random small images exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, wRaw, hRaw uint8) bool {
+		w := int(wRaw%32) + 1
+		h := int(hRaw%32) + 1
+		rng := rand.New(rand.NewSource(seed))
+		img := image.NewNRGBA(image.Rect(0, 0, w, h))
+		for i := range img.Pix {
+			// Mix of smooth and random regions to hit all op codes.
+			if rng.Intn(3) == 0 {
+				img.Pix[i] = byte(rng.Intn(256))
+			} else if i >= 4 {
+				img.Pix[i] = img.Pix[i-4] + byte(rng.Intn(5)) - 2
+			}
+		}
+		dec, err := Decode(Encode(img))
+		return err == nil && bytes.Equal(dec.Pix, img.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

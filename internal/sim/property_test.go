@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: a resource conserves work — every submitted task completes
+// exactly once, regardless of capacity changes mid-flight, and the
+// resource ends idle.
+func TestResourceConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		e := NewEngine(int64(trial))
+		r := NewResource(e, 1+rng.Intn(8))
+		n := 1 + rng.Intn(200)
+		completed := 0
+		for i := 0; i < n; i++ {
+			at := Time(rng.Float64() * 10)
+			d := Duration(rng.Float64() * 0.5)
+			e.At(at, func() { r.Use(d, func() { completed++ }) })
+		}
+		// Random capacity changes while work is in flight.
+		for i := 0; i < 5; i++ {
+			at := Time(rng.Float64() * 10)
+			c := 1 + rng.Intn(8)
+			e.At(at, func() { r.SetCapacity(c) })
+		}
+		e.RunAll()
+		if completed != n {
+			t.Fatalf("trial %d: completed %d of %d", trial, completed, n)
+		}
+		if r.InUse() != 0 || r.QueueLen() != 0 {
+			t.Fatalf("trial %d: resource not drained: inUse=%d queue=%d",
+				trial, r.InUse(), r.QueueLen())
+		}
+	}
+}
+
+// Property: with capacity c and all tasks of equal duration d submitted
+// at time 0, the makespan is ceil(n/c)*d — the resource neither loses
+// slots nor over-parallelizes.
+func TestResourceMakespanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		c := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(40)
+		d := Duration(0.1 + rng.Float64())
+		e := NewEngine(int64(trial))
+		r := NewResource(e, c)
+		var last Time
+		for i := 0; i < n; i++ {
+			r.Use(d, func() { last = e.Now() })
+		}
+		e.RunAll()
+		waves := (n + c - 1) / c
+		want := Time(float64(waves) * float64(d))
+		diff := float64(last - want)
+		if diff < -1e-9 || diff > 1e-9 {
+			t.Fatalf("trial %d: makespan %v, want %v (n=%d c=%d d=%v)",
+				trial, last, want, n, c, d)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim is a deterministic discrete-event simulation kernel used by
+// the performance-model layer (internal/faas) to reproduce the paper's
+// evaluation at laptop scale.
+//
+// The kernel provides a virtual clock, an event heap, counting resources
+// (CPU cores), and reproducible random streams. All simulated platforms —
+// Dandelion, Firecracker, gVisor, Wasmtime, and D-hybrid — are expressed
+// as event handlers scheduled on one Engine, so a whole RPS sweep runs in
+// milliseconds of wall time and is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time. The zero Time is the simulation start.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration float64
+
+// Seconds converts d to float64 seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Millis converts d to float64 milliseconds.
+func (d Duration) Millis() float64 { return float64(d) * 1e3 }
+
+// Micros converts d to float64 microseconds.
+func (d Duration) Micros() float64 { return float64(d) * 1e6 }
+
+// FromStd converts a time.Duration into a sim Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// Micros builds a Duration from microseconds.
+func Micros(us float64) Duration { return Duration(us * 1e-6) }
+
+// Millis builds a Duration from milliseconds.
+func Millis(ms float64) Duration { return Duration(ms * 1e-3) }
+
+// Seconds builds a Duration from seconds.
+func Seconds(s float64) Duration { return Duration(s) }
+
+type event struct {
+	at   Time
+	seq  uint64 // tie-break for determinism
+	call func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the simulation executive: it owns the clock and the pending
+// event set. Engines are single-threaded by design; handlers must not
+// retain goroutines across events.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+}
+
+// NewEngine creates an Engine whose random streams derive from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it indicates a logic error in a model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, call: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+Time(d), fn)
+}
+
+// Step runs the next pending event, returning false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.call()
+	return true
+}
+
+// Run executes events until the queue drains or the clock passes horizon.
+// Events scheduled beyond the horizon stay queued.
+func (e *Engine) Run(horizon Time) {
+	for len(e.events) > 0 && e.events[0].at <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// RunAll executes events until none remain.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Resource models a counting resource such as a pool of CPU cores. Waiters
+// queue FIFO and are granted capacity in arrival order, which models the
+// paper's single type-specific task queues with late binding.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []func()
+	// Busy time accounting for utilization reports.
+	busyArea  float64
+	lastStamp Time
+}
+
+// NewResource creates a resource with the given capacity attached to eng.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity < 0 {
+		panic("sim: negative resource capacity")
+	}
+	return &Resource{eng: eng, capacity: capacity, lastStamp: eng.Now()}
+}
+
+// Capacity reports the current capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse reports the number of granted units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of queued acquisitions.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// SetCapacity re-sizes the resource. Growing the resource immediately
+// admits queued waiters; shrinking lets in-flight holders drain naturally
+// (cores are not preempted, matching the control plane's behaviour).
+func (r *Resource) SetCapacity(n int) {
+	if n < 0 {
+		panic("sim: negative resource capacity")
+	}
+	r.account()
+	r.capacity = n
+	r.admit()
+}
+
+// Acquire requests one unit; granted runs (via the event queue) once a
+// unit is available.
+func (r *Resource) Acquire(granted func()) {
+	r.account()
+	r.waiters = append(r.waiters, granted)
+	r.admit()
+}
+
+// Release returns one unit to the pool.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	r.account()
+	r.inUse--
+	r.admit()
+}
+
+// Use acquires a unit, holds it for d, runs done, and releases. It is the
+// common pattern for "run task on a core for its service time".
+func (r *Resource) Use(d Duration, done func()) {
+	r.Acquire(func() {
+		r.eng.After(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func (r *Resource) admit() {
+	for r.inUse < r.capacity && len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.inUse++
+		// Dispatch through the event queue so grant ordering is
+		// deterministic with respect to other same-time events.
+		r.eng.After(0, w)
+	}
+}
+
+func (r *Resource) account() {
+	now := r.eng.Now()
+	r.busyArea += float64(r.inUse) * float64(now-r.lastStamp)
+	r.lastStamp = now
+}
+
+// Utilization reports average busy units divided by capacity since the
+// resource was created. Returns 0 for zero-capacity resources.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	span := float64(r.eng.Now())
+	if span == 0 || r.capacity == 0 {
+		return 0
+	}
+	return r.busyArea / span / float64(r.capacity)
+}
+
+// ExpArrivals schedules a Poisson arrival process: fn is invoked for each
+// arrival with its index, at rate perSecond, from now until horizon.
+func (e *Engine) ExpArrivals(perSecond float64, horizon Time, fn func(i int)) {
+	if perSecond <= 0 {
+		return
+	}
+	t := e.now
+	i := 0
+	for {
+		t += Time(e.rng.ExpFloat64() / perSecond)
+		if t > horizon {
+			return
+		}
+		idx := i
+		e.At(t, func() { fn(idx) })
+		i++
+	}
+}
+
+// UniformArrivals schedules a deterministic constant-rate arrival process.
+func (e *Engine) UniformArrivals(perSecond float64, horizon Time, fn func(i int)) {
+	if perSecond <= 0 {
+		return
+	}
+	gap := Time(1 / perSecond)
+	i := 0
+	for t := e.now + gap; t <= horizon; t += gap {
+		idx := i
+		e.At(t, func() { fn(idx) })
+		i++
+	}
+}
+
+// LogNormal draws a log-normal variate with the given median and sigma
+// (of the underlying normal), a common model for FaaS execution times.
+func (e *Engine) LogNormal(median, sigma float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	return median * math.Exp(sigma*e.rng.NormFloat64())
+}

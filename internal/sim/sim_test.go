@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClockAdvances(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(2, func() { order = append(order, 2) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(3, func() { order = append(order, 3) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in past")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.After(-5, func() { ran = true })
+	e.RunAll()
+	if !ran || e.Now() != 0 {
+		t.Fatalf("negative After should run now; ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.Run(2.5)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v events, want 2", ran)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock = %v, want horizon 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		r.Use(1, func() { finish = append(finish, e.Now()) })
+	}
+	e.RunAll()
+	want := []Time{1, 2, 3}
+	for i, w := range want {
+		if math.Abs(float64(finish[i]-w)) > 1e-9 {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		r.Use(1, func() { finish = append(finish, e.Now()) })
+	}
+	e.RunAll()
+	// Two at a time: finish at 1,1,2,2.
+	want := []Time{1, 1, 2, 2}
+	for i, w := range want {
+		if math.Abs(float64(finish[i]-w)) > 1e-9 {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceGrowAdmitsWaiters(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 0)
+	done := false
+	r.Use(1, func() { done = true })
+	e.RunAll()
+	if done {
+		t.Fatal("task ran with zero capacity")
+	}
+	r.SetCapacity(1)
+	e.RunAll()
+	if !done {
+		t.Fatal("task did not run after capacity grew")
+	}
+}
+
+func TestResourceShrinkDoesNotPreempt(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	var finished int
+	r.Use(10, func() { finished++ })
+	r.Use(10, func() { finished++ })
+	e.Run(1) // tasks in flight
+	r.SetCapacity(1)
+	e.RunAll()
+	if finished != 2 {
+		t.Fatalf("in-flight tasks lost on shrink: finished=%d", finished)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse = %d after drain, want 0", r.InUse())
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on idle release")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, 2)
+	r.Use(10, nil)
+	e.RunAll()
+	// One of two cores busy for the entire 10s span => 50%.
+	if u := r.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestExpArrivalsRate(t *testing.T) {
+	e := NewEngine(7)
+	count := 0
+	e.ExpArrivals(100, 50, func(int) { count++ })
+	e.RunAll()
+	// Expect ~5000 arrivals; allow generous tolerance.
+	if count < 4500 || count > 5500 {
+		t.Fatalf("arrival count = %d, want ~5000", count)
+	}
+}
+
+func TestExpArrivalsDeterministic(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(99)
+		var idx []int
+		e.ExpArrivals(10, 5, func(i int) { idx = append(idx, i) })
+		e.RunAll()
+		return idx
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic arrival counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic arrival order at %d", i)
+		}
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.UniformArrivals(2, 2, func(int) { times = append(times, e.Now()) })
+	e.RunAll()
+	want := []Time{0.5, 1.0, 1.5, 2.0}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i := range want {
+		if math.Abs(float64(times[i]-want[i])) > 1e-9 {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestZeroRateArrivalsNoop(t *testing.T) {
+	e := NewEngine(1)
+	e.ExpArrivals(0, 10, func(int) { t.Fatal("should not fire") })
+	e.UniformArrivals(-1, 10, func(int) { t.Fatal("should not fire") })
+	e.RunAll()
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	e := NewEngine(3)
+	var vals []float64
+	for i := 0; i < 20001; i++ {
+		vals = append(vals, e.LogNormal(10, 0.5))
+	}
+	// Median of log-normal equals the median parameter.
+	n := 0
+	for _, v := range vals {
+		if v < 10 {
+			n++
+		}
+	}
+	frac := float64(n) / float64(len(vals))
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("median fraction below 10 = %v, want ~0.5", frac)
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := FromStd(1500 * time.Millisecond)
+	if math.Abs(d.Seconds()-1.5) > 1e-12 {
+		t.Fatalf("FromStd = %v", d)
+	}
+	if math.Abs(Micros(250).Seconds()-0.00025) > 1e-12 {
+		t.Fatal("Micros conversion wrong")
+	}
+	if math.Abs(Millis(3).Micros()-3000) > 1e-9 {
+		t.Fatal("Millis->Micros conversion wrong")
+	}
+	if math.Abs(Seconds(2).Millis()-2000) > 1e-9 {
+		t.Fatal("Seconds->Millis conversion wrong")
+	}
+}

@@ -1,0 +1,692 @@
+// Package sqlmini is a small in-memory SQL engine. It backs the remote
+// database service that the Text2SQL agentic workflow of §7.7 queries
+// over HTTP (the paper uses SQLite; this is the offline stand-in).
+//
+// Supported statements:
+//
+//	CREATE TABLE t (col1 TYPE, col2 TYPE, ...)      TYPE in INT, REAL, TEXT
+//	INSERT INTO t VALUES (v1, v2, ...)
+//	SELECT cols FROM t [WHERE col op lit [AND ...]] [GROUP BY col]
+//	       [ORDER BY col [DESC]] [LIMIT n]
+//
+// where cols is *, a comma list of column names, or aggregate calls
+// (COUNT(*), SUM(c), AVG(c), MIN(c), MAX(c)) optionally mixed with the
+// GROUP BY column.
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Type is a column type.
+type Type uint8
+
+const (
+	Int Type = iota
+	Real
+	Text
+)
+
+// Value is one cell. Exactly the field matching the column type is
+// meaningful.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// String renders the value for result tables.
+func (v Value) String() string {
+	switch v.T {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Real:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// asFloat views numeric values as float64 for aggregates/comparison.
+func (v Value) asFloat() float64 {
+	if v.T == Int {
+		return float64(v.I)
+	}
+	return v.F
+}
+
+func compareValues(a, b Value) int {
+	if a.T == Text || b.T == Text {
+		return strings.Compare(a.S, b.S)
+	}
+	af, bf := a.asFloat(), b.asFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	}
+	return 0
+}
+
+type table struct {
+	name string
+	cols []string
+	typs []Type
+	rows [][]Value
+}
+
+func (t *table) colIndex(name string) (int, error) {
+	for i, c := range t.cols {
+		if strings.EqualFold(c, name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: column %q in table %q", ErrUnknownColumn, name, t.name)
+}
+
+// DB is an in-memory database. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*table{}} }
+
+// Result is the outcome of a statement: a (possibly empty) result table.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Engine errors.
+var (
+	ErrSyntax        = errors.New("sqlmini: syntax error")
+	ErrUnknownTable  = errors.New("sqlmini: unknown table")
+	ErrUnknownColumn = errors.New("sqlmini: unknown column")
+	ErrTableExists   = errors.New("sqlmini: table already exists")
+	ErrArity         = errors.New("sqlmini: value count does not match column count")
+	ErrTypeMismatch  = errors.New("sqlmini: type mismatch")
+)
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) {
+	toks, err := tokenize(query)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("%w: empty statement", ErrSyntax)
+	}
+	switch strings.ToUpper(toks[0]) {
+	case "CREATE":
+		return db.execCreate(toks)
+	case "INSERT":
+		return db.execInsert(toks)
+	case "SELECT":
+		return db.execSelect(toks)
+	}
+	return nil, fmt.Errorf("%w: unsupported statement %q", ErrSyntax, toks[0])
+}
+
+// MustExec is Exec for test/bootstrap code paths that must not fail.
+func (db *DB) MustExec(query string) *Result {
+	r, err := db.Exec(query)
+	if err != nil {
+		panic("sqlmini: " + err.Error() + " in " + query)
+	}
+	return r
+}
+
+// tokenize splits on whitespace, punctuation ( ) , and preserves quoted
+// strings as single tokens with a leading ' marker.
+func tokenize(q string) ([]string, error) {
+	var toks []string
+	i := 0
+	rs := []rune(q)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ';':
+			i++
+		case r == '(' || r == ')' || r == ',':
+			toks = append(toks, string(r))
+			i++
+		case r == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(rs) && rs[j] != '\'' {
+				sb.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("%w: unterminated string", ErrSyntax)
+			}
+			toks = append(toks, "'"+sb.String())
+			i = j + 1
+		case r == '<' || r == '>' || r == '=' || r == '!':
+			j := i + 1
+			if j < len(rs) && rs[j] == '=' {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		case r == '*':
+			toks = append(toks, "*")
+			i++
+		default:
+			j := i
+			for j < len(rs) && !strings.ContainsRune(" \t\n\r(),;<>=!'", rs[j]) {
+				j++
+			}
+			toks = append(toks, string(rs[i:j]))
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+func (db *DB) execCreate(toks []string) (*Result, error) {
+	// CREATE TABLE name ( col type , ... )
+	if len(toks) < 6 || !strings.EqualFold(toks[1], "TABLE") {
+		return nil, fmt.Errorf("%w: CREATE TABLE expected", ErrSyntax)
+	}
+	name := strings.ToLower(toks[2])
+	if toks[3] != "(" {
+		return nil, fmt.Errorf("%w: expected '(' after table name", ErrSyntax)
+	}
+	t := &table{name: name}
+	i := 4
+	for i < len(toks) && toks[i] != ")" {
+		if i+1 >= len(toks) {
+			return nil, fmt.Errorf("%w: truncated column definition", ErrSyntax)
+		}
+		col := strings.ToLower(toks[i])
+		var typ Type
+		switch strings.ToUpper(toks[i+1]) {
+		case "INT", "INTEGER", "BIGINT":
+			typ = Int
+		case "REAL", "FLOAT", "DOUBLE":
+			typ = Real
+		case "TEXT", "VARCHAR", "STRING":
+			typ = Text
+		default:
+			return nil, fmt.Errorf("%w: unknown type %q", ErrSyntax, toks[i+1])
+		}
+		t.cols = append(t.cols, col)
+		t.typs = append(t.typs, typ)
+		i += 2
+		if i < len(toks) && toks[i] == "," {
+			i++
+		}
+	}
+	if i >= len(toks) {
+		return nil, fmt.Errorf("%w: missing ')'", ErrSyntax)
+	}
+	if len(t.cols) == 0 {
+		return nil, fmt.Errorf("%w: table needs at least one column", ErrSyntax)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	db.tables[name] = t
+	return &Result{}, nil
+}
+
+func parseLiteral(tok string, typ Type) (Value, error) {
+	if strings.HasPrefix(tok, "'") {
+		if typ != Text {
+			return Value{}, fmt.Errorf("%w: string literal for non-text column", ErrTypeMismatch)
+		}
+		return Value{T: Text, S: tok[1:]}, nil
+	}
+	switch typ {
+	case Int:
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %q as INT", ErrTypeMismatch, tok)
+		}
+		return Value{T: Int, I: v}, nil
+	case Real:
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("%w: %q as REAL", ErrTypeMismatch, tok)
+		}
+		return Value{T: Real, F: v}, nil
+	default:
+		return Value{T: Text, S: tok}, nil
+	}
+}
+
+func (db *DB) execInsert(toks []string) (*Result, error) {
+	// INSERT INTO name VALUES ( v , ... ) [ , ( ... ) ]*
+	if len(toks) < 7 || !strings.EqualFold(toks[1], "INTO") || !strings.EqualFold(toks[3], "VALUES") {
+		return nil, fmt.Errorf("%w: INSERT INTO t VALUES (...) expected", ErrSyntax)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[strings.ToLower(toks[2])]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, toks[2])
+	}
+	i := 4
+	for i < len(toks) {
+		if toks[i] != "(" {
+			return nil, fmt.Errorf("%w: expected '(' in VALUES", ErrSyntax)
+		}
+		i++
+		var row []Value
+		for i < len(toks) && toks[i] != ")" {
+			if toks[i] == "," {
+				i++
+				continue
+			}
+			col := len(row)
+			if col >= len(t.cols) {
+				return nil, fmt.Errorf("%w: too many values", ErrArity)
+			}
+			v, err := parseLiteral(toks[i], t.typs[col])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			i++
+		}
+		if i >= len(toks) {
+			return nil, fmt.Errorf("%w: missing ')'", ErrSyntax)
+		}
+		i++ // )
+		if len(row) != len(t.cols) {
+			return nil, fmt.Errorf("%w: %d values for %d columns", ErrArity, len(row), len(t.cols))
+		}
+		t.rows = append(t.rows, row)
+		if i < len(toks) && toks[i] == "," {
+			i++
+		}
+	}
+	return &Result{}, nil
+}
+
+type cond struct {
+	col int
+	op  string
+	lit Value
+}
+
+func (c cond) eval(row []Value) bool {
+	cmp := compareValues(row[c.col], c.lit)
+	switch c.op {
+	case "=", "==":
+		return cmp == 0
+	case "!=", "<>":
+		return cmp != 0
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+type aggKind uint8
+
+const (
+	aggNone aggKind = iota
+	aggCount
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+)
+
+type selItem struct {
+	kind aggKind
+	col  int    // -1 for COUNT(*)
+	name string // output column label
+}
+
+func (db *DB) execSelect(toks []string) (*Result, error) {
+	// Locate clause boundaries.
+	upper := make([]string, len(toks))
+	for i, t := range toks {
+		upper[i] = strings.ToUpper(t)
+	}
+	fromIdx := indexOf(upper, "FROM")
+	if fromIdx < 0 {
+		return nil, fmt.Errorf("%w: missing FROM", ErrSyntax)
+	}
+	whereIdx := indexOf(upper, "WHERE")
+	groupIdx := indexOf(upper, "GROUP")
+	orderIdx := indexOf(upper, "ORDER")
+	limitIdx := indexOf(upper, "LIMIT")
+
+	end := len(toks)
+	clauseEnd := func(start int) int {
+		e := end
+		for _, idx := range []int{whereIdx, groupIdx, orderIdx, limitIdx} {
+			if idx > start && idx < e {
+				e = idx
+			}
+		}
+		return e
+	}
+
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	tblEnd := clauseEnd(fromIdx)
+	if fromIdx+1 >= tblEnd {
+		return nil, fmt.Errorf("%w: missing table name", ErrSyntax)
+	}
+	t, ok := db.tables[strings.ToLower(toks[fromIdx+1])]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTable, toks[fromIdx+1])
+	}
+
+	// Parse select list.
+	items, err := parseSelectList(toks[1:fromIdx], t)
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse WHERE chain of ANDed conditions.
+	var conds []cond
+	if whereIdx >= 0 {
+		wEnd := clauseEnd(whereIdx)
+		i := whereIdx + 1
+		for i < wEnd {
+			if strings.EqualFold(toks[i], "AND") {
+				i++
+				continue
+			}
+			if i+2 >= wEnd+1 || i+2 > len(toks) {
+				return nil, fmt.Errorf("%w: truncated WHERE", ErrSyntax)
+			}
+			ci, err := t.colIndex(toks[i])
+			if err != nil {
+				return nil, err
+			}
+			op := toks[i+1]
+			lit, err := parseLiteral(toks[i+2], t.typs[ci])
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, cond{col: ci, op: op, lit: lit})
+			i += 3
+		}
+	}
+
+	// Filter rows.
+	var rows [][]Value
+	for _, r := range t.rows {
+		ok := true
+		for _, c := range conds {
+			if !c.eval(r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+
+	// GROUP BY / aggregates.
+	groupCol := -1
+	if groupIdx >= 0 {
+		if groupIdx+2 >= len(toks) || !strings.EqualFold(toks[groupIdx+1], "BY") {
+			return nil, fmt.Errorf("%w: GROUP BY column expected", ErrSyntax)
+		}
+		ci, err := t.colIndex(toks[groupIdx+2])
+		if err != nil {
+			return nil, err
+		}
+		groupCol = ci
+	}
+	hasAgg := false
+	for _, it := range items {
+		if it.kind != aggNone {
+			hasAgg = true
+		}
+	}
+
+	res := &Result{}
+	for _, it := range items {
+		res.Columns = append(res.Columns, it.name)
+	}
+	switch {
+	case hasAgg || groupCol >= 0:
+		res.Rows = aggregate(items, rows, groupCol)
+	default:
+		for _, r := range rows {
+			var out []Value
+			for _, it := range items {
+				out = append(out, r[it.col])
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	// ORDER BY.
+	if orderIdx >= 0 {
+		if orderIdx+2 >= len(toks)+1 || !strings.EqualFold(toks[orderIdx+1], "BY") {
+			return nil, fmt.Errorf("%w: ORDER BY column expected", ErrSyntax)
+		}
+		col := toks[orderIdx+2]
+		desc := orderIdx+3 < len(toks) && strings.EqualFold(toks[orderIdx+3], "DESC")
+		oi := -1
+		for i, c := range res.Columns {
+			if strings.EqualFold(c, col) {
+				oi = i
+			}
+		}
+		if oi < 0 {
+			return nil, fmt.Errorf("%w: ORDER BY %q not in select list", ErrUnknownColumn, col)
+		}
+		sort.SliceStable(res.Rows, func(a, b int) bool {
+			c := compareValues(res.Rows[a][oi], res.Rows[b][oi])
+			if desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+
+	// LIMIT.
+	if limitIdx >= 0 {
+		if limitIdx+1 >= len(toks) {
+			return nil, fmt.Errorf("%w: LIMIT count expected", ErrSyntax)
+		}
+		n, err := strconv.Atoi(toks[limitIdx+1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad LIMIT %q", ErrSyntax, toks[limitIdx+1])
+		}
+		if len(res.Rows) > n {
+			res.Rows = res.Rows[:n]
+		}
+	}
+	return res, nil
+}
+
+func parseSelectList(toks []string, t *table) ([]selItem, error) {
+	if len(toks) == 1 && toks[0] == "*" {
+		items := make([]selItem, len(t.cols))
+		for i, c := range t.cols {
+			items[i] = selItem{kind: aggNone, col: i, name: c}
+		}
+		return items, nil
+	}
+	var items []selItem
+	i := 0
+	for i < len(toks) {
+		tok := toks[i]
+		if tok == "," {
+			i++
+			continue
+		}
+		up := strings.ToUpper(tok)
+		if k, isAgg := map[string]aggKind{
+			"COUNT": aggCount, "SUM": aggSum, "AVG": aggAvg, "MIN": aggMin, "MAX": aggMax,
+		}[up]; isAgg && i+3 < len(toks)+1 && i+1 < len(toks) && toks[i+1] == "(" {
+			if i+3 >= len(toks) || toks[i+3] != ")" {
+				return nil, fmt.Errorf("%w: malformed aggregate", ErrSyntax)
+			}
+			arg := toks[i+2]
+			col := -1
+			if arg != "*" {
+				ci, err := t.colIndex(arg)
+				if err != nil {
+					return nil, err
+				}
+				col = ci
+			} else if k != aggCount {
+				return nil, fmt.Errorf("%w: only COUNT accepts *", ErrSyntax)
+			}
+			items = append(items, selItem{kind: k, col: col,
+				name: strings.ToLower(up) + "(" + arg + ")"})
+			i += 4
+			continue
+		}
+		ci, err := t.colIndex(tok)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, selItem{kind: aggNone, col: ci, name: t.cols[ci]})
+		i++
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%w: empty select list", ErrSyntax)
+	}
+	return items, nil
+}
+
+func aggregate(items []selItem, rows [][]Value, groupCol int) [][]Value {
+	type group struct {
+		key  Value
+		rows [][]Value
+	}
+	var groups []*group
+	if groupCol < 0 {
+		groups = []*group{{rows: rows}}
+	} else {
+		idx := map[string]*group{}
+		for _, r := range rows {
+			k := r[groupCol].String()
+			g, ok := idx[k]
+			if !ok {
+				g = &group{key: r[groupCol]}
+				idx[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, r)
+		}
+		sort.Slice(groups, func(a, b int) bool {
+			return compareValues(groups[a].key, groups[b].key) < 0
+		})
+	}
+	var out [][]Value
+	for _, g := range groups {
+		if groupCol < 0 && len(g.rows) == 0 {
+			// Aggregates over the empty set still produce one row.
+			g.rows = nil
+		}
+		var row []Value
+		for _, it := range items {
+			switch it.kind {
+			case aggNone:
+				if len(g.rows) > 0 {
+					row = append(row, g.rows[0][it.col])
+				} else {
+					row = append(row, Value{T: Text, S: ""})
+				}
+			case aggCount:
+				row = append(row, Value{T: Int, I: int64(len(g.rows))})
+			default:
+				row = append(row, foldAgg(it, g.rows))
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func foldAgg(it selItem, rows [][]Value) Value {
+	if len(rows) == 0 {
+		return Value{T: Real, F: 0}
+	}
+	first := rows[0][it.col]
+	switch it.kind {
+	case aggMin, aggMax:
+		best := first
+		for _, r := range rows[1:] {
+			c := compareValues(r[it.col], best)
+			if (it.kind == aggMin && c < 0) || (it.kind == aggMax && c > 0) {
+				best = r[it.col]
+			}
+		}
+		return best
+	case aggSum, aggAvg:
+		var sum float64
+		for _, r := range rows {
+			sum += r[it.col].asFloat()
+		}
+		if it.kind == aggAvg {
+			return Value{T: Real, F: sum / float64(len(rows))}
+		}
+		if first.T == Int {
+			return Value{T: Int, I: int64(sum)}
+		}
+		return Value{T: Real, F: sum}
+	}
+	return Value{}
+}
+
+func indexOf(toks []string, kw string) int {
+	for i, t := range toks {
+		if t == kw {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema describes a table's columns, for LLM prompt construction in the
+// Text2SQL workflow.
+func (db *DB) Schema(tableName string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(tableName)]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownTable, tableName)
+	}
+	var parts []string
+	typeNames := map[Type]string{Int: "INT", Real: "REAL", Text: "TEXT"}
+	for i, c := range t.cols {
+		parts = append(parts, c+" "+typeNames[t.typs[i]])
+	}
+	return t.name + "(" + strings.Join(parts, ", ") + ")", nil
+}

@@ -1,0 +1,211 @@
+package sqlmini
+
+import (
+	"errors"
+	"testing"
+)
+
+func seeded(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustExec("CREATE TABLE sales (region TEXT, amount INT, rate REAL)")
+	db.MustExec("INSERT INTO sales VALUES ('east', 100, 0.5)")
+	db.MustExec("INSERT INTO sales VALUES ('west', 200, 1.5), ('east', 50, 2.0)")
+	db.MustExec("INSERT INTO sales VALUES ('north', 10, 0.1)")
+	return db
+}
+
+func TestCreateInsertSelectAll(t *testing.T) {
+	db := seeded(t)
+	r, err := db.Exec("SELECT * FROM sales")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns) != 3 || len(r.Rows) != 4 {
+		t.Fatalf("rows = %d cols = %d", len(r.Rows), len(r.Columns))
+	}
+	if r.Rows[0][0].S != "east" || r.Rows[0][1].I != 100 {
+		t.Fatalf("row0 = %+v", r.Rows[0])
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	db := seeded(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"SELECT * FROM sales WHERE amount > 50", 2},
+		{"SELECT * FROM sales WHERE amount >= 50", 3},
+		{"SELECT * FROM sales WHERE amount < 100", 2},
+		{"SELECT * FROM sales WHERE amount <= 100", 3},
+		{"SELECT * FROM sales WHERE amount = 100", 1},
+		{"SELECT * FROM sales WHERE amount != 100", 3},
+		{"SELECT * FROM sales WHERE region = 'east'", 2},
+		{"SELECT * FROM sales WHERE region = 'east' AND amount > 60", 1},
+		{"SELECT * FROM sales WHERE rate > 0.4 AND rate < 1.9", 2},
+	}
+	for _, c := range cases {
+		r, err := db.Exec(c.q)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(r.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.q, len(r.Rows), c.want)
+		}
+	}
+}
+
+func TestProjection(t *testing.T) {
+	db := seeded(t)
+	r, err := db.Exec("SELECT region, amount FROM sales WHERE amount = 200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns) != 2 || r.Rows[0][0].S != "west" || r.Rows[0][1].I != 200 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := seeded(t)
+	r := db.MustExec("SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales")
+	row := r.Rows[0]
+	if row[0].I != 4 || row[1].I != 360 || row[2].F != 90 || row[3].I != 10 || row[4].I != 200 {
+		t.Fatalf("aggregates = %+v", row)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := seeded(t)
+	r := db.MustExec("SELECT region, SUM(amount), COUNT(*) FROM sales GROUP BY region")
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups = %d", len(r.Rows))
+	}
+	// Groups sorted by key: east, north, west.
+	if r.Rows[0][0].S != "east" || r.Rows[0][1].I != 150 || r.Rows[0][2].I != 2 {
+		t.Fatalf("east group = %+v", r.Rows[0])
+	}
+	if r.Rows[2][0].S != "west" || r.Rows[2][1].I != 200 {
+		t.Fatalf("west group = %+v", r.Rows[2])
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := seeded(t)
+	r := db.MustExec("SELECT region, amount FROM sales ORDER BY amount DESC LIMIT 2")
+	if len(r.Rows) != 2 || r.Rows[0][1].I != 200 || r.Rows[1][1].I != 100 {
+		t.Fatalf("r = %+v", r.Rows)
+	}
+	r = db.MustExec("SELECT region, amount FROM sales ORDER BY amount")
+	if r.Rows[0][1].I != 10 {
+		t.Fatalf("asc order = %+v", r.Rows)
+	}
+}
+
+func TestAggregateEmptySet(t *testing.T) {
+	db := seeded(t)
+	r := db.MustExec("SELECT COUNT(*) FROM sales WHERE amount > 9999")
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 0 {
+		t.Fatalf("empty count = %+v", r.Rows)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := seeded(t)
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{"", ErrSyntax},
+		{"DROP TABLE sales", ErrSyntax},
+		{"SELECT * FROM ghosts", ErrUnknownTable},
+		{"SELECT ghost FROM sales", ErrUnknownColumn},
+		{"SELECT * FROM sales WHERE ghost = 1", ErrUnknownColumn},
+		{"CREATE TABLE sales (x INT)", ErrTableExists},
+		{"CREATE TABLE bad (x WHAT)", ErrSyntax},
+		{"CREATE TABLE bad ()", ErrSyntax},
+		{"INSERT INTO ghosts VALUES (1)", ErrUnknownTable},
+		{"INSERT INTO sales VALUES (1)", ErrArity},
+		{"INSERT INTO sales VALUES ('a', 'b', 1.0)", ErrTypeMismatch},
+		{"INSERT INTO sales VALUES ('a', 1, 1.0, 9)", ErrArity},
+		{"SELECT amount FROM sales ORDER BY ghost", ErrUnknownColumn},
+		{"SELECT * FROM sales LIMIT x", ErrSyntax},
+		{"SELECT * FROM sales WHERE region = 'unterminated", ErrSyntax},
+		{"SELECT SUM(*) FROM sales", ErrSyntax},
+		{"SELECT", ErrSyntax},
+	}
+	for _, c := range cases {
+		if _, err := db.Exec(c.q); !errors.Is(err, c.want) {
+			t.Errorf("%q err = %v, want %v", c.q, err, c.want)
+		}
+	}
+}
+
+func TestInsertMultipleRows(t *testing.T) {
+	db := NewDB()
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (2), (3)")
+	r := db.MustExec("SELECT COUNT(*) FROM t")
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("count = %+v", r.Rows)
+	}
+}
+
+func TestTablesAndSchema(t *testing.T) {
+	db := seeded(t)
+	db.MustExec("CREATE TABLE users (id INT, name TEXT)")
+	tables := db.Tables()
+	if len(tables) != 2 || tables[0] != "sales" || tables[1] != "users" {
+		t.Fatalf("tables = %v", tables)
+	}
+	s, err := db.Schema("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "users(id INT, name TEXT)" {
+		t.Fatalf("schema = %q", s)
+	}
+	if _, err := db.Schema("nope"); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("schema err = %v", err)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	db := seeded(t)
+	r, err := db.Exec("select REGION, sum(AMOUNT) from SALES group by Region order by region limit 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if (Value{T: Int, I: -5}).String() != "-5" {
+		t.Fatal("int format")
+	}
+	if (Value{T: Real, F: 2.5}).String() != "2.5" {
+		t.Fatal("real format")
+	}
+	if (Value{T: Text, S: "hi"}).String() != "hi" {
+		t.Fatal("text format")
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	db := seeded(t)
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := db.Exec("SELECT region, SUM(amount) FROM sales GROUP BY region")
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

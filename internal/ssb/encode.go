@@ -1,0 +1,67 @@
+package ssb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Chunk wire format: fact-table slices travel between the object store
+// and Partial compute functions as little-endian column blocks:
+// magic "SSB1", uint32 row count, then the ten int32 columns in
+// declaration order.
+
+var chunkMagic = [4]byte{'S', 'S', 'B', '1'}
+
+// ErrBadChunk reports a malformed encoded chunk.
+var ErrBadChunk = errors.New("ssb: malformed chunk")
+
+// EncodeChunk serializes a fact-table slice.
+func EncodeChunk(l *LineOrders) []byte {
+	n := l.Len()
+	out := make([]byte, 0, 8+n*BytesPerRow)
+	out = append(out, chunkMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, col := range l.columns() {
+		for _, v := range col {
+			out = binary.LittleEndian.AppendUint32(out, uint32(v))
+		}
+	}
+	return out
+}
+
+// DecodeChunk parses an encoded fact-table slice.
+func DecodeChunk(data []byte) (*LineOrders, error) {
+	if len(data) < 8 || data[0] != chunkMagic[0] || data[1] != chunkMagic[1] ||
+		data[2] != chunkMagic[2] || data[3] != chunkMagic[3] {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadChunk)
+	}
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	if n < 0 || 8+n*BytesPerRow != len(data) {
+		return nil, fmt.Errorf("%w: %d rows vs %d bytes", ErrBadChunk, n, len(data))
+	}
+	l := &LineOrders{}
+	off := 8
+	for _, col := range l.columnPtrs() {
+		*col = make([]int32, n)
+		for i := 0; i < n; i++ {
+			(*col)[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+	}
+	return l, nil
+}
+
+func (l *LineOrders) columns() [][]int32 {
+	return [][]int32{
+		l.OrderKey, l.CustKey, l.PartKey, l.SuppKey, l.OrderDate,
+		l.Quantity, l.ExtendedPrice, l.Discount, l.Revenue, l.SupplyCost,
+	}
+}
+
+func (l *LineOrders) columnPtrs() []*[]int32 {
+	return []*[]int32{
+		&l.OrderKey, &l.CustKey, &l.PartKey, &l.SuppKey, &l.OrderDate,
+		&l.Quantity, &l.ExtendedPrice, &l.Discount, &l.Revenue, &l.SupplyCost,
+	}
+}

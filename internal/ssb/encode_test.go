@@ -1,0 +1,76 @@
+package ssb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	db := Generate(500, 3)
+	enc := EncodeChunk(db.Facts)
+	if len(enc) != 8+500*BytesPerRow {
+		t.Fatalf("encoded size = %d", len(enc))
+	}
+	dec, err := DecodeChunk(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 500 {
+		t.Fatalf("rows = %d", dec.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if dec.Revenue[i] != db.Facts.Revenue[i] || dec.OrderDate[i] != db.Facts.OrderDate[i] {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestChunkSliceRoundTrip(t *testing.T) {
+	db := Generate(100, 4)
+	s := db.Facts.Slice(10, 30)
+	dec, err := DecodeChunk(EncodeChunk(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 20 || dec.OrderKey[0] != db.Facts.OrderKey[10] {
+		t.Fatal("slice chunk mismatch")
+	}
+}
+
+func TestDecodeChunkErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x01\x00\x00\x00"),
+		append([]byte("SSB1"), 0xff, 0xff, 0xff, 0x7f), // huge count
+	}
+	for _, c := range cases {
+		if _, err := DecodeChunk(c); !errors.Is(err, ErrBadChunk) {
+			t.Errorf("DecodeChunk(%q) err = %v", c, err)
+		}
+	}
+	good := EncodeChunk(Generate(10, 1).Facts)
+	if _, err := DecodeChunk(good[:len(good)-4]); !errors.Is(err, ErrBadChunk) {
+		t.Error("truncated chunk accepted")
+	}
+}
+
+func TestPartialOnDecodedChunk(t *testing.T) {
+	db := Generate(5000, 7)
+	plan, _ := NewPlan(db, Q11)
+	direct := plan.Partial(db.Facts)
+	dec, err := DecodeChunk(EncodeChunk(db.Facts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire := plan.Partial(dec)
+	a, b := direct.Rows(), viaWire.Rows()
+	if len(a) != len(b) {
+		t.Fatal("group count mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("group %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package ssb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the columnar query engine: selection vectors over the
+// fact table, hash joins against dimensions, and grouped aggregation —
+// the operator set the paper ports from Apache Arrow Acero (§7.7).
+
+// Selection is a set of selected fact-table row indices.
+type Selection []int32
+
+// ScanAll selects every row of the chunk.
+func ScanAll(f *LineOrders) Selection {
+	sel := make(Selection, f.Len())
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	return sel
+}
+
+// Filter retains the rows where pred holds.
+func Filter(f *LineOrders, sel Selection, pred func(i int32) bool) Selection {
+	out := sel[:0:len(sel)]
+	for _, i := range sel {
+		if pred(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DimJoin is a hash join against a dimension keyed by int32: build maps
+// dimension key → payload index, probe passes fact rows whose key is
+// present.
+type DimJoin struct {
+	table map[int32]int32
+}
+
+// BuildJoin builds the hash side from n dimension rows with the given
+// key accessor; keep selects which rows participate (nil keeps all).
+func BuildJoin(n int, key func(i int) int32, keep func(i int) bool) *DimJoin {
+	j := &DimJoin{table: make(map[int32]int32, n)}
+	for i := 0; i < n; i++ {
+		if keep == nil || keep(i) {
+			j.table[key(i)] = int32(i)
+		}
+	}
+	return j
+}
+
+// Probe filters the selection to rows whose foreign key matches the
+// build side.
+func (j *DimJoin) Probe(sel Selection, fk []int32) Selection {
+	out := sel[:0:len(sel)]
+	for _, i := range sel {
+		if _, ok := j.table[fk[i]]; ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Lookup returns the dimension row index for a fact row's foreign key.
+func (j *DimJoin) Lookup(fk int32) (int32, bool) {
+	v, ok := j.table[fk]
+	return v, ok
+}
+
+// Agg is one aggregation group's accumulator.
+type Agg struct {
+	Key string
+	Sum int64
+	N   int64
+}
+
+// GroupSum aggregates sum(value) grouped by key over the selection.
+type GroupSum struct {
+	groups map[string]*Agg
+}
+
+// NewGroupSum creates an empty aggregation state.
+func NewGroupSum() *GroupSum { return &GroupSum{groups: map[string]*Agg{}} }
+
+// Add accumulates value under key.
+func (g *GroupSum) Add(key string, value int64) {
+	a, ok := g.groups[key]
+	if !ok {
+		a = &Agg{Key: key}
+		g.groups[key] = a
+	}
+	a.Sum += value
+	a.N++
+}
+
+// Merge folds another partial aggregation into g — the combine step
+// when query chunks execute as parallel Dandelion instances.
+func (g *GroupSum) Merge(o *GroupSum) {
+	for k, a := range o.groups {
+		mine, ok := g.groups[k]
+		if !ok {
+			g.groups[k] = &Agg{Key: k, Sum: a.Sum, N: a.N}
+			continue
+		}
+		mine.Sum += a.Sum
+		mine.N += a.N
+	}
+}
+
+// Rows returns the groups sorted by key.
+func (g *GroupSum) Rows() []Agg {
+	out := make([]Agg, 0, len(g.groups))
+	for _, a := range g.groups {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Encode serializes the partial aggregation as lines "key\tsum\tn", the
+// wire format between partial and merge compute functions.
+func (g *GroupSum) Encode() []byte {
+	var b strings.Builder
+	for _, a := range g.Rows() {
+		fmt.Fprintf(&b, "%s\t%d\t%d\n", a.Key, a.Sum, a.N)
+	}
+	return []byte(b.String())
+}
+
+// DecodeGroupSum parses the Encode format.
+func DecodeGroupSum(data []byte) (*GroupSum, error) {
+	g := NewGroupSum()
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("ssb: malformed partial row %q", line)
+		}
+		var sum, n int64
+		if _, err := fmt.Sscanf(parts[1], "%d", &sum); err != nil {
+			return nil, fmt.Errorf("ssb: bad sum in %q", line)
+		}
+		if _, err := fmt.Sscanf(parts[2], "%d", &n); err != nil {
+			return nil, fmt.Errorf("ssb: bad count in %q", line)
+		}
+		a, ok := g.groups[parts[0]]
+		if !ok {
+			g.groups[parts[0]] = &Agg{Key: parts[0], Sum: sum, N: n}
+		} else {
+			a.Sum += sum
+			a.N += n
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,180 @@
+// Package ssb implements the Star Schema Benchmark (O'Neil et al.) used
+// by the elastic query processing experiment in §7.7: a deterministic
+// data generator, a small columnar query engine with the operators the
+// paper ports from Apache Arrow Acero (filter, projection, hash join,
+// group-by aggregation, order by), the four SSB queries evaluated in
+// Figure 9, and a cost/latency model of AWS Athena for comparison.
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Regions, nations, and part metadata follow the SSB specification's
+// vocabulary (trimmed lists; cardinalities preserved in spirit).
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = map[string][]string{
+		"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+		"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+		"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+		"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+		"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+	}
+	mfgrs = []string{"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}
+)
+
+// Date is one row of the date dimension.
+type Date struct {
+	DateKey int32
+	Year    int32
+	Month   int32 // yearmonthnum, e.g. 199401
+}
+
+// Part is one row of the part dimension.
+type Part struct {
+	PartKey  int32
+	MFGR     string
+	Category string
+	Brand    string
+}
+
+// Supplier is one row of the supplier dimension.
+type Supplier struct {
+	SuppKey int32
+	Region  string
+	Nation  string
+	City    string
+}
+
+// Customer is one row of the customer dimension.
+type Customer struct {
+	CustKey int32
+	Region  string
+	Nation  string
+	City    string
+}
+
+// LineOrders is the fact table in columnar layout.
+type LineOrders struct {
+	OrderKey      []int32
+	CustKey       []int32
+	PartKey       []int32
+	SuppKey       []int32
+	OrderDate     []int32 // date key
+	Quantity      []int32
+	ExtendedPrice []int32
+	Discount      []int32 // percent, 0..10
+	Revenue       []int32
+	SupplyCost    []int32
+}
+
+// Len reports the row count.
+func (l *LineOrders) Len() int { return len(l.OrderKey) }
+
+// Slice returns the row range [lo, hi) as a view (shared backing).
+func (l *LineOrders) Slice(lo, hi int) *LineOrders {
+	return &LineOrders{
+		OrderKey: l.OrderKey[lo:hi], CustKey: l.CustKey[lo:hi],
+		PartKey: l.PartKey[lo:hi], SuppKey: l.SuppKey[lo:hi],
+		OrderDate: l.OrderDate[lo:hi], Quantity: l.Quantity[lo:hi],
+		ExtendedPrice: l.ExtendedPrice[lo:hi], Discount: l.Discount[lo:hi],
+		Revenue: l.Revenue[lo:hi], SupplyCost: l.SupplyCost[lo:hi],
+	}
+}
+
+// BytesPerRow is the fact table's on-wire width (10 int32 columns),
+// used to translate row counts into scanned bytes for cost models.
+const BytesPerRow = 40
+
+// DB is a generated SSB database.
+type DB struct {
+	Dates     []Date
+	Parts     []Part
+	Suppliers []Supplier
+	Customers []Customer
+	Facts     *LineOrders
+}
+
+// Generate builds a deterministic SSB database with the given fact-table
+// row count. Dimension sizes scale with the spec's ratios.
+func Generate(factRows int, seed int64) *DB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &DB{Facts: &LineOrders{}}
+
+	// Date dimension: 7 years of days, 1992-1998.
+	for year := int32(1992); year <= 1998; year++ {
+		for month := int32(1); month <= 12; month++ {
+			for day := int32(1); day <= 28; day++ {
+				db.Dates = append(db.Dates, Date{
+					DateKey: year*10000 + month*100 + day,
+					Year:    year,
+					Month:   year*100 + month,
+				})
+			}
+		}
+	}
+
+	nParts := maxInt(factRows/50, 20)
+	for i := 0; i < nParts; i++ {
+		m := mfgrs[rng.Intn(len(mfgrs))]
+		cat := fmt.Sprintf("%s%d", m, 1+rng.Intn(5))
+		db.Parts = append(db.Parts, Part{
+			PartKey:  int32(i + 1),
+			MFGR:     m,
+			Category: cat,
+			Brand:    fmt.Sprintf("%s%d", cat, 1+rng.Intn(40)),
+		})
+	}
+
+	nSupp := maxInt(factRows/100, 10)
+	for i := 0; i < nSupp; i++ {
+		r := regions[rng.Intn(len(regions))]
+		n := nations[r][rng.Intn(len(nations[r]))]
+		db.Suppliers = append(db.Suppliers, Supplier{
+			SuppKey: int32(i + 1), Region: r, Nation: n,
+			City: fmt.Sprintf("%s%d", n[:minInt(5, len(n))], rng.Intn(10)),
+		})
+	}
+
+	nCust := maxInt(factRows/30, 10)
+	for i := 0; i < nCust; i++ {
+		r := regions[rng.Intn(len(regions))]
+		n := nations[r][rng.Intn(len(nations[r]))]
+		db.Customers = append(db.Customers, Customer{
+			CustKey: int32(i + 1), Region: r, Nation: n,
+			City: fmt.Sprintf("%s%d", n[:minInt(5, len(n))], rng.Intn(10)),
+		})
+	}
+
+	f := db.Facts
+	for i := 0; i < factRows; i++ {
+		price := int32(100 + rng.Intn(10000))
+		f.OrderKey = append(f.OrderKey, int32(i+1))
+		f.CustKey = append(f.CustKey, db.Customers[rng.Intn(nCust)].CustKey)
+		f.PartKey = append(f.PartKey, db.Parts[rng.Intn(nParts)].PartKey)
+		f.SuppKey = append(f.SuppKey, db.Suppliers[rng.Intn(nSupp)].SuppKey)
+		f.OrderDate = append(f.OrderDate, db.Dates[rng.Intn(len(db.Dates))].DateKey)
+		f.Quantity = append(f.Quantity, int32(1+rng.Intn(50)))
+		f.ExtendedPrice = append(f.ExtendedPrice, price)
+		f.Discount = append(f.Discount, int32(rng.Intn(11)))
+		f.Revenue = append(f.Revenue, price*int32(100-rng.Intn(11))/100)
+		f.SupplyCost = append(f.SupplyCost, price*6/10)
+	}
+	return db
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package ssb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	return Generate(20000, 42)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1000, 7)
+	b := Generate(1000, 7)
+	if a.Facts.Len() != 1000 || b.Facts.Len() != 1000 {
+		t.Fatal("row count")
+	}
+	for i := 0; i < 1000; i++ {
+		if a.Facts.Revenue[i] != b.Facts.Revenue[i] {
+			t.Fatal("non-deterministic generation")
+		}
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	db := testDB(t)
+	dates := map[int32]bool{}
+	for _, d := range db.Dates {
+		dates[d.DateKey] = true
+	}
+	for i := 0; i < db.Facts.Len(); i++ {
+		if !dates[db.Facts.OrderDate[i]] {
+			t.Fatalf("dangling date key %d", db.Facts.OrderDate[i])
+		}
+		if k := db.Facts.CustKey[i]; k < 1 || int(k) > len(db.Customers) {
+			t.Fatalf("dangling customer key %d", k)
+		}
+		if k := db.Facts.PartKey[i]; k < 1 || int(k) > len(db.Parts) {
+			t.Fatalf("dangling part key %d", k)
+		}
+		if k := db.Facts.SuppKey[i]; k < 1 || int(k) > len(db.Suppliers) {
+			t.Fatalf("dangling supplier key %d", k)
+		}
+	}
+}
+
+func TestFilterAndJoin(t *testing.T) {
+	db := testDB(t)
+	f := db.Facts
+	sel := ScanAll(f)
+	if len(sel) != f.Len() {
+		t.Fatal("scan all size")
+	}
+	filtered := Filter(f, sel, func(i int32) bool { return f.Quantity[i] < 10 })
+	for _, i := range filtered {
+		if f.Quantity[i] >= 10 {
+			t.Fatal("filter kept bad row")
+		}
+	}
+	j := BuildJoin(len(db.Dates), func(i int) int32 { return db.Dates[i].DateKey },
+		func(i int) bool { return db.Dates[i].Year == 1994 })
+	joined := j.Probe(ScanAll(f), f.OrderDate)
+	for _, i := range joined {
+		if f.OrderDate[i]/10000 != 1994 {
+			t.Fatalf("join passed wrong year: %d", f.OrderDate[i])
+		}
+	}
+	if len(joined) == 0 {
+		t.Fatal("join empty; generator should cover 1994")
+	}
+}
+
+func TestGroupSumMergeEquivalence(t *testing.T) {
+	// Partial-per-chunk + merge must equal single-chunk execution for
+	// every query: the invariant that makes parallel Dandelion
+	// execution correct.
+	db := testDB(t)
+	for _, q := range Queries() {
+		single, err := RunQuery(db, q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := RunQuery(db, q, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := single.Rows(), parallel.Rows()
+		if len(a) != len(b) {
+			t.Fatalf("%s: group counts %d vs %d", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: group %d: %+v vs %+v", q, i, a[i], b[i])
+			}
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: produced no groups", q)
+		}
+	}
+}
+
+func TestQ11MatchesNaive(t *testing.T) {
+	db := testDB(t)
+	got, err := RunQuery(db, Q11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive reference.
+	years := map[int32]int32{}
+	for _, d := range db.Dates {
+		years[d.DateKey] = d.Year
+	}
+	var want int64
+	f := db.Facts
+	for i := 0; i < f.Len(); i++ {
+		if years[f.OrderDate[i]] == 1993 && f.Discount[i] >= 1 && f.Discount[i] <= 3 && f.Quantity[i] < 25 {
+			want += int64(f.ExtendedPrice[i]) * int64(f.Discount[i])
+		}
+	}
+	rows := got.Rows()
+	if len(rows) != 1 || rows[0].Sum != want {
+		t.Fatalf("Q1.1 = %+v, want sum %d", rows, want)
+	}
+}
+
+func TestQ21GroupKeysShape(t *testing.T) {
+	db := testDB(t)
+	g, _ := RunQuery(db, Q21, 4)
+	for _, row := range g.Rows() {
+		parts := strings.Split(row.Key, "|")
+		if len(parts) != 2 || !strings.HasPrefix(parts[1], "MFGR#12") {
+			t.Fatalf("Q2.1 key %q", row.Key)
+		}
+	}
+}
+
+func TestQ31OnlyAsia(t *testing.T) {
+	db := testDB(t)
+	g, _ := RunQuery(db, Q31, 4)
+	asia := map[string]bool{}
+	for _, n := range nations["ASIA"] {
+		asia[n] = true
+	}
+	for _, row := range g.Rows() {
+		parts := strings.Split(row.Key, "|")
+		if len(parts) != 3 || !asia[parts[0]] || !asia[parts[1]] {
+			t.Fatalf("Q3.1 key %q not ASIA/ASIA", row.Key)
+		}
+	}
+}
+
+func TestQ41ProfitCanBeComputed(t *testing.T) {
+	db := testDB(t)
+	g, _ := RunQuery(db, Q41, 4)
+	if len(g.Rows()) == 0 {
+		t.Fatal("Q4.1 empty")
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	db := Generate(100, 1)
+	if _, err := RunQuery(db, QueryID("Q9.9"), 1); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestEncodeDecodePartials(t *testing.T) {
+	g := NewGroupSum()
+	g.Add("1993|MFGR#121", 500)
+	g.Add("1994|MFGR#122", 700)
+	g.Add("1993|MFGR#121", 250)
+	back, err := DecodeGroupSum(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.Rows(), back.Rows()
+	if len(a) != len(b) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if _, err := DecodeGroupSum([]byte("bad\tline")); err == nil {
+		t.Fatal("malformed partial accepted")
+	}
+	if _, err := DecodeGroupSum([]byte("k\tx\t1")); err == nil {
+		t.Fatal("non-numeric sum accepted")
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(sums []int64) bool {
+		g := NewGroupSum()
+		for i, s := range sums {
+			g.Add(string(rune('a'+i%20)), s)
+		}
+		back, err := DecodeGroupSum(g.Encode())
+		if err != nil {
+			return false
+		}
+		a, b := g.Rows(), back.Rows()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAthenaModel(t *testing.T) {
+	m := DefaultAthena()
+	// 700 MB at $5/TB = 0.35¢, matching Figure 9's ~0.32-0.33¢ bars.
+	c := m.CostCents(700 << 20)
+	if c < 0.3 || c < 0.2 || c > 0.45 {
+		t.Fatalf("Athena cost for 700MB = %.3f¢, want ~0.35", c)
+	}
+	// Billing floor.
+	if m.CostCents(1) != m.CostCents(10<<20) {
+		t.Fatal("10MB minimum not applied")
+	}
+	// Latency: startup dominates small scans.
+	if m.LatencyMS(1<<20) < m.StartupMS {
+		t.Fatal("latency below startup")
+	}
+	lat := m.LatencyMS(700 << 20)
+	if lat < 2000 || lat > 6000 {
+		t.Fatalf("Athena 700MB latency = %.0f ms, want 2-6 s (Figure 9 range)", lat)
+	}
+}
+
+func TestEC2Model(t *testing.T) {
+	m := DefaultEC2()
+	// §7.7: Dandelion ~2s query on m7a.8xlarge ≈ 0.08-0.12¢.
+	c := m.CostCents(2000)
+	if c < 0.05 || c > 0.2 {
+		t.Fatalf("EC2 cost for 2s = %.3f¢", c)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	// Dandelion must be both faster (≈40%) and cheaper (≈67%) than
+	// Athena for short queries on 700 MB.
+	athena := DefaultAthena()
+	ec2 := DefaultEC2()
+	scan := int64(700 << 20)
+	athenaLat := athena.LatencyMS(scan)
+	dandelionLat := athenaLat * 0.6 // paper's measured 40% improvement
+	if ec2.CostCents(dandelionLat) > athena.CostCents(scan)*0.5 {
+		t.Fatalf("Dandelion cost %.3f¢ not well below Athena %.3f¢",
+			ec2.CostCents(dandelionLat), athena.CostCents(scan))
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	db := Generate(100, 3)
+	s := db.Facts.Slice(10, 20)
+	if s.Len() != 10 || s.OrderKey[0] != db.Facts.OrderKey[10] {
+		t.Fatal("slice view wrong")
+	}
+}

@@ -1,0 +1,239 @@
+// Package storagefn implements a second Dandelion communication
+// function beyond HTTP: a cloud-storage protocol function (§3 of the
+// paper notes the plan to "add more communication functions to support
+// additional protocols").
+//
+// Compute functions emit storage *operation items* — small textual
+// commands against an S3-style object store:
+//
+//	GET <bucket>/<key>
+//	PUT <bucket>/<key>
+//	<payload...>
+//	DELETE <bucket>/<key>
+//	LIST <bucket>
+//
+// The function sanitizes every operation before touching the network
+// (command whitelist, bucket/key character set), performs it against
+// the configured store endpoint, and returns one result item per
+// operation: "OK <n-bytes>" + payload for GET/LIST, "OK" for PUT and
+// DELETE, or "ERR <status>" for storage-level failures, which flow to
+// downstream functions as ordinary data (§4.4).
+package storagefn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dandelion/internal/memctx"
+)
+
+// Sanitization errors.
+var (
+	ErrBadOp   = errors.New("storagefn: malformed storage operation")
+	ErrBadPath = errors.New("storagefn: invalid bucket/key")
+)
+
+// Op is a parsed, sanitized storage operation.
+type Op struct {
+	Verb    string // GET, PUT, DELETE, LIST
+	Bucket  string
+	Key     string // empty for LIST
+	Payload []byte // PUT only
+}
+
+// FormatOp renders an operation item.
+func FormatOp(verb, bucket, key string, payload []byte) []byte {
+	var b bytes.Buffer
+	if key == "" {
+		fmt.Fprintf(&b, "%s %s", verb, bucket)
+	} else {
+		fmt.Fprintf(&b, "%s %s/%s", verb, bucket, key)
+	}
+	if payload != nil {
+		b.WriteByte('\n')
+		b.Write(payload)
+	}
+	return b.Bytes()
+}
+
+// ParseOp parses and sanitizes one operation item.
+func ParseOp(item []byte) (*Op, error) {
+	head := item
+	var payload []byte
+	if i := bytes.IndexByte(item, '\n'); i >= 0 {
+		head, payload = item[:i], item[i+1:]
+	}
+	parts := strings.Fields(string(head))
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("%w: %q", ErrBadOp, head)
+	}
+	verb := parts[0]
+	path := parts[1]
+	op := &Op{Verb: verb}
+	switch verb {
+	case "LIST":
+		op.Bucket = path
+	case "GET", "DELETE":
+		i := strings.IndexByte(path, '/')
+		if i <= 0 || i == len(path)-1 {
+			return nil, fmt.Errorf("%w: %q needs bucket/key", ErrBadOp, path)
+		}
+		op.Bucket, op.Key = path[:i], path[i+1:]
+	case "PUT":
+		i := strings.IndexByte(path, '/')
+		if i <= 0 || i == len(path)-1 {
+			return nil, fmt.Errorf("%w: %q needs bucket/key", ErrBadOp, path)
+		}
+		op.Bucket, op.Key = path[:i], path[i+1:]
+		op.Payload = payload
+	default:
+		return nil, fmt.Errorf("%w: verb %q", ErrBadOp, verb)
+	}
+	if err := checkName(op.Bucket); err != nil {
+		return nil, err
+	}
+	if op.Key != "" {
+		if err := checkName(op.Key); err != nil {
+			return nil, err
+		}
+	}
+	if verb != "PUT" && len(payload) > 0 {
+		return nil, fmt.Errorf("%w: %s does not take a payload", ErrBadOp, verb)
+	}
+	return op, nil
+}
+
+// checkName enforces a conservative S3-like charset so a malicious
+// function cannot smuggle path traversal or header injection through
+// the trusted engine.
+func checkName(s string) error {
+	if s == "" || len(s) > 255 {
+		return fmt.Errorf("%w: %q", ErrBadPath, s)
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrBadPath, s)
+		}
+	}
+	if strings.Contains(s, "..") {
+		return fmt.Errorf("%w: %q", ErrBadPath, s)
+	}
+	return nil
+}
+
+// Function is the storage communication function. Like httpfn.Function
+// it is trusted, runs on communication engines, and exchanges data with
+// compute functions exclusively through sets.
+type Function struct {
+	// BaseURL of the object-store service.
+	BaseURL string
+	// Client issues the requests; nil selects http.DefaultClient.
+	Client *http.Client
+}
+
+// Name implements the communication-function registry interface.
+func (f *Function) Name() string { return "Storage" }
+
+// InputSets declares the single input set ("Ops").
+func (f *Function) InputSets() []string { return []string{"Ops"} }
+
+// OutputSets declares the single output set ("Results").
+func (f *Function) OutputSets() []string { return []string{"Results"} }
+
+// Invoke sanitizes and performs every operation item, producing one
+// result item per operation in order.
+func (f *Function) Invoke(inputs []memctx.Set) ([]memctx.Set, error) {
+	var ops *memctx.Set
+	for i := range inputs {
+		if inputs[i].Name == "Ops" {
+			ops = &inputs[i]
+			break
+		}
+	}
+	if ops == nil && len(inputs) == 1 {
+		ops = &inputs[0]
+	}
+	if ops == nil {
+		return nil, errors.New("storagefn: missing Ops input set")
+	}
+	out := memctx.Set{Name: "Results"}
+	for _, item := range ops.Items {
+		op, err := ParseOp(item.Data)
+		if err != nil {
+			return nil, err
+		}
+		res := f.perform(op)
+		res.Name = item.Name
+		res.Key = item.Key
+		out.Items = append(out.Items, res)
+	}
+	return []memctx.Set{out}, nil
+}
+
+func (f *Function) perform(op *Op) memctx.Item {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := f.BaseURL + "/" + op.Bucket
+	method := http.MethodGet
+	var body io.Reader
+	switch op.Verb {
+	case "GET":
+		url += "/" + op.Key
+	case "LIST":
+		url += "/"
+	case "PUT":
+		url += "/" + op.Key
+		method = http.MethodPut
+		body = bytes.NewReader(op.Payload)
+	case "DELETE":
+		url += "/" + op.Key
+		method = http.MethodDelete
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return memctx.Item{Data: []byte("ERR 502 " + err.Error())}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return memctx.Item{Data: []byte("ERR 502 " + err.Error())}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return memctx.Item{Data: []byte("ERR 502 " + err.Error())}
+	}
+	if resp.StatusCode >= 300 {
+		return memctx.Item{Data: []byte(fmt.Sprintf("ERR %d", resp.StatusCode))}
+	}
+	switch op.Verb {
+	case "GET", "LIST":
+		head := []byte(fmt.Sprintf("OK %d\n", len(data)))
+		return memctx.Item{Data: append(head, data...)}
+	default:
+		return memctx.Item{Data: []byte("OK")}
+	}
+}
+
+// ParseResult splits a result item into its status line and payload.
+// ok reports whether the operation succeeded.
+func ParseResult(item []byte) (ok bool, payload []byte) {
+	if bytes.Equal(item, []byte("OK")) {
+		return true, nil
+	}
+	if bytes.HasPrefix(item, []byte("OK ")) {
+		if i := bytes.IndexByte(item, '\n'); i >= 0 {
+			return true, item[i+1:]
+		}
+		return true, nil
+	}
+	return false, item
+}

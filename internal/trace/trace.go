@@ -1,0 +1,143 @@
+// Package trace synthesizes Azure-Functions-like production workloads
+// (Shahrad et al., ATC'20 — the trace used in §7.8 and Figure 1 of the
+// Dandelion paper) and samples/replays them for the memory-commitment
+// experiments.
+//
+// The real trace is proprietary-scale telemetry; this generator matches
+// its published shape: per-function invocation rates spanning several
+// orders of magnitude (a few functions dominate), log-normal execution
+// times with most invocations under a second, and memory sizes of tens
+// to hundreds of MB.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dandelion/internal/sim"
+)
+
+// Function is one serverless function in the trace.
+type Function struct {
+	// ID is stable across sampling.
+	ID string
+	// RatePerMin is the average invocation rate (Poisson).
+	RatePerMin float64
+	// DurMedianMS and DurSigma parameterize the log-normal execution
+	// time distribution.
+	DurMedianMS float64
+	DurSigma    float64
+	// MemMB is the function's memory requirement.
+	MemMB int
+}
+
+// MeanDurationMS reports the mean of the log-normal duration.
+func (f Function) MeanDurationMS() float64 {
+	return f.DurMedianMS * math.Exp(f.DurSigma*f.DurSigma/2)
+}
+
+// Trace is a set of functions plus a replay horizon.
+type Trace struct {
+	Functions []Function
+	// DurationS is the replay length in seconds.
+	DurationS float64
+}
+
+// Synthesize builds a trace of n functions with Azure-like marginals,
+// deterministic in seed.
+func Synthesize(n int, durationS float64, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := Trace{DurationS: durationS}
+	for i := 0; i < n; i++ {
+		// Invocation rates: log-uniform from 0.05/min to 60/min with a
+		// heavy head — a few hot functions carry most invocations
+		// (top ~10% of functions produce most of the load).
+		exp := rng.Float64()*3.1 - 1.3 // 10^-1.3 .. 10^1.8 per min
+		rate := math.Pow(10, exp)
+		// Durations: log-normal, median 50-800 ms (most executions are
+		// sub-second in the Azure trace).
+		median := 50 + rng.Float64()*750
+		sigma := 0.4 + rng.Float64()*0.5
+		// Memory: mixture centred on 128-256 MB.
+		mem := 64 << uint(rng.Intn(3)) // 64, 128, 256
+		if rng.Float64() < 0.15 {
+			mem = 512
+		}
+		tr.Functions = append(tr.Functions, Function{
+			ID:          fmt.Sprintf("fn%04d", i),
+			RatePerMin:  rate,
+			DurMedianMS: median,
+			DurSigma:    sigma,
+			MemMB:       mem,
+		})
+	}
+	return tr
+}
+
+// Sample returns a deterministic sub-trace of k functions, mimicking the
+// InVitro sampler: it preserves the rate distribution by sampling
+// stratified over the rate-sorted order.
+func (t Trace) Sample(k int, seed int64) Trace {
+	if k >= len(t.Functions) {
+		return t
+	}
+	sorted := append([]Function(nil), t.Functions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RatePerMin < sorted[j].RatePerMin })
+	rng := rand.New(rand.NewSource(seed))
+	out := Trace{DurationS: t.DurationS}
+	stride := float64(len(sorted)) / float64(k)
+	for i := 0; i < k; i++ {
+		lo := int(float64(i) * stride)
+		hi := int(float64(i+1) * stride)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		out.Functions = append(out.Functions, sorted[lo+rng.Intn(hi-lo)])
+	}
+	return out
+}
+
+// TotalRatePerSec reports the aggregate invocation rate.
+func (t Trace) TotalRatePerSec() float64 {
+	var sum float64
+	for _, f := range t.Functions {
+		sum += f.RatePerMin / 60
+	}
+	return sum
+}
+
+// Invocation is one scheduled request during replay.
+type Invocation struct {
+	Fn         *Function
+	DurationMS float64
+}
+
+// Replay schedules Poisson arrivals for every function on the engine
+// from now until now+DurationS. The callback receives the invocation
+// with its sampled execution duration.
+func (t Trace) Replay(e *sim.Engine, fn func(inv Invocation)) {
+	horizon := e.Now() + sim.Time(t.DurationS)
+	for i := range t.Functions {
+		f := &t.Functions[i]
+		rate := f.RatePerMin / 60
+		if rate <= 0 {
+			continue
+		}
+		tm := e.Now()
+		for {
+			tm += sim.Time(e.Rand().ExpFloat64() / rate)
+			if tm > horizon {
+				break
+			}
+			f := f
+			e.At(tm, func() {
+				fn(Invocation{Fn: f, DurationMS: e.LogNormal(f.DurMedianMS, f.DurSigma)})
+			})
+		}
+	}
+}

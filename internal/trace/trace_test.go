@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dandelion/internal/sim"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(100, 1200, 42)
+	b := Synthesize(100, 1200, 42)
+	if len(a.Functions) != 100 {
+		t.Fatalf("functions = %d", len(a.Functions))
+	}
+	for i := range a.Functions {
+		if a.Functions[i] != b.Functions[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+	c := Synthesize(100, 1200, 43)
+	same := true
+	for i := range a.Functions {
+		if a.Functions[i] != c.Functions[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical traces")
+	}
+}
+
+func TestSynthesizeMarginals(t *testing.T) {
+	tr := Synthesize(500, 1200, 7)
+	var minRate, maxRate = math.Inf(1), 0.0
+	for _, f := range tr.Functions {
+		if f.RatePerMin < minRate {
+			minRate = f.RatePerMin
+		}
+		if f.RatePerMin > maxRate {
+			maxRate = f.RatePerMin
+		}
+		if f.DurMedianMS < 50 || f.DurMedianMS > 800 {
+			t.Fatalf("duration median out of range: %v", f.DurMedianMS)
+		}
+		switch f.MemMB {
+		case 64, 128, 256, 512:
+		default:
+			t.Fatalf("unexpected memory size %d", f.MemMB)
+		}
+	}
+	// Rates must span orders of magnitude (heavy-tailed shape).
+	if maxRate/minRate < 100 {
+		t.Fatalf("rate spread too small: %v..%v", minRate, maxRate)
+	}
+}
+
+func TestMeanDuration(t *testing.T) {
+	f := Function{DurMedianMS: 100, DurSigma: 0.5}
+	want := 100 * math.Exp(0.125)
+	if got := f.MeanDurationMS(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestSamplePreservesSpread(t *testing.T) {
+	tr := Synthesize(1000, 1200, 1)
+	s := tr.Sample(100, 2)
+	if len(s.Functions) != 100 {
+		t.Fatalf("sample size = %d", len(s.Functions))
+	}
+	// Stratified sampling must keep both slow and fast functions.
+	var minRate, maxRate = math.Inf(1), 0.0
+	for _, f := range s.Functions {
+		minRate = math.Min(minRate, f.RatePerMin)
+		maxRate = math.Max(maxRate, f.RatePerMin)
+	}
+	if maxRate/minRate < 50 {
+		t.Fatalf("sample lost rate spread: %v..%v", minRate, maxRate)
+	}
+	// Sampling more than available returns everything.
+	if got := tr.Sample(2000, 3); len(got.Functions) != 1000 {
+		t.Fatalf("oversample = %d", len(got.Functions))
+	}
+}
+
+func TestReplayCountsMatchRates(t *testing.T) {
+	tr := Trace{
+		DurationS: 600,
+		Functions: []Function{
+			{ID: "hot", RatePerMin: 60, DurMedianMS: 100, DurSigma: 0.3, MemMB: 128},
+			{ID: "cold", RatePerMin: 0.5, DurMedianMS: 100, DurSigma: 0.3, MemMB: 128},
+		},
+	}
+	e := sim.NewEngine(11)
+	counts := map[string]int{}
+	tr.Replay(e, func(inv Invocation) {
+		counts[inv.Fn.ID]++
+		if inv.DurationMS <= 0 {
+			t.Fatal("non-positive duration")
+		}
+	})
+	e.RunAll()
+	// hot: ~600 invocations over 10 min; cold: ~5.
+	if counts["hot"] < 450 || counts["hot"] > 750 {
+		t.Fatalf("hot count = %d", counts["hot"])
+	}
+	if counts["cold"] > 20 {
+		t.Fatalf("cold count = %d", counts["cold"])
+	}
+}
+
+func TestReplayZeroRateFunction(t *testing.T) {
+	tr := Trace{DurationS: 10, Functions: []Function{{ID: "z", RatePerMin: 0}}}
+	e := sim.NewEngine(1)
+	tr.Replay(e, func(Invocation) { t.Fatal("zero-rate function invoked") })
+	e.RunAll()
+}
+
+func TestTotalRate(t *testing.T) {
+	tr := Trace{Functions: []Function{{RatePerMin: 60}, {RatePerMin: 30}}}
+	if got := tr.TotalRatePerSec(); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("total rate = %v", got)
+	}
+}

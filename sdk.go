@@ -1,0 +1,42 @@
+package dandelion
+
+import (
+	"dandelion/internal/vfs"
+)
+
+// FS is the in-memory virtual filesystem view a file-oriented compute
+// function sees (§4.1 of the paper): input sets are mounted read-only
+// as /in/<set>/<item>, and every file the function writes under
+// /out/<set>/<item> becomes an output item of that set. No system
+// calls are involved; the filesystem lives entirely in the function's
+// memory context.
+type FS = vfs.FS
+
+// FileFunc adapts a dlibc-style function body — one that reads inputs
+// and writes outputs through file operations — into a compute function.
+// quota bounds the bytes the function may write (0 selects the
+// default). This is the Go analogue of compiling against dlibc/dlibc++.
+//
+//	p.RegisterFunction(dandelion.ComputeFunc{
+//	    Name: "Compress",
+//	    Go: dandelion.FileFunc(0, func(fs *dandelion.FS) error {
+//	        img, err := fs.ReadFile("/in/Images/photo")
+//	        if err != nil {
+//	            return err
+//	        }
+//	        png := compress(img)
+//	        return fs.WriteFile("/out/Out/photo.png", png)
+//	    }),
+//	})
+func FileFunc(quota int, fn func(fs *FS) error) GoFunc {
+	return func(inputs []Set) ([]Set, error) {
+		fs, err := vfs.FromInputs(inputs, quota)
+		if err != nil {
+			return nil, err
+		}
+		if err := fn(fs); err != nil {
+			return nil, err
+		}
+		return fs.Outputs(), nil
+	}
+}
