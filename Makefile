@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci build vet test race bench
+
+# ci is the tier-1 gate: everything must build, vet clean, and pass
+# under the race detector.
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench tracks the serving-path trajectory: batched dispatch vs looped
+# single invokes, plus the core microbenchmarks.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' -benchmem .

@@ -63,6 +63,14 @@ type CommFunc = core.CommFunc
 // Stats snapshots platform gauges.
 type Stats = core.Stats
 
+// BatchRequest is one composition invocation inside a
+// Platform.InvokeBatch call.
+type BatchRequest = core.BatchRequest
+
+// BatchResult is the per-request outcome of a batched invocation;
+// requests fail independently.
+type BatchResult = core.BatchResult
+
 // Options configures a platform node.
 type Options struct {
 	// Backend selects the compute isolation backend: "cheri" (default),

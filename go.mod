@@ -1,0 +1,3 @@
+module dandelion
+
+go 1.24

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dandelion/internal/core"
 	"dandelion/internal/memctx"
 )
 
@@ -16,6 +17,13 @@ import (
 // *core.Platform satisfies it; tests use fakes.
 type Node interface {
 	Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
+// BatchNode is the optional batched-dispatch interface of a worker. A
+// *core.Platform satisfies it; workers that do not are driven through
+// per-request Invoke as a fallback.
+type BatchNode interface {
+	InvokeBatch(reqs []core.BatchRequest) []core.BatchResult
 }
 
 // Policy selects a worker for an invocation.
@@ -133,6 +141,99 @@ func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[stri
 		w.failures.Add(1)
 	}
 	return out, err
+}
+
+// InvokeBatch routes a batch of invocations of one composition across
+// the registered workers and returns results in request order.
+//
+// RoundRobin spreads the batch: it is split into near-equal contiguous
+// chunks, one per worker, assigned in rotation order — under sustained
+// batch traffic every worker sees a share of every batch. LeastLoaded
+// sends the whole batch to the worker with the fewest in-flight
+// invocations, keeping batch locality (one program-cache+context warm
+// set per batch). Workers implementing BatchNode get the chunk in one
+// call; others fall back to per-request Invoke.
+func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	results := make([]core.BatchResult, len(inputs))
+	if len(inputs) == 0 {
+		return results
+	}
+	m.mu.RLock()
+	names := append([]string(nil), m.names...)
+	members := make([]*member, len(names))
+	for i, n := range names {
+		members[i] = m.workers[n]
+	}
+	m.mu.RUnlock()
+	if len(members) == 0 {
+		for i := range results {
+			results[i].Err = ErrNoWorkers
+		}
+		return results
+	}
+
+	// chunk describes one contiguous slice of the batch and its worker.
+	type chunk struct {
+		lo, hi int
+		w      *member
+	}
+	var chunks []chunk
+	switch m.policy {
+	case LeastLoaded:
+		best := members[0]
+		for _, w := range members[1:] {
+			if w.inflight.Load() < best.inflight.Load() {
+				best = w
+			}
+		}
+		chunks = []chunk{{lo: 0, hi: len(inputs), w: best}}
+	default: // RoundRobin
+		k := len(members)
+		if k > len(inputs) {
+			k = len(inputs)
+		}
+		start := m.rr.Add(1) - 1
+		for c := 0; c < k; c++ {
+			lo, hi := c*len(inputs)/k, (c+1)*len(inputs)/k
+			w := members[(start+uint64(c))%uint64(len(members))]
+			chunks = append(chunks, chunk{lo: lo, hi: hi, w: w})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, c := range chunks {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(c.hi - c.lo)
+			c.w.inflight.Add(n)
+			c.w.total.Add(uint64(n))
+			defer c.w.inflight.Add(-n)
+			if bn, ok := c.w.node.(BatchNode); ok {
+				reqs := make([]core.BatchRequest, c.hi-c.lo)
+				for i := c.lo; i < c.hi; i++ {
+					reqs[i-c.lo] = core.BatchRequest{Composition: name, Inputs: inputs[i]}
+				}
+				for i, res := range bn.InvokeBatch(reqs) {
+					results[c.lo+i] = res
+					if res.Err != nil {
+						c.w.failures.Add(1)
+					}
+				}
+				return
+			}
+			for i := c.lo; i < c.hi; i++ {
+				out, err := c.w.node.Invoke(name, inputs[i])
+				results[i] = core.BatchResult{Outputs: out, Err: err}
+				if err != nil {
+					c.w.failures.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // WorkerStats reports per-worker routing counters.

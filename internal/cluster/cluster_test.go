@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dandelion/internal/core"
 	"dandelion/internal/memctx"
 )
 
@@ -163,5 +164,141 @@ func TestConcurrentInvocations(t *testing.T) {
 	// Both nodes must have participated.
 	if nodes[0].calls.Load() == 0 || nodes[1].calls.Load() == 0 {
 		t.Fatalf("load not spread: %d/%d", nodes[0].calls.Load(), nodes[1].calls.Load())
+	}
+}
+
+// fakeBatchNode counts batched calls to verify the manager prefers the
+// BatchNode fast path over per-request Invoke.
+type fakeBatchNode struct {
+	fakeNode
+	batchCalls atomic.Int64
+	batchSizes []int
+	mu         sync.Mutex
+}
+
+func (f *fakeBatchNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
+	f.batchCalls.Add(1)
+	f.mu.Lock()
+	f.batchSizes = append(f.batchSizes, len(reqs))
+	f.mu.Unlock()
+	out := make([]core.BatchResult, len(reqs))
+	for i, r := range reqs {
+		outs, err := f.Invoke(r.Composition, r.Inputs)
+		out[i] = core.BatchResult{Outputs: outs, Err: err}
+	}
+	return out
+}
+
+func batchInputs(n int) []map[string][]memctx.Item {
+	in := make([]map[string][]memctx.Item, n)
+	for i := range in {
+		in[i] = map[string][]memctx.Item{"In": {{Name: "x", Data: []byte{byte(i)}}}}
+	}
+	return in
+}
+
+func TestInvokeBatchNoWorkers(t *testing.T) {
+	m := NewManager(RoundRobin)
+	res := m.InvokeBatch("X", batchInputs(3))
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrNoWorkers) {
+			t.Fatalf("result %d err = %v", i, r.Err)
+		}
+	}
+}
+
+func TestInvokeBatchRoundRobinSplits(t *testing.T) {
+	m := NewManager(RoundRobin)
+	nodes := []*fakeBatchNode{{}, {}, {}}
+	for i, n := range nodes {
+		if err := m.Register(string(rune('a'+i)), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.InvokeBatch("C", batchInputs(9))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	// Every worker must have received exactly one chunk of 3 via the
+	// batched interface.
+	for i, n := range nodes {
+		if n.batchCalls.Load() != 1 {
+			t.Fatalf("node %d batchCalls = %d, want 1", i, n.batchCalls.Load())
+		}
+		if n.calls.Load() != 3 {
+			t.Fatalf("node %d handled %d invocations, want 3", i, n.calls.Load())
+		}
+	}
+}
+
+func TestInvokeBatchLeastLoadedPicksIdleWorker(t *testing.T) {
+	m := NewManager(LeastLoaded)
+	busy, idle := &fakeBatchNode{}, &fakeBatchNode{}
+	if err := m.Register("busy", busy); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("idle", idle); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the busy worker with a slow single invocation.
+	busy.delay = 200 * time.Millisecond
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Invoke("C", batchInputs(1)[0])
+	}()
+	time.Sleep(20 * time.Millisecond) // let the slow call land on "busy"
+	res := m.InvokeBatch("C", batchInputs(4))
+	wg.Wait()
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+	}
+	if idle.batchCalls.Load() != 1 || idle.calls.Load() != 4 {
+		t.Fatalf("idle worker got batch=%d calls=%d, want whole batch",
+			idle.batchCalls.Load(), idle.calls.Load())
+	}
+}
+
+func TestInvokeBatchFallsBackToInvoke(t *testing.T) {
+	// A plain Node without InvokeBatch must still serve batches.
+	m := NewManager(RoundRobin)
+	n := &fakeNode{}
+	if err := m.Register("plain", n); err != nil {
+		t.Fatal(err)
+	}
+	res := m.InvokeBatch("C", batchInputs(5))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if string(r.Outputs["Out"][0].Data) != "C" {
+			t.Fatalf("result %d payload = %q", i, r.Outputs["Out"][0].Data)
+		}
+	}
+	if n.calls.Load() != 5 {
+		t.Fatalf("fallback calls = %d, want 5", n.calls.Load())
+	}
+}
+
+func TestInvokeBatchCountsFailures(t *testing.T) {
+	m := NewManager(RoundRobin)
+	n := &fakeNode{fail: true}
+	if err := m.Register("w", n); err != nil {
+		t.Fatal(err)
+	}
+	res := m.InvokeBatch("C", batchInputs(3))
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("result %d unexpectedly succeeded", i)
+		}
+	}
+	st := m.Stats()
+	if st[0].Failures != 3 || st[0].Total != 3 || st[0].InFlight != 0 {
+		t.Fatalf("stats = %+v", st[0])
 	}
 }

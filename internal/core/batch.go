@@ -1,0 +1,380 @@
+// Batched invocation path. InvokeBatch admits N composition requests in
+// one call and drives them through the composition DAG together: at each
+// statement, the compute-function instances of every request in the
+// batch are gathered, split into per-engine chunks, and each chunk runs
+// back-to-back on one compute engine against a single reused memory
+// context and a shared decoded program from the hash-keyed binary cache.
+// Compared with N independent Invoke calls this removes per-instance
+// queue round trips, context allocations, and binary decodes — the hot
+// path the serving harness in internal/loadgen measures.
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"dandelion/internal/dvm"
+	"dandelion/internal/engine"
+	"dandelion/internal/graph"
+	"dandelion/internal/memctx"
+)
+
+// programCache maps binary hashes to decoded DVM programs. It
+// generalizes Options.CacheBinaries: the option pins the decoded program
+// to the registered function for the single-invoke path, while the
+// cache itself is keyed by content hash so identical binaries — however
+// many names they are registered under — decode exactly once, and the
+// batch path can reuse programs unconditionally.
+type programCache struct {
+	mu    sync.RWMutex
+	progs map[[sha256.Size]byte]*dvm.Program
+}
+
+func newProgramCache() *programCache {
+	return &programCache{progs: map[[sha256.Size]byte]*dvm.Program{}}
+}
+
+// get returns the decoded program for binary, decoding and caching on
+// first sight.
+func (c *programCache) get(binary []byte) (*dvm.Program, error) {
+	key := sha256.Sum256(binary)
+	c.mu.RLock()
+	p := c.progs[key]
+	c.mu.RUnlock()
+	if p != nil {
+		return p, nil
+	}
+	p, err := dvm.Decode(binary)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if cached, ok := c.progs[key]; ok {
+		p = cached // a racing decode won; keep one canonical program
+	} else {
+		c.progs[key] = p
+	}
+	c.mu.Unlock()
+	return p, nil
+}
+
+func (c *programCache) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.progs)
+}
+
+// BatchRequest is one composition invocation within a batch.
+type BatchRequest struct {
+	// Composition names the registered composition to run.
+	Composition string
+	// Inputs maps the composition's input names to items.
+	Inputs map[string][]memctx.Item
+}
+
+// BatchResult is the outcome of one request in a batch. Requests fail
+// independently: one request's error never aborts its batch-mates.
+type BatchResult struct {
+	Outputs map[string][]memctx.Item
+	Err     error
+}
+
+// InvokeBatch runs a batch of composition requests, returning one
+// result per request in request order. Requests naming the same
+// composition execute together through the batched dispatch path;
+// distinct compositions proceed concurrently.
+func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	p.batches.Add(1)
+
+	// Group request indices by composition, preserving first-seen order.
+	groups := map[string][]int{}
+	var order []string
+	for i, r := range reqs {
+		if _, ok := groups[r.Composition]; !ok {
+			order = append(order, r.Composition)
+		}
+		groups[r.Composition] = append(groups[r.Composition], i)
+	}
+
+	var wg sync.WaitGroup
+	for _, name := range order {
+		idxs := groups[name]
+		comp, err := p.reg.composition(name)
+		if err != nil {
+			for _, i := range idxs {
+				results[i].Err = err
+			}
+			continue
+		}
+		p.invocations.Add(uint64(len(idxs)))
+		wg.Add(1)
+		go func(comp *graph.Composition, idxs []int) {
+			defer wg.Done()
+			inputs := make([]map[string][]memctx.Item, len(idxs))
+			for k, i := range idxs {
+				inputs[k] = reqs[i].Inputs
+			}
+			outs, errs := p.invokeBatch(comp, inputs)
+			for k, i := range idxs {
+				results[i].Outputs, results[i].Err = outs[k], errs[k]
+			}
+		}(comp, idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+// batchState tracks the per-request dataflow of one composition group.
+type batchState struct {
+	stores []*valueStore
+	mu     sync.Mutex
+	errs   []error
+}
+
+func (b *batchState) fail(r int, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.errs[r] == nil {
+		b.errs[r] = err
+	}
+}
+
+func (b *batchState) failed(r int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errs[r] != nil
+}
+
+// live returns the requests that have not failed yet.
+func (b *batchState) live() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, len(b.errs))
+	for r, err := range b.errs {
+		if err == nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// invokeBatch mirrors invoke for a group of requests running the same
+// composition: one goroutine per statement (shared across the group,
+// honoring DAG dependencies), with compute statements executed through
+// the chunked batch path.
+func (p *Platform) invokeBatch(comp *graph.Composition, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+	n := len(inputs)
+	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
+	for r := 0; r < n; r++ {
+		st.stores[r] = &valueStore{vals: map[string][]memctx.Item{}}
+		for _, in := range comp.Inputs {
+			items, ok := inputs[r][in]
+			if !ok {
+				st.errs[r] = fmt.Errorf("%w: %q", ErrMissingInput, in)
+				break
+			}
+			st.stores[r].set(in, items)
+		}
+	}
+
+	deps := comp.Deps()
+	done := make([]chan struct{}, len(comp.Stmts))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	var wg sync.WaitGroup
+	for i := range comp.Stmts {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(done[i])
+			for _, d := range deps[i] {
+				<-done[d]
+			}
+			p.runStatementBatch(comp, i, st)
+		}()
+	}
+	wg.Wait()
+
+	outs := make([]map[string][]memctx.Item, n)
+	for r := 0; r < n; r++ {
+		if st.errs[r] != nil {
+			continue
+		}
+		out := map[string][]memctx.Item{}
+		for _, b := range comp.Outputs {
+			out[b.Name] = st.stores[r].get(b.Value, false)
+		}
+		outs[r] = out
+	}
+	return outs, st.errs
+}
+
+// batchItem is one function instance within a batched statement.
+type batchItem struct {
+	req  int
+	inst instance
+	outs []memctx.Set
+	err  error
+}
+
+// runStatementBatch executes one statement for every live request in
+// the group. Compute functions take the chunked batch path; everything
+// else (communication functions, nested compositions) falls back to the
+// per-request dispatcher logic.
+func (p *Platform) runStatementBatch(comp *graph.Composition, si int, bst *batchState) {
+	st := comp.Stmts[si]
+	live := bst.live()
+	if len(live) == 0 {
+		return
+	}
+	wrap := func(err error) error {
+		return fmt.Errorf("core: %s: statement %d (%s): %w", comp.Name, si, st.Func, err)
+	}
+	v, err := p.reg.resolve(st.Func)
+	if err != nil {
+		for _, r := range live {
+			bst.fail(r, wrap(err))
+		}
+		return
+	}
+
+	if v.fn == nil {
+		// Communication function or nested composition: reuse the
+		// per-request statement path (comm instances still flow through
+		// the communication engines' queue; nested compositions
+		// orchestrate inline on dispatcher goroutines).
+		var wg sync.WaitGroup
+		for _, r := range live {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := p.runStatement(st, bst.stores[r], 0); err != nil {
+					bst.fail(r, wrap(err))
+				}
+			}()
+		}
+		wg.Wait()
+		return
+	}
+
+	// Compute path: gather every live request's instances into one flat
+	// work list.
+	var items []batchItem
+	perReq := map[int][]int{}
+	for _, r := range live {
+		argItems := make([][]memctx.Item, len(st.Args))
+		skip := false
+		for ai, a := range st.Args {
+			argItems[ai] = bst.stores[r].get(a.Value, !p.opts.ZeroCopy)
+			if len(argItems[ai]) == 0 && !a.Optional {
+				skip = true
+			}
+		}
+		if skip {
+			for _, ret := range st.Rets {
+				bst.stores[r].set(ret.Value, nil)
+			}
+			continue
+		}
+		insts, err := expandInstances(st.Args, argItems)
+		if err != nil {
+			bst.fail(r, wrap(err))
+			continue
+		}
+		for _, inst := range insts {
+			perReq[r] = append(perReq[r], len(items))
+			items = append(items, batchItem{req: r, inst: inst})
+		}
+	}
+	if len(items) == 0 {
+		return
+	}
+
+	// Resolve the decoded program once for the whole statement; the
+	// chunk tasks share it.
+	prepared := v.fn.prepared
+	if prepared == nil && v.fn.Binary != nil {
+		prepared, err = p.programs.get(v.fn.Binary)
+		if err != nil {
+			for _, r := range live {
+				bst.fail(r, wrap(err))
+			}
+			return
+		}
+	}
+
+	// Split the work list into contiguous chunks, one per compute
+	// engine, and run each chunk to completion on a single engine.
+	chunks := p.computePool.Count()
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > len(items) {
+		chunks = len(items)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo, hi := c*len(items)/chunks, (c+1)*len(items)/chunks
+		seg := items[lo:hi]
+		wg.Add(1)
+		task := engine.Task{Do: func() {
+			defer wg.Done()
+			p.runComputeChunk(v.fn, prepared, seg)
+		}}
+		if err := p.computePool.Queue().Push(task); err != nil {
+			wg.Done()
+			for i := range seg {
+				seg[i].err = err
+			}
+		}
+	}
+	wg.Wait()
+
+	// Per request: surface the first instance error, or merge outputs
+	// in instance order under each Ret binding (matching runStatement).
+	for r, idxs := range perReq {
+		var failed bool
+		for _, ii := range idxs {
+			if items[ii].err != nil {
+				bst.fail(r, wrap(items[ii].err))
+				failed = true
+				break
+			}
+		}
+		if failed {
+			continue
+		}
+		for _, ret := range st.Rets {
+			var merged []memctx.Item
+			for _, ii := range idxs {
+				for _, s := range items[ii].outs {
+					if s.Name == ret.Set {
+						merged = append(merged, s.Items...)
+					}
+				}
+			}
+			bst.stores[r].set(ret.Value, merged)
+		}
+	}
+}
+
+// runComputeChunk executes a chunk of same-function instances
+// back-to-back on the calling compute engine, reusing one memory
+// context (Reset between instances) and one decoded program.
+func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem) {
+	ctx := memctx.New(funcMemBytes(f))
+	for i := range seg {
+		if i > 0 {
+			ctx.Reset()
+		}
+		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst)
+	}
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dandelion/internal/dvm"
+	"dandelion/internal/memctx"
+)
+
+// registerUpperPipeline registers the Upper function and a two-stage
+// composition used by the batch tests.
+func registerUpperPipeline(t *testing.T, p *Platform) {
+	t.Helper()
+	if err := p.RegisterFunction(ComputeFunc{Name: "Upper", Go: upper}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RegisterFunction(ComputeFunc{Name: "Concat", Go: concat}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.addCompositionText(`
+composition Pipe(In) => Result {
+    Upper(x = all In) => (Mid = Out);
+    Concat(y = all Mid) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeBatchMatchesInvoke(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 4})
+	registerUpperPipeline(t, p)
+
+	reqs := make([]BatchRequest, 16)
+	for i := range reqs {
+		reqs[i] = BatchRequest{
+			Composition: "Pipe",
+			Inputs: map[string][]memctx.Item{
+				"In": items(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)),
+			},
+		}
+	}
+	got := p.InvokeBatch(reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d results, want %d", len(got), len(reqs))
+	}
+	for i, res := range got {
+		if res.Err != nil {
+			t.Fatalf("request %d failed: %v", i, res.Err)
+		}
+		want, err := p.Invoke("Pipe", reqs[i].Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := string(res.Outputs["Result"][0].Data)
+		w := string(want["Result"][0].Data)
+		if g != w {
+			t.Fatalf("request %d: batch %q != invoke %q", i, g, w)
+		}
+		if !strings.Contains(g, strings.ToUpper(fmt.Sprintf("a%d", i))) {
+			t.Fatalf("request %d: wrong payload %q", i, g)
+		}
+	}
+}
+
+func TestInvokeBatchPerRequestErrors(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 2})
+	registerUpperPipeline(t, p)
+	if err := p.RegisterFunction(ComputeFunc{Name: "Boom", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		if string(in[0].Items[0].Data) == "explode" {
+			return nil, errors.New("kaboom")
+		}
+		return []memctx.Set{{Name: "Out", Items: in[0].Items}}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.addCompositionText(`
+composition B(In) => Result {
+    Boom(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []BatchRequest{
+		{Composition: "B", Inputs: map[string][]memctx.Item{"In": items("fine")}},
+		{Composition: "B", Inputs: map[string][]memctx.Item{"In": items("explode")}},
+		{Composition: "NoSuch", Inputs: map[string][]memctx.Item{"In": items("x")}},
+		{Composition: "B", Inputs: map[string][]memctx.Item{"Wrong": items("x")}},
+		{Composition: "Pipe", Inputs: map[string][]memctx.Item{"In": items("ok")}},
+	}
+	got := p.InvokeBatch(reqs)
+	if got[0].Err != nil {
+		t.Fatalf("healthy request failed: %v", got[0].Err)
+	}
+	if got[1].Err == nil || !strings.Contains(got[1].Err.Error(), "kaboom") {
+		t.Fatalf("crashing request err = %v", got[1].Err)
+	}
+	if !errors.Is(got[2].Err, ErrNotRegistered) {
+		t.Fatalf("unknown composition err = %v", got[2].Err)
+	}
+	if !errors.Is(got[3].Err, ErrMissingInput) {
+		t.Fatalf("missing input err = %v", got[3].Err)
+	}
+	if got[4].Err != nil || string(got[4].Outputs["Result"][0].Data) != "OK" {
+		t.Fatalf("batch-mate of failures did not complete: %+v", got[4])
+	}
+}
+
+func TestInvokeBatchFanoutInstances(t *testing.T) {
+	// `each` distribution: every item becomes its own instance; batching
+	// must preserve per-request instance-order merges.
+	p := newPlatform(t, Options{ComputeEngines: 3})
+	if err := p.RegisterFunction(ComputeFunc{Name: "Upper", Go: upper}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.addCompositionText(`
+composition E(In) => Result {
+    Upper(x = each In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	reqs := []BatchRequest{
+		{Composition: "E", Inputs: map[string][]memctx.Item{"In": items("a", "b", "c")}},
+		{Composition: "E", Inputs: map[string][]memctx.Item{"In": items("x", "y")}},
+	}
+	got := p.InvokeBatch(reqs)
+	join := func(its []memctx.Item) string {
+		var parts []string
+		for _, it := range its {
+			parts = append(parts, string(it.Data))
+		}
+		return strings.Join(parts, ",")
+	}
+	if got[0].Err != nil || join(got[0].Outputs["Result"]) != "A,B,C" {
+		t.Fatalf("req0 = %v / %q", got[0].Err, join(got[0].Outputs["Result"]))
+	}
+	if got[1].Err != nil || join(got[1].Outputs["Result"]) != "X,Y" {
+		t.Fatalf("req1 = %v / %q", got[1].Err, join(got[1].Outputs["Result"]))
+	}
+}
+
+func TestInvokeBatchDvmSharedProgram(t *testing.T) {
+	// Binary-backed functions: the batch path must reuse the decoded
+	// program from the hash-keyed cache even with CacheBinaries off.
+	p := newPlatform(t, Options{ComputeEngines: 2, CacheBinaries: false})
+	if err := p.RegisterFunction(ComputeFunc{
+		Name:       "Echo",
+		Binary:     dvm.EchoProgram().Encode(),
+		MemBytes:   1 << 16,
+		OutputSets: []string{"Copy"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.reg.addCompositionText(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Copy);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]BatchRequest, 8)
+	for i := range reqs {
+		reqs[i] = BatchRequest{Composition: "E", Inputs: map[string][]memctx.Item{
+			"In": items(fmt.Sprintf("payload-%d", i)),
+		}}
+	}
+	got := p.InvokeBatch(reqs)
+	for i, res := range got {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		if s := string(res.Outputs["Result"][0].Data); s != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("request %d echoed %q", i, s)
+		}
+	}
+	if n := p.Stats().CachedPrograms; n != 1 {
+		t.Fatalf("CachedPrograms = %d, want 1", n)
+	}
+}
+
+func TestInvokeBatchMixedCompositionsAndStats(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 2})
+	registerUpperPipeline(t, p)
+	if _, err := p.reg.addCompositionText(`
+composition Solo(In) => Result {
+    Upper(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats()
+	reqs := []BatchRequest{
+		{Composition: "Pipe", Inputs: map[string][]memctx.Item{"In": items("p")}},
+		{Composition: "Solo", Inputs: map[string][]memctx.Item{"In": items("s")}},
+		{Composition: "Pipe", Inputs: map[string][]memctx.Item{"In": items("q")}},
+	}
+	got := p.InvokeBatch(reqs)
+	for i, res := range got {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+	}
+	if string(got[1].Outputs["Result"][0].Data) != "S" {
+		t.Fatalf("solo output = %q", got[1].Outputs["Result"][0].Data)
+	}
+	after := p.Stats()
+	if after.Batches != before.Batches+1 {
+		t.Fatalf("Batches %d -> %d, want +1", before.Batches, after.Batches)
+	}
+	if after.Invocations != before.Invocations+3 {
+		t.Fatalf("Invocations %d -> %d, want +3", before.Invocations, after.Invocations)
+	}
+}
+
+func TestInvokeBatchEmptyAndNestedComposition(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 2})
+	registerUpperPipeline(t, p)
+	if _, err := p.reg.addCompositionText(`
+composition Outer(In) => Result {
+    Pipe(In = all In) => (Result = Result);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if res := p.InvokeBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	got := p.InvokeBatch([]BatchRequest{
+		{Composition: "Outer", Inputs: map[string][]memctx.Item{"In": items("deep")}},
+	})
+	if got[0].Err != nil {
+		t.Fatal(got[0].Err)
+	}
+	if s := string(got[0].Outputs["Result"][0].Data); s != "DEEP" {
+		t.Fatalf("nested batch output = %q", s)
+	}
+}
+
+func TestMemctxResetIsolation(t *testing.T) {
+	// A reused context must not leak one instance's data into the next.
+	ctx := memctx.New(1 << 12)
+	if err := ctx.WriteAt([]byte("secret"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Seal()
+	ctx.Reset()
+	if ctx.Sealed() {
+		t.Fatal("Reset did not unseal")
+	}
+	if ctx.CommittedBytes() != 0 {
+		t.Fatalf("CommittedBytes after Reset = %d", ctx.CommittedBytes())
+	}
+	buf := make([]byte, 6)
+	if err := ctx.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) == "secret" {
+		t.Fatal("Reset leaked previous instance data")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"dandelion/internal/controlplane"
+	"dandelion/internal/dvm"
 	"dandelion/internal/engine"
 	"dandelion/internal/graph"
 	"dandelion/internal/isolation"
@@ -44,15 +45,17 @@ type Options struct {
 // Platform is one Dandelion worker node: registry + dispatcher +
 // engines. It is safe for concurrent use.
 type Platform struct {
-	reg     *registry
-	backend isolation.Backend
-	opts    Options
+	reg      *registry
+	backend  isolation.Backend
+	opts     Options
+	programs *programCache
 
 	computePool *engine.Pool
 	commPool    *engine.Pool
 	balancer    *controlplane.Balancer
 
 	invocations  atomic.Uint64
+	batches      atomic.Uint64
 	memCommitted atomic.Int64
 	memPeak      atomic.Int64
 }
@@ -76,9 +79,10 @@ func NewPlatform(opts Options) (*Platform, error) {
 		opts.MaxDepth = 16
 	}
 	p := &Platform{
-		reg:     newRegistry(),
-		backend: opts.Backend,
-		opts:    opts,
+		reg:      newRegistry(),
+		backend:  opts.Backend,
+		opts:     opts,
+		programs: newProgramCache(),
 	}
 	p.computePool = engine.NewPool(engine.Compute, engine.NewQueue())
 	p.commPool = engine.NewPool(engine.Communication, engine.NewQueue())
@@ -102,7 +106,7 @@ func (p *Platform) Shutdown() {
 
 // RegisterFunction registers a compute function.
 func (p *Platform) RegisterFunction(f ComputeFunc) error {
-	return p.reg.addFunc(f, p.backend, p.opts.CacheBinaries)
+	return p.reg.addFunc(f, p.backend, p.opts.CacheBinaries, p.programs)
 }
 
 // RegisterComm registers a communication function. Only the platform
@@ -123,6 +127,7 @@ func (p *Platform) RegisterCompositionText(src string) ([]string, error) {
 // Stats is a point-in-time snapshot of platform gauges.
 type Stats struct {
 	Invocations      uint64
+	Batches          uint64
 	ComputeEngines   int
 	CommEngines      int
 	ComputeQueueLen  int
@@ -131,12 +136,14 @@ type Stats struct {
 	PeakCommitted    int64
 	ComputeCompleted uint64
 	CommCompleted    uint64
+	CachedPrograms   int
 }
 
 // Stats reports current platform gauges.
 func (p *Platform) Stats() Stats {
 	return Stats{
 		Invocations:      p.invocations.Load(),
+		Batches:          p.batches.Load(),
 		ComputeEngines:   p.computePool.Count(),
 		CommEngines:      p.commPool.Count(),
 		ComputeQueueLen:  p.computePool.Queue().Len(),
@@ -145,6 +152,7 @@ func (p *Platform) Stats() Stats {
 		PeakCommitted:    p.memPeak.Load(),
 		ComputeCompleted: p.computePool.Completed(),
 		CommCompleted:    p.commPool.Completed(),
+		CachedPrograms:   p.programs.size(),
 	}
 }
 
@@ -411,14 +419,25 @@ func (p *Platform) runInstance(v vertex, st graph.Stmt, inst instance, depth int
 	}
 }
 
+// funcMemBytes resolves a function's declared context limit.
+func funcMemBytes(f *registeredFunc) int {
+	if f.MemBytes > 0 {
+		return f.MemBytes
+	}
+	return memctx.DefaultLimit
+}
+
 // runCompute prepares an isolated memory context, executes the function
 // under the configured backend, and harvests outputs.
-func (p *Platform) runCompute(f *registeredFunc, inst instance) (outs []memctx.Set, err error) {
-	memBytes := f.MemBytes
-	if memBytes <= 0 {
-		memBytes = memctx.DefaultLimit
-	}
-	ctx := memctx.New(memBytes)
+func (p *Platform) runCompute(f *registeredFunc, inst instance) ([]memctx.Set, error) {
+	return p.runComputeIn(memctx.New(funcMemBytes(f)), f, f.prepared, inst)
+}
+
+// runComputeIn executes one instance inside the provided context, which
+// the batch path reuses (via Reset) across the instances of a chunk.
+// prepared, when non-nil, skips the per-execution binary decode.
+func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance) (outs []memctx.Set, err error) {
+	memBytes := funcMemBytes(f)
 	for _, s := range inst {
 		if err := ctx.AddInputSet(s); err != nil {
 			return nil, err
@@ -439,7 +458,7 @@ func (p *Platform) runCompute(f *registeredFunc, inst instance) (outs []memctx.S
 	} else {
 		task := isolation.Task{
 			Binary:   f.Binary,
-			Prepared: f.prepared,
+			Prepared: prepared,
 			MemBytes: memBytes,
 			Inputs:   ctx.InputSets(),
 			GasLimit: f.GasLimit,

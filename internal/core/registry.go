@@ -76,7 +76,7 @@ func newRegistry() *registry {
 	}
 }
 
-func (r *registry) addFunc(f ComputeFunc, backend isolation.Backend, cache bool) error {
+func (r *registry) addFunc(f ComputeFunc, backend isolation.Backend, cache bool, programs *programCache) error {
 	if f.Name == "" {
 		return fmt.Errorf("core: compute function needs a name")
 	}
@@ -93,9 +93,13 @@ func (r *registry) addFunc(f ComputeFunc, backend isolation.Backend, cache bool)
 	}
 	rf := &registeredFunc{ComputeFunc: f}
 	if f.Binary != nil {
-		// Validate at registration; cache the decoded program when the
-		// in-memory binary cache is enabled.
-		p, err := dvm.Decode(f.Binary)
+		// Validate at registration through the hash-keyed program cache,
+		// so identical binaries registered under different names share
+		// one decoded program. The decoded program is pinned to the
+		// function (skipping the per-invocation decode) only when the
+		// in-memory binary cache is enabled; the batch path always
+		// consults the hash cache regardless.
+		p, err := programs.get(f.Binary)
 		if err != nil {
 			return fmt.Errorf("core: function %q: %w", f.Name, err)
 		}

@@ -5,7 +5,8 @@
 // requests cooperatively (green threads — goroutines here).
 //
 // Each engine type polls a single type-specific queue, giving late
-// binding of tasks to engines. The worker control plane re-assigns
+// binding of tasks to engines. The queue itself is sharded and
+// work-stealing (see queue.go); the worker control plane re-assigns
 // engines between the two types at runtime via SetCount.
 package engine
 
@@ -43,110 +44,6 @@ type Task struct {
 
 // ErrQueueClosed is returned by Push after Close.
 var ErrQueueClosed = errors.New("engine: queue closed")
-
-// Queue is the type-specific task queue engines poll. It is unbounded
-// and FIFO; Pop blocks until a task arrives or the queue closes.
-type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []Task
-	closed bool
-	pushed uint64
-	popped uint64
-}
-
-// NewQueue creates an empty queue.
-func NewQueue() *Queue {
-	q := &Queue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// Push appends a task.
-func (q *Queue) Push(t Task) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return ErrQueueClosed
-	}
-	q.items = append(q.items, t)
-	q.pushed++
-	q.cond.Signal()
-	return nil
-}
-
-// Pop removes the oldest task, blocking while the queue is empty. It
-// returns ok=false when the queue has closed and drained, or when the
-// provided stop flag is raised (checked on every wakeup).
-func (q *Queue) Pop(stop *atomic.Bool) (Task, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if stop != nil && stop.Load() {
-			return Task{}, false
-		}
-		if len(q.items) > 0 {
-			t := q.items[0]
-			q.items = q.items[1:]
-			q.popped++
-			return t, true
-		}
-		if q.closed {
-			return Task{}, false
-		}
-		q.cond.Wait()
-	}
-}
-
-// TryPop removes the oldest task without blocking.
-func (q *Queue) TryPop() (Task, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.items) == 0 {
-		return Task{}, false
-	}
-	t := q.items[0]
-	q.items = q.items[1:]
-	q.popped++
-	return t, true
-}
-
-// Len reports the number of queued tasks.
-func (q *Queue) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
-}
-
-// Pushed reports the cumulative number of tasks ever enqueued; the
-// control plane differentiates this to estimate queue growth rates.
-func (q *Queue) Pushed() uint64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.pushed
-}
-
-// Popped reports the cumulative number of tasks ever dequeued.
-func (q *Queue) Popped() uint64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.popped
-}
-
-// Close wakes all blocked Pops; queued tasks still drain.
-func (q *Queue) Close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
-}
-
-// wakeAll nudges blocked workers to re-check their stop flags.
-func (q *Queue) wakeAll() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.cond.Broadcast()
-}
 
 // Pool is a resizable set of engines of one kind polling one queue.
 //
@@ -242,9 +139,13 @@ func (p *Pool) SetCount(n int) {
 
 func (p *Pool) run(w *worker) {
 	defer p.wg.Done()
+	// Each engine owns a local queue shard; on exit the shard's leftover
+	// tasks go back into circulation so shrinking never strands work.
+	shard := p.queue.addWorker()
+	defer p.queue.releaseWorker(shard)
 	if p.kind == Compute {
 		for {
-			t, ok := p.queue.Pop(&w.stop)
+			t, ok := p.queue.popWorker(shard, &w.stop)
 			if !ok {
 				return
 			}
@@ -262,7 +163,7 @@ func (p *Pool) run(w *worker) {
 	sem := make(chan struct{}, capacity)
 	for {
 		sem <- struct{}{} // reserve a green-thread slot first
-		t, ok := p.queue.Pop(&w.stop)
+		t, ok := p.queue.popWorker(shard, &w.stop)
 		if !ok {
 			<-sem
 			return

@@ -30,6 +30,10 @@ import (
 //	POST /invoke/<composition>?input=<InputSet>[&output=<OutputSet>]
 //	     body = single input item; response = first item of the
 //	     requested (or first non-empty) output set
+//	POST /invoke-batch/<composition> body = JSON array of request
+//	     objects ({"inputs": {"<set>": [{"name","key","data"}]}}, data
+//	     base64); response = JSON array of {"outputs","error"} in
+//	     request order, all driven through Platform.InvokeBatch
 //	GET  /stats                      JSON platform gauges
 func New(p *dandelion.Platform) http.Handler {
 	mux := http.NewServeMux()
@@ -41,6 +45,9 @@ func New(p *dandelion.Platform) http.Handler {
 	})
 	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
 		handleInvoke(p, w, r)
+	})
+	mux.HandleFunc("/invoke-batch/", func(w http.ResponseWriter, r *http.Request) {
+		handleInvokeBatch(p, w, r)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -148,4 +155,74 @@ func handleInvoke(p *dandelion.Platform, w http.ResponseWriter, r *http.Request)
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// Wire types of the batch route, shared with clients of the protocol
+// (internal/loadgen). Item data travels base64-encoded (the
+// encoding/json default for []byte).
+
+// WireItem is one data item on the wire.
+type WireItem struct {
+	Name string `json:"name,omitempty"`
+	Key  string `json:"key,omitempty"`
+	Data []byte `json:"data"`
+}
+
+// WireBatchRequest is one request of a POST /invoke-batch/ body.
+type WireBatchRequest struct {
+	Inputs map[string][]WireItem `json:"inputs"`
+}
+
+// WireBatchResult is one slot of a batch response, in request order.
+type WireBatchResult struct {
+	Outputs map[string][]WireItem `json:"outputs,omitempty"`
+	Error   string                `json:"error,omitempty"`
+}
+
+func handleInvokeBatch(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/invoke-batch/")
+	if name == "" {
+		http.Error(w, "need /invoke-batch/<composition>", http.StatusBadRequest)
+		return
+	}
+	var wireReqs []WireBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&wireReqs); err != nil {
+		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqs := make([]dandelion.BatchRequest, len(wireReqs))
+	for i, wr := range wireReqs {
+		inputs := make(map[string][]dandelion.Item, len(wr.Inputs))
+		for set, its := range wr.Inputs {
+			items := make([]dandelion.Item, len(its))
+			for j, it := range its {
+				items[j] = dandelion.Item{Name: it.Name, Key: it.Key, Data: it.Data}
+			}
+			inputs[set] = items
+		}
+		reqs[i] = dandelion.BatchRequest{Composition: name, Inputs: inputs}
+	}
+	results := p.InvokeBatch(reqs)
+	wireRes := make([]WireBatchResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			wireRes[i].Error = res.Err.Error()
+			continue
+		}
+		outs := make(map[string][]WireItem, len(res.Outputs))
+		for set, its := range res.Outputs {
+			items := make([]WireItem, len(its))
+			for j, it := range its {
+				items[j] = WireItem{Name: it.Name, Key: it.Key, Data: it.Data}
+			}
+			outs[set] = items
+		}
+		wireRes[i].Outputs = outs
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(wireRes)
 }

@@ -2,6 +2,8 @@ package frontend
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -164,5 +166,130 @@ composition Outer(In) => Result {
 	code, body := post(t, srv.URL+"/invoke/Outer?input=In", nil, []byte("nested"))
 	if code != 200 || body != "NESTED" {
 		t.Fatalf("dynamic spawn = %d %q", code, body)
+	}
+}
+
+// TestServeBatchEndToEnd is the serving-path integration test: a real
+// Platform behind frontend.New via httptest, function + composition
+// registered over the wire, then driven through both Platform.InvokeBatch
+// and POST /invoke-batch/, with /stats gauges asserted at the end.
+func TestServeBatchEndToEnd(t *testing.T) {
+	p, srv := newServer(t)
+
+	// Register the dvm echo function and a composition over HTTP.
+	code, body := post(t, srv.URL+"/register/function/Echo",
+		map[string]string{"X-Memory-Bytes": "65536", "X-Output-Sets": "Copy"},
+		dvm.EchoProgram().Encode())
+	if code != 200 {
+		t.Fatalf("register function: %d %s", code, body)
+	}
+	code, body = post(t, srv.URL+"/register/composition", nil, []byte(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Copy);
+}`))
+	if code != 200 {
+		t.Fatalf("register composition: %d %s", code, body)
+	}
+
+	// Drive the SDK batch API directly.
+	payloads := make([][]byte, 6)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("sdk-%d", i))
+	}
+	results := p.InvokeBatch(dandelion.BatchOf("E", "In", payloads...))
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("InvokeBatch[%d]: %v", i, res.Err)
+		}
+		if got := string(res.Outputs["Result"][0].Data); got != string(payloads[i]) {
+			t.Fatalf("InvokeBatch[%d] echoed %q", i, got)
+		}
+	}
+
+	// Drive the HTTP batch route, including one failing request mixed in.
+	type wireReq struct {
+		Inputs map[string][]map[string]any `json:"inputs"`
+	}
+	mkReq := func(set, payload string) wireReq {
+		return wireReq{Inputs: map[string][]map[string]any{
+			set: {{"name": "item0", "data": []byte(payload)}},
+		}}
+	}
+	batch := []wireReq{
+		mkReq("In", "http-0"),
+		mkReq("Wrong", "http-1"), // missing composition input -> per-request error
+		mkReq("In", "http-2"),
+	}
+	buf, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body = post(t, srv.URL+"/invoke-batch/E", map[string]string{"Content-Type": "application/json"}, buf)
+	if code != 200 {
+		t.Fatalf("invoke-batch: %d %s", code, body)
+	}
+	var res []struct {
+		Outputs map[string][]struct {
+			Name string `json:"name"`
+			Data []byte `json:"data"`
+		} `json:"outputs"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("batch response not JSON: %v\n%s", err, body)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d batch results, want 3", len(res))
+	}
+	if res[0].Error != "" || string(res[0].Outputs["Result"][0].Data) != "http-0" {
+		t.Fatalf("result 0 = %+v", res[0])
+	}
+	if res[1].Error == "" || !strings.Contains(res[1].Error, "missing composition input") {
+		t.Fatalf("result 1 error = %q", res[1].Error)
+	}
+	if res[2].Error != "" || string(res[2].Outputs["Result"][0].Data) != "http-2" {
+		t.Fatalf("result 2 = %+v", res[2])
+	}
+
+	// Bad routes and bodies.
+	code, _ = post(t, srv.URL+"/invoke-batch/", nil, []byte("[]"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing composition name = %d", code)
+	}
+	code, _ = post(t, srv.URL+"/invoke-batch/E", nil, []byte("not json"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad body = %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/invoke-batch/E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET invoke-batch = %d", resp.StatusCode)
+	}
+
+	// /stats must reflect both batches and all successful + failed
+	// invocations: 6 SDK + 3 HTTP requests, 2 batches.
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats dandelion.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invocations != 9 {
+		t.Fatalf("stats.Invocations = %d, want 9", stats.Invocations)
+	}
+	if stats.Batches != 2 {
+		t.Fatalf("stats.Batches = %d, want 2", stats.Batches)
+	}
+	if stats.CachedPrograms != 1 {
+		t.Fatalf("stats.CachedPrograms = %d, want 1", stats.CachedPrograms)
+	}
+	if stats.ComputeEngines < 1 {
+		t.Fatalf("stats.ComputeEngines = %d", stats.ComputeEngines)
 	}
 }

@@ -1,0 +1,260 @@
+// Package loadgen is a deterministic closed-loop load generator for the
+// Dandelion serving path. It drives M concurrent clients against a real
+// HTTP frontend (internal/frontend): each client issues its requests
+// sequentially (closed loop — the next request starts only after the
+// previous response arrives), either one invocation per request through
+// POST /invoke/ or a batch per request through POST /invoke-batch/.
+//
+// The generator is deterministic by construction: a fixed client count,
+// a fixed request count per client, and a caller-supplied payload
+// function of (client, seq, index) — no randomness, no time-based
+// admission. The report carries throughput plus p50/p95/p99/max request
+// latency, the serving numbers ROADMAP's heavy-traffic north star is
+// tracked by.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dandelion/internal/frontend"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// BaseURL is the frontend root, e.g. an httptest.Server URL.
+	BaseURL string
+	// Client issues the HTTP requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// Composition is the registered composition to invoke.
+	Composition string
+	// InputSet is the composition input the payload lands in.
+	InputSet string
+	// OutputSet optionally names the output set for /invoke requests.
+	OutputSet string
+	// Clients is the number of concurrent closed-loop clients
+	// (default 1).
+	Clients int
+	// Requests is the number of HTTP requests each client issues
+	// (default 1).
+	Requests int
+	// BatchSize is the number of invocations per request: 1 uses
+	// POST /invoke/, larger values use POST /invoke-batch/ (default 1).
+	BatchSize int
+	// Payload produces the input bytes for invocation index i of
+	// request seq of a client; nil selects a small deterministic
+	// default.
+	Payload func(client, seq, i int) []byte
+	// Validate, when set, checks each invocation's response payload;
+	// a non-nil return counts the invocation as an error.
+	Validate func(client, seq, i int, body []byte) error
+}
+
+// Report summarizes one run.
+type Report struct {
+	// Requests is the number of HTTP round trips issued.
+	Requests int
+	// Invocations is the number of composition invocations carried
+	// (Requests × BatchSize).
+	Invocations int
+	// Errors counts failed invocations (transport errors, non-200
+	// statuses, per-request batch errors, and Validate rejections).
+	Errors int
+	// Duration is the wall-clock time of the whole run.
+	Duration time.Duration
+	// Throughput is successful invocations per second.
+	Throughput float64
+	// P50, P95, P99, Max are request-latency percentiles.
+	P50, P95, P99, Max time.Duration
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, p50=%v p95=%v p99=%v max=%v",
+		r.Requests, r.Invocations, r.Errors, r.Duration.Round(time.Millisecond),
+		r.Throughput, r.P50, r.P95, r.P99, r.Max)
+}
+
+// Run executes the configured closed loop and reports latency and
+// throughput.
+func Run(cfg Config) (Report, error) {
+	if cfg.BaseURL == "" || cfg.Composition == "" || cfg.InputSet == "" {
+		return Report{}, errors.New("loadgen: BaseURL, Composition, and InputSet are required")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Payload == nil {
+		cfg.Payload = func(client, seq, i int) []byte {
+			return fmt.Appendf(nil, "c%d-r%d-i%d", client, seq, i)
+		}
+	}
+
+	type clientResult struct {
+		latencies []time.Duration
+		errs      int
+	}
+	results := make([]clientResult, cfg.Clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := &results[c]
+			res.latencies = make([]time.Duration, 0, cfg.Requests)
+			for seq := 0; seq < cfg.Requests; seq++ {
+				t0 := time.Now()
+				errs := doRequest(cfg, c, seq)
+				res.latencies = append(res.latencies, time.Since(t0))
+				res.errs += errs
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	rep := Report{
+		Requests:    cfg.Clients * cfg.Requests,
+		Invocations: cfg.Clients * cfg.Requests * cfg.BatchSize,
+		Duration:    elapsed,
+	}
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		rep.Errors += res.errs
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.P50 = percentile(all, 0.50)
+	rep.P95 = percentile(all, 0.95)
+	rep.P99 = percentile(all, 0.99)
+	if len(all) > 0 {
+		rep.Max = all[len(all)-1]
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
+	}
+	return rep, nil
+}
+
+// doRequest issues one closed-loop request and returns how many of its
+// invocations failed.
+func doRequest(cfg Config, client, seq int) int {
+	if cfg.BatchSize == 1 {
+		return doSingle(cfg, client, seq)
+	}
+	return doBatch(cfg, client, seq)
+}
+
+func doSingle(cfg Config, client, seq int) int {
+	url := cfg.BaseURL + "/invoke/" + cfg.Composition + "?input=" + cfg.InputSet
+	if cfg.OutputSet != "" {
+		url += "&output=" + cfg.OutputSet
+	}
+	resp, err := cfg.Client.Post(url, "application/octet-stream",
+		bytes.NewReader(cfg.Payload(client, seq, 0)))
+	if err != nil {
+		return 1
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return 1
+	}
+	if cfg.Validate != nil && cfg.Validate(client, seq, 0, body) != nil {
+		return 1
+	}
+	return 0
+}
+
+func doBatch(cfg Config, client, seq int) int {
+	reqs := make([]frontend.WireBatchRequest, cfg.BatchSize)
+	for i := range reqs {
+		reqs[i] = frontend.WireBatchRequest{Inputs: map[string][]frontend.WireItem{
+			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
+		}}
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return cfg.BatchSize
+	}
+	resp, err := cfg.Client.Post(cfg.BaseURL+"/invoke-batch/"+cfg.Composition,
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return cfg.BatchSize
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return cfg.BatchSize
+	}
+	var results []frontend.WireBatchResult
+	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil || len(results) != cfg.BatchSize {
+		return cfg.BatchSize
+	}
+	errs := 0
+	for i, res := range results {
+		if res.Error != "" {
+			errs++
+			continue
+		}
+		if cfg.Validate != nil {
+			payload := firstItem(res.Outputs, cfg.OutputSet)
+			if cfg.Validate(client, seq, i, payload) != nil {
+				errs++
+			}
+		}
+	}
+	return errs
+}
+
+// firstItem extracts the first item of the named output set, or of the
+// first non-empty set when name is empty — mirroring /invoke.
+func firstItem(outputs map[string][]frontend.WireItem, name string) []byte {
+	if name != "" {
+		if its := outputs[name]; len(its) > 0 {
+			return its[0].Data
+		}
+		return nil
+	}
+	for _, its := range outputs {
+		if len(its) > 0 {
+			return its[0].Data
+		}
+	}
+	return nil
+}
+
+// percentile reads the q-quantile from sorted latencies using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dandelion"
+	"dandelion/internal/frontend"
+)
+
+// newEchoServer boots a real platform behind the HTTP frontend with an
+// upper-casing composition registered.
+func newEchoServer(t *testing.T) (*dandelion.Platform, *httptest.Server) {
+	t.Helper()
+	p, err := dandelion.New(dandelion.Options{ComputeEngines: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	if err := p.RegisterFunction(dandelion.ComputeFunc{
+		Name: "Upper",
+		Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+			out := dandelion.Set{Name: "Out"}
+			for _, it := range in[0].Items {
+				out.Items = append(out.Items, dandelion.Item{
+					Name: it.Name, Data: []byte(strings.ToUpper(string(it.Data))),
+				})
+			}
+			return []dandelion.Set{out}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCompositionText(`
+composition U(In) => Result {
+    Upper(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(frontend.New(p))
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func wantPayload(client, seq, i int) []byte {
+	return []byte(strings.ToUpper(fmt.Sprintf("c%d-r%d-i%d", client, seq, i)))
+}
+
+func TestRunSingleMode(t *testing.T) {
+	p, srv := newEchoServer(t)
+	rep, err := Run(Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "U",
+		InputSet:    "In",
+		OutputSet:   "Result",
+		Clients:     4,
+		Requests:    10,
+		Validate: func(client, seq, i int, body []byte) error {
+			if string(body) != string(wantPayload(client, seq, i)) {
+				return fmt.Errorf("got %q", body)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 40 || rep.Invocations != 40 {
+		t.Fatalf("requests/invocations = %d/%d, want 40/40", rep.Requests, rep.Invocations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %s", rep.Errors, rep)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.Max || rep.Max <= 0 {
+		t.Fatalf("percentiles out of order: %s", rep)
+	}
+	if st := p.Stats(); st.Invocations != 40 {
+		t.Fatalf("platform saw %d invocations, want 40", st.Invocations)
+	}
+}
+
+func TestRunBatchMode(t *testing.T) {
+	p, srv := newEchoServer(t)
+	rep, err := Run(Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "U",
+		InputSet:    "In",
+		OutputSet:   "Result",
+		Clients:     3,
+		Requests:    5,
+		BatchSize:   8,
+		Validate: func(client, seq, i int, body []byte) error {
+			if string(body) != string(wantPayload(client, seq, i)) {
+				return fmt.Errorf("got %q", body)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 15 || rep.Invocations != 120 {
+		t.Fatalf("requests/invocations = %d/%d, want 15/120", rep.Requests, rep.Invocations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %s", rep.Errors, rep)
+	}
+	st := p.Stats()
+	if st.Invocations != 120 {
+		t.Fatalf("platform saw %d invocations, want 120", st.Invocations)
+	}
+	if st.Batches != 15 {
+		t.Fatalf("platform saw %d batches, want 15", st.Batches)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	_, srv := newEchoServer(t)
+	rep, err := Run(Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "NoSuchComposition",
+		InputSet:    "In",
+		Clients:     2,
+		Requests:    3,
+		BatchSize:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != rep.Invocations {
+		t.Fatalf("errors = %d, want all %d invocations", rep.Errors, rep.Invocations)
+	}
+	if rep.Throughput != 0 {
+		t.Fatalf("throughput with all errors = %v, want 0", rep.Throughput)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 0.50); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(sorted, 0.99); p != 10 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}

@@ -161,6 +161,23 @@ func (c *Context) ReadAt(p []byte, off int) error {
 	return nil
 }
 
+// Reset returns the context to its pre-invocation state so one context
+// (and its grown backing region) can be reused across a batch of
+// instances of the same function. The region allocation is kept but
+// zeroed: a fresh instance must not observe the previous instance's
+// bytes through ReadAt, exactly as if it had been given a new context.
+func (c *Context) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inputs = nil
+	c.output = nil
+	c.sealed = false
+	c.committed = 0
+	for i := range c.region {
+		c.region[i] = 0
+	}
+}
+
 // Seal marks the context read-only. The dispatcher seals a context after
 // the function exits so downstream transfers see an immutable snapshot.
 func (c *Context) Seal() {

@@ -40,3 +40,20 @@ func FileFunc(quota int, fn func(fs *FS) error) GoFunc {
 		return fs.Outputs(), nil
 	}
 }
+
+// BatchOf builds a homogeneous batch for Platform.InvokeBatch: one
+// request per payload, each carrying a single item under inputSet of
+// the named composition. It is the batched analogue of the one-item
+// /invoke HTTP shortcut.
+func BatchOf(composition, inputSet string, payloads ...[]byte) []BatchRequest {
+	reqs := make([]BatchRequest, len(payloads))
+	for i, p := range payloads {
+		reqs[i] = BatchRequest{
+			Composition: composition,
+			Inputs: map[string][]Item{
+				inputSet: {{Name: "item0", Data: p}},
+			},
+		}
+	}
+	return reqs
+}
