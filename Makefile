@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench bench-smoke
 
-# ci is the tier-1 gate: everything must build, vet clean, and pass
-# under the race detector.
-ci: build vet race
+# ci is the tier-1 gate: everything must build, vet clean, pass under
+# the race detector, and keep the batched dispatch path alive
+# (bench-smoke catches dispatch-path regressions that compile fine).
+ci: build vet race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +23,9 @@ race:
 # single invokes, plus the core microbenchmarks.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' -benchmem .
+
+# bench-smoke is a short single-iteration run of the batched dispatch
+# benchmark: not a performance measurement, just proof the hot path
+# still executes end to end.
+bench-smoke:
+	$(GO) test -run XXX -bench BenchmarkInvokeBatch -benchtime 1x -benchmem .

@@ -10,17 +10,41 @@
 //	printf 'composition E(In) => Result { Echo(x = all In) => (Result = Copy); }' |
 //	     curl -X POST --data-binary @- localhost:8080/register/composition
 //	curl -X POST --data-binary 'hello' 'localhost:8080/invoke/E?input=In'
+//	curl -X POST -H 'X-Tenant: alice' --data-binary 'hi' 'localhost:8080/invoke/E?input=In'
 //	curl localhost:8080/stats
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"dandelion"
 	"dandelion/internal/frontend"
 )
+
+// parseTenantWeights parses "alice=2,bob=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad tenant weight %q (want tenant=weight)", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight in %q (want integer >= 1)", pair)
+		}
+		weights[name] = w
+	}
+	return weights, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "frontend listen address")
@@ -29,14 +53,20 @@ func main() {
 	commEngines := flag.Int("comm-engines", 0, "initial communication engines (0 = default)")
 	balance := flag.Bool("balance", true, "enable the PI-controller core balancer")
 	cache := flag.Bool("cache-binaries", true, "keep decoded binaries in memory")
+	tenantWeights := flag.String("tenant-weights", "", "per-tenant DRR dispatch weights, e.g. 'alice=2,bob=1' (unlisted tenants get 1)")
 	flag.Parse()
 
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Fatal(err)
+	}
 	p, err := dandelion.New(dandelion.Options{
 		Backend:        *backend,
 		ComputeEngines: *computeEngines,
 		CommEngines:    *commEngines,
 		Balance:        *balance,
 		CacheBinaries:  *cache,
+		TenantWeights:  weights,
 	})
 	if err != nil {
 		log.Fatal(err)

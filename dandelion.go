@@ -41,6 +41,7 @@ import (
 	"dandelion/internal/httpfn"
 	"dandelion/internal/isolation"
 	"dandelion/internal/memctx"
+	"dandelion/internal/sched"
 	"dandelion/internal/storagefn"
 )
 
@@ -62,6 +63,16 @@ type CommFunc = core.CommFunc
 
 // Stats snapshots platform gauges.
 type Stats = core.Stats
+
+// TenantStats is one tenant's scheduling-plane gauges, reported under
+// Stats.Tenants: queued/running/completed task counts and dispatch-wait
+// average, p99, and max.
+type TenantStats = sched.TenantStats
+
+// DefaultTenant is the identity invocations run under when none is
+// given: Invoke and InvokeBatch requests without a Tenant, and HTTP
+// requests without an X-Tenant header.
+const DefaultTenant = core.DefaultTenant
 
 // BatchRequest is one composition invocation inside a
 // Platform.InvokeBatch call.
@@ -85,6 +96,10 @@ type Options struct {
 	ZeroCopy bool
 	// Balance enables the PI-controller core re-balancer.
 	Balance bool
+	// TenantWeights seeds the scheduling plane's per-tenant DRR
+	// dispatch weights; unlisted tenants get weight 1. Weights can be
+	// changed at runtime via Platform.SetTenantWeight.
+	TenantWeights map[string]int
 	// HTTPClient is used by the HTTP communication function (nil
 	// selects http.DefaultClient).
 	HTTPClient *http.Client
@@ -119,6 +134,7 @@ func New(opts Options) (*Platform, error) {
 		CacheBinaries:  opts.CacheBinaries,
 		ZeroCopy:       opts.ZeroCopy,
 		Balance:        opts.Balance,
+		TenantWeights:  opts.TenantWeights,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dandelion: %w", err)

@@ -1,0 +1,115 @@
+// Batch admission windows. The frontend's /invoke-batch route must not
+// trust the client's framing: a tenant may pack ten thousand
+// invocations into one HTTP body. Admission turns the autoscaler's
+// demand signal into a per-tenant batch window — the number of
+// invocations the platform is willing to drive through one
+// InvokeBatch call for that tenant right now — so oversized client
+// batches are coalesced into right-sized sub-batches that the DRR
+// scheduling plane can interleave across tenants.
+//
+// The window tracks provisioned capacity the same way the KPA tracks
+// replicas: each tenant has an FnScaler fed by invocation arrivals and
+// completions, and the window is replicas × TargetConcurrency, clamped
+// to [MinBatch, MaxBatch]. A tenant with sustained demand earns a wider
+// window (fewer, larger sub-batches — better amortization); a bursty or
+// idle tenant gets a narrow one (tighter interleaving).
+package autoscale
+
+import (
+	"math"
+	"sync"
+)
+
+// AdmissionConfig parameterizes per-tenant batch admission windows.
+type AdmissionConfig struct {
+	// MinBatch and MaxBatch clamp the window (defaults 1 and 64).
+	MinBatch int
+	MaxBatch int
+	// Scaler configures the per-tenant FnScaler behind the window;
+	// zero values select the KPA-like defaults.
+	Scaler Config
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MinBatch <= 0 {
+		c.MinBatch = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch < c.MinBatch {
+		c.MaxBatch = c.MinBatch
+	}
+	return c
+}
+
+// Admission computes batch admission windows per tenant. It is safe for
+// concurrent use; callers supply the clock (seconds) on every call, so
+// tests can drive a virtual timeline.
+type Admission struct {
+	cfg AdmissionConfig
+
+	mu      sync.Mutex
+	tenants map[string]*FnScaler
+}
+
+// NewAdmission creates an Admission with no tenants yet.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{cfg: cfg.withDefaults(), tenants: map[string]*FnScaler{}}
+}
+
+func (a *Admission) scalerLocked(tenant string) *FnScaler {
+	s := a.tenants[tenant]
+	if s == nil {
+		s = NewFnScaler(a.cfg.Scaler)
+		a.tenants[tenant] = s
+	}
+	return s
+}
+
+// Admit records the arrival of n invocations for tenant at time now and
+// returns the batch window the caller should split the work into.
+func (a *Admission) Admit(tenant string, n int, now float64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.scalerLocked(tenant)
+	for i := 0; i < n; i++ {
+		s.Arrive(now)
+	}
+	s.Tick(now)
+	return a.windowLocked(s)
+}
+
+// Finish records the completion of n invocations for tenant at time
+// now, letting the window shrink once demand subsides.
+func (a *Admission) Finish(tenant string, n int, now float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.scalerLocked(tenant)
+	for i := 0; i < n; i++ {
+		s.Done(now)
+	}
+	s.Tick(now)
+}
+
+// Window reads the tenant's current batch window without recording
+// demand.
+func (a *Admission) Window(tenant string, now float64) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.scalerLocked(tenant)
+	s.Tick(now)
+	return a.windowLocked(s)
+}
+
+func (a *Admission) windowLocked(s *FnScaler) int {
+	cfg := s.cfg
+	w := int(math.Ceil(float64(s.Replicas()) * cfg.TargetConcurrency))
+	if w < a.cfg.MinBatch {
+		w = a.cfg.MinBatch
+	}
+	if w > a.cfg.MaxBatch {
+		w = a.cfg.MaxBatch
+	}
+	return w
+}

@@ -1,0 +1,49 @@
+package autoscale
+
+import "testing"
+
+func TestAdmissionDefaultsAndClamps(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	// An idle tenant gets the minimum window.
+	if w := a.Window("idle", 0); w != 1 {
+		t.Fatalf("idle window = %d, want 1", w)
+	}
+	// A huge burst is clamped to MaxBatch.
+	if w := a.Admit("burst", 100000, 1); w != 64 {
+		t.Fatalf("burst window = %d, want 64 (MaxBatch)", w)
+	}
+}
+
+func TestAdmissionWindowTracksDemand(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MinBatch: 2, MaxBatch: 16})
+	// Sustained demand of ~8 concurrent invocations widens the window to
+	// cover it.
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		w := a.Admit("t", 8, now)
+		if w < 2 || w > 16 {
+			t.Fatalf("window %d out of clamp range", w)
+		}
+		a.Finish("t", 8, now+0.5)
+		now++
+	}
+	if w := a.Window("t", now); w < 8 {
+		t.Fatalf("window after sustained demand = %d, want >= 8", w)
+	}
+	// Long after demand stops, conservative scale-down shrinks the
+	// window back toward the minimum.
+	if w := a.Window("t", now+500); w != 2 {
+		t.Fatalf("window after idle = %d, want MinBatch 2", w)
+	}
+}
+
+func TestAdmissionTenantsAreIndependent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxBatch: 32})
+	a.Admit("flood", 1000, 0)
+	if w := a.Window("interactive", 0); w != 1 {
+		t.Fatalf("interactive window = %d, want 1 despite flood tenant", w)
+	}
+	if w := a.Window("flood", 0); w != 32 {
+		t.Fatalf("flood window = %d, want 32", w)
+	}
+}

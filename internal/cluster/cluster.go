@@ -19,9 +19,17 @@ type Node interface {
 	Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
 }
 
+// TenantNode is the optional tenant-aware interface of a worker. A
+// *core.Platform satisfies it; invocations routed to workers that do
+// not drop to plain Invoke (losing the tenant tag, not the work).
+type TenantNode interface {
+	InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
 // BatchNode is the optional batched-dispatch interface of a worker. A
 // *core.Platform satisfies it; workers that do not are driven through
-// per-request Invoke as a fallback.
+// per-request Invoke as a fallback. Tenancy travels inside each
+// core.BatchRequest, so no separate tenant interface is needed here.
 type BatchNode interface {
 	InvokeBatch(reqs []core.BatchRequest) []core.BatchResult
 }
@@ -52,6 +60,9 @@ type member struct {
 	inflight atomic.Int64
 	total    atomic.Uint64
 	failures atomic.Uint64
+	// rerouted counts batch chunks re-queued onto a surviving worker
+	// after this worker failed them wholesale.
+	rerouted atomic.Uint64
 }
 
 // Manager errors.
@@ -127,8 +138,15 @@ func (m *Manager) pick() (string, *member, error) {
 	}
 }
 
-// Invoke routes one composition invocation to a worker.
+// Invoke routes one composition invocation to a worker under the
+// default tenant.
 func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return m.InvokeAs(core.DefaultTenant, name, inputs)
+}
+
+// InvokeAs routes one composition invocation to a worker under a tenant
+// identity, preserved end to end when the worker is tenant-aware.
+func (m *Manager) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	_, w, err := m.pick()
 	if err != nil {
 		return nil, err
@@ -136,15 +154,31 @@ func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[stri
 	w.inflight.Add(1)
 	w.total.Add(1)
 	defer w.inflight.Add(-1)
-	out, err := w.node.Invoke(name, inputs)
+	out, err := invokeOn(w.node, tenant, name, inputs)
 	if err != nil {
 		w.failures.Add(1)
 	}
 	return out, err
 }
 
+// invokeOn dispatches one invocation, using the tenant-aware interface
+// when the worker offers it.
+func invokeOn(n Node, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	if tn, ok := n.(TenantNode); ok {
+		return tn.InvokeAs(tenant, name, inputs)
+	}
+	return n.Invoke(name, inputs)
+}
+
 // InvokeBatch routes a batch of invocations of one composition across
-// the registered workers and returns results in request order.
+// the registered workers under the default tenant; see InvokeBatchAs.
+func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	return m.InvokeBatchAs(core.DefaultTenant, name, inputs)
+}
+
+// InvokeBatchAs routes a batch of invocations of one composition across
+// the registered workers under a tenant identity and returns results in
+// request order.
 //
 // RoundRobin spreads the batch: it is split into near-equal contiguous
 // chunks, one per worker, assigned in rotation order — under sustained
@@ -153,7 +187,16 @@ func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[stri
 // invocations, keeping batch locality (one program-cache+context warm
 // set per batch). Workers implementing BatchNode get the chunk in one
 // call; others fall back to per-request Invoke.
-func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+//
+// Worker failure mid-batch does not sink the chunk: when a worker fails
+// every request of a multi-request chunk wholesale (the signature of a
+// dead or unreachable node rather than per-request application errors),
+// the chunk is re-queued once on the surviving worker with the fewest
+// in-flight invocations, and only that retry's results stand.
+// Single-request chunks are never re-queued — one error cannot be told
+// apart from a legitimate application failure, and a blind retry would
+// duplicate non-idempotent work.
+func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	results := make([]core.BatchResult, len(inputs))
 	if len(inputs) == 0 {
 		return results
@@ -206,34 +249,79 @@ func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n := int64(c.hi - c.lo)
-			c.w.inflight.Add(n)
-			c.w.total.Add(uint64(n))
-			defer c.w.inflight.Add(-n)
-			if bn, ok := c.w.node.(BatchNode); ok {
-				reqs := make([]core.BatchRequest, c.hi-c.lo)
-				for i := c.lo; i < c.hi; i++ {
-					reqs[i-c.lo] = core.BatchRequest{Composition: name, Inputs: inputs[i]}
-				}
-				for i, res := range bn.InvokeBatch(reqs) {
-					results[c.lo+i] = res
-					if res.Err != nil {
-						c.w.failures.Add(1)
-					}
-				}
-				return
-			}
-			for i := c.lo; i < c.hi; i++ {
-				out, err := c.w.node.Invoke(name, inputs[i])
-				results[i] = core.BatchResult{Outputs: out, Err: err}
-				if err != nil {
-					c.w.failures.Add(1)
+			res := m.runChunk(c.w, tenant, name, inputs[c.lo:c.hi])
+			if len(res) > 1 && allFailed(res) {
+				if alt := pickSurvivor(members, c.w); alt != nil {
+					c.w.rerouted.Add(1)
+					res = m.runChunk(alt, tenant, name, inputs[c.lo:c.hi])
 				}
 			}
+			copy(results[c.lo:c.hi], res)
 		}()
 	}
 	wg.Wait()
 	return results
+}
+
+// runChunk drives one contiguous chunk on one worker, preferring the
+// batched interface, and returns the chunk's results.
+func (m *Manager) runChunk(w *member, tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	n := int64(len(inputs))
+	w.inflight.Add(n)
+	w.total.Add(uint64(n))
+	defer w.inflight.Add(-n)
+	res := make([]core.BatchResult, len(inputs))
+	if bn, ok := w.node.(BatchNode); ok {
+		reqs := make([]core.BatchRequest, len(inputs))
+		for i := range inputs {
+			reqs[i] = core.BatchRequest{Composition: name, Tenant: tenant, Inputs: inputs[i]}
+		}
+		for i, r := range bn.InvokeBatch(reqs) {
+			res[i] = r
+			if r.Err != nil {
+				w.failures.Add(1)
+			}
+		}
+		return res
+	}
+	for i := range inputs {
+		out, err := invokeOn(w.node, tenant, name, inputs[i])
+		res[i] = core.BatchResult{Outputs: out, Err: err}
+		if err != nil {
+			w.failures.Add(1)
+		}
+	}
+	return res
+}
+
+// allFailed reports whether every result of a (non-empty) chunk errored
+// — the manager's worker-failure heuristic, meaningful only for chunks
+// of two or more requests.
+func allFailed(res []core.BatchResult) bool {
+	if len(res) == 0 {
+		return false
+	}
+	for _, r := range res {
+		if r.Err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// pickSurvivor returns the least-loaded member other than failed, or
+// nil when none exists.
+func pickSurvivor(members []*member, failed *member) *member {
+	var best *member
+	for _, w := range members {
+		if w == failed {
+			continue
+		}
+		if best == nil || w.inflight.Load() < best.inflight.Load() {
+			best = w
+		}
+	}
+	return best
 }
 
 // WorkerStats reports per-worker routing counters.
@@ -242,6 +330,9 @@ type WorkerStats struct {
 	InFlight int64
 	Total    uint64
 	Failures uint64
+	// Rerouted counts batch chunks this worker failed wholesale that
+	// were re-queued on a surviving worker.
+	Rerouted uint64
 }
 
 // Stats snapshots every worker's counters in registration order.
@@ -254,6 +345,7 @@ func (m *Manager) Stats() []WorkerStats {
 		out = append(out, WorkerStats{
 			Name: n, InFlight: w.inflight.Load(),
 			Total: w.total.Load(), Failures: w.failures.Load(),
+			Rerouted: w.rerouted.Load(),
 		})
 	}
 	return out

@@ -302,3 +302,166 @@ func TestInvokeBatchCountsFailures(t *testing.T) {
 		t.Fatalf("stats = %+v", st[0])
 	}
 }
+
+// fakeTenantNode records the tenant identities it was invoked under.
+type fakeTenantNode struct {
+	fakeNode
+	mu      sync.Mutex
+	tenants []string
+}
+
+func (f *fakeTenantNode) InvokeAs(tenant, name string, in map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	f.mu.Lock()
+	f.tenants = append(f.tenants, tenant)
+	f.mu.Unlock()
+	return f.Invoke(name, in)
+}
+
+func TestInvokeThreadsTenant(t *testing.T) {
+	m := NewManager(RoundRobin)
+	n := &fakeTenantNode{}
+	if err := m.Register("w", n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InvokeAs("alice", "C", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Invoke("C", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.tenants) != 2 || n.tenants[0] != "alice" || n.tenants[1] != core.DefaultTenant {
+		t.Fatalf("tenants seen = %v", n.tenants)
+	}
+}
+
+// failingBatchNode fails every request wholesale, like a dead worker.
+type failingBatchNode struct {
+	batchCalls atomic.Int64
+}
+
+func (f *failingBatchNode) Invoke(name string, in map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return nil, errors.New("node down")
+}
+
+func (f *failingBatchNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
+	f.batchCalls.Add(1)
+	out := make([]core.BatchResult, len(reqs))
+	for i := range out {
+		out[i].Err = errors.New("node down")
+	}
+	return out
+}
+
+// TestInvokeBatchReroutesFailedChunk is the mid-batch re-routing path:
+// a worker that fails its whole chunk must not sink those requests —
+// the chunk is re-queued on the surviving worker.
+func TestInvokeBatchReroutesFailedChunk(t *testing.T) {
+	m := NewManager(RoundRobin)
+	dead := &failingBatchNode{}
+	good := &fakeBatchNode{}
+	if err := m.Register("dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("good", good); err != nil {
+		t.Fatal(err)
+	}
+	res := m.InvokeBatchAs("alice", "C", batchInputs(8))
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("result %d not rerouted: %v", i, r.Err)
+		}
+	}
+	// The good worker served its own chunk plus the dead worker's.
+	if good.calls.Load() != 8 {
+		t.Fatalf("good worker handled %d invocations, want 8", good.calls.Load())
+	}
+	var deadStats, goodStats WorkerStats
+	for _, s := range m.Stats() {
+		switch s.Name {
+		case "dead":
+			deadStats = s
+		case "good":
+			goodStats = s
+		}
+	}
+	if deadStats.Rerouted != 1 || deadStats.Failures != 4 {
+		t.Fatalf("dead stats = %+v", deadStats)
+	}
+	if goodStats.Failures != 0 || goodStats.Total != 8 {
+		t.Fatalf("good stats = %+v", goodStats)
+	}
+}
+
+// TestInvokeBatchKeepsPerRequestErrors: per-request application errors
+// (not a wholesale chunk failure) must NOT trigger re-routing.
+type halfFailNode struct {
+	fakeBatchNode
+}
+
+func (f *halfFailNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
+	out := make([]core.BatchResult, len(reqs))
+	for i := range reqs {
+		if i%2 == 0 {
+			out[i].Err = errors.New("bad input")
+		} else {
+			out[i].Outputs = map[string][]memctx.Item{"Out": {{Name: "r"}}}
+		}
+	}
+	f.batchCalls.Add(1)
+	return out
+}
+
+func TestInvokeBatchKeepsPerRequestErrors(t *testing.T) {
+	m := NewManager(LeastLoaded)
+	flaky := &halfFailNode{}
+	spare := &fakeBatchNode{}
+	if err := m.Register("flaky", flaky); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("spare", spare); err != nil {
+		t.Fatal(err)
+	}
+	// LeastLoaded sends the whole batch to one worker; half its requests
+	// fail with application errors, which must stand (no retry).
+	res := m.InvokeBatch("C", batchInputs(4))
+	errs := 0
+	for _, r := range res {
+		if r.Err != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("errors = %d, want 2", errs)
+	}
+	if spare.batchCalls.Load() != 0 {
+		t.Fatalf("spare worker got %d batch calls, want 0", spare.batchCalls.Load())
+	}
+}
+
+// TestInvokeBatchNoRerouteForSingleRequestChunk: a lone failing request
+// is indistinguishable from an application error, so it must not be
+// retried on another worker (blind retries duplicate side effects).
+func TestInvokeBatchNoRerouteForSingleRequestChunk(t *testing.T) {
+	m := NewManager(LeastLoaded)
+	dead := &failingBatchNode{}
+	spare := &fakeBatchNode{}
+	if err := m.Register("dead", dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("spare", spare); err != nil {
+		t.Fatal(err)
+	}
+	res := m.InvokeBatch("C", batchInputs(1))
+	if res[0].Err == nil {
+		t.Fatal("single-request chunk was retried")
+	}
+	if spare.batchCalls.Load() != 0 || spare.calls.Load() != 0 {
+		t.Fatalf("spare worker got work: batch=%d calls=%d",
+			spare.batchCalls.Load(), spare.calls.Load())
+	}
+	for _, s := range m.Stats() {
+		if s.Rerouted != 0 {
+			t.Fatalf("rerouted = %+v", s)
+		}
+	}
+}

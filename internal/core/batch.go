@@ -15,9 +15,9 @@ import (
 	"sync"
 
 	"dandelion/internal/dvm"
-	"dandelion/internal/engine"
 	"dandelion/internal/graph"
 	"dandelion/internal/memctx"
+	"dandelion/internal/sched"
 )
 
 // programCache maps binary hashes to decoded DVM programs. It
@@ -69,6 +69,10 @@ func (c *programCache) size() int {
 type BatchRequest struct {
 	// Composition names the registered composition to run.
 	Composition string
+	// Tenant is the identity the request is scheduled under; empty
+	// means DefaultTenant. Requests of different tenants may share one
+	// InvokeBatch call — they are grouped and accounted separately.
+	Tenant string
 	// Inputs maps the composition's input names to items.
 	Inputs map[string][]memctx.Item
 }
@@ -82,8 +86,9 @@ type BatchResult struct {
 
 // InvokeBatch runs a batch of composition requests, returning one
 // result per request in request order. Requests naming the same
-// composition execute together through the batched dispatch path;
-// distinct compositions proceed concurrently.
+// composition under the same tenant execute together through the
+// batched dispatch path; distinct groups proceed concurrently, each
+// scheduled in its tenant's DRR share.
 func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	results := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
@@ -91,20 +96,27 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	}
 	p.batches.Add(1)
 
-	// Group request indices by composition, preserving first-seen order.
-	groups := map[string][]int{}
-	var order []string
+	// Group request indices by (composition, tenant), preserving
+	// first-seen order. Tenant is part of the key so one group's chunk
+	// tasks are attributable to exactly one tenant's dispatch share.
+	type groupKey struct{ comp, tenant string }
+	groups := map[groupKey][]int{}
+	var order []groupKey
 	for i, r := range reqs {
-		if _, ok := groups[r.Composition]; !ok {
-			order = append(order, r.Composition)
+		key := groupKey{comp: r.Composition, tenant: r.Tenant}
+		if key.tenant == "" {
+			key.tenant = DefaultTenant
 		}
-		groups[r.Composition] = append(groups[r.Composition], i)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
 	}
 
 	var wg sync.WaitGroup
-	for _, name := range order {
-		idxs := groups[name]
-		comp, err := p.reg.composition(name)
+	for _, key := range order {
+		idxs := groups[key]
+		comp, err := p.reg.composition(key.comp)
 		if err != nil {
 			for _, i := range idxs {
 				results[i].Err = err
@@ -113,20 +125,35 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 		}
 		p.invocations.Add(uint64(len(idxs)))
 		wg.Add(1)
-		go func(comp *graph.Composition, idxs []int) {
+		go func(tenant string, comp *graph.Composition, idxs []int) {
 			defer wg.Done()
 			inputs := make([]map[string][]memctx.Item, len(idxs))
 			for k, i := range idxs {
 				inputs[k] = reqs[i].Inputs
 			}
-			outs, errs := p.invokeBatch(comp, inputs)
+			outs, errs := p.invokeBatch(tenant, comp, inputs)
 			for k, i := range idxs {
 				results[i].Outputs, results[i].Err = outs[k], errs[k]
 			}
-		}(comp, idxs)
+		}(key.tenant, comp, idxs)
 	}
 	wg.Wait()
 	return results
+}
+
+// InvokeBatchAs runs a batch under one tenant identity, overriding any
+// per-request Tenant fields — the server-side entry point for a batch
+// admitted from a single tenant's connection.
+func (p *Platform) InvokeBatchAs(tenant string, reqs []BatchRequest) []BatchResult {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	tagged := make([]BatchRequest, len(reqs))
+	for i, r := range reqs {
+		r.Tenant = tenant
+		tagged[i] = r
+	}
+	return p.InvokeBatch(tagged)
 }
 
 // batchState tracks the per-request dataflow of one composition group.
@@ -164,10 +191,10 @@ func (b *batchState) live() []int {
 }
 
 // invokeBatch mirrors invoke for a group of requests running the same
-// composition: one goroutine per statement (shared across the group,
-// honoring DAG dependencies), with compute statements executed through
-// the chunked batch path.
-func (p *Platform) invokeBatch(comp *graph.Composition, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+// composition under one tenant: one goroutine per statement (shared
+// across the group, honoring DAG dependencies), with compute statements
+// executed through the chunked batch path.
+func (p *Platform) invokeBatch(tenant string, comp *graph.Composition, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
 	n := len(inputs)
 	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
 	for r := 0; r < n; r++ {
@@ -197,7 +224,7 @@ func (p *Platform) invokeBatch(comp *graph.Composition, inputs []map[string][]me
 			for _, d := range deps[i] {
 				<-done[d]
 			}
-			p.runStatementBatch(comp, i, st)
+			p.runStatementBatch(tenant, comp, i, st)
 		}()
 	}
 	wg.Wait()
@@ -228,7 +255,7 @@ type batchItem struct {
 // the group. Compute functions take the chunked batch path; everything
 // else (communication functions, nested compositions) falls back to the
 // per-request dispatcher logic.
-func (p *Platform) runStatementBatch(comp *graph.Composition, si int, bst *batchState) {
+func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si int, bst *batchState) {
 	st := comp.Stmts[si]
 	live := bst.live()
 	if len(live) == 0 {
@@ -256,7 +283,7 @@ func (p *Platform) runStatementBatch(comp *graph.Composition, si int, bst *batch
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if err := p.runStatement(st, bst.stores[r], 0); err != nil {
+				if err := p.runStatement(tenant, st, bst.stores[r], 0); err != nil {
 					bst.fail(r, wrap(err))
 				}
 			}()
@@ -325,15 +352,23 @@ func (p *Platform) runStatementBatch(comp *graph.Composition, si int, bst *batch
 		lo, hi := c*len(items)/chunks, (c+1)*len(items)/chunks
 		seg := items[lo:hi]
 		wg.Add(1)
-		task := engine.Task{Do: func() {
-			defer wg.Done()
-			p.runComputeChunk(v.fn, prepared, seg)
-		}}
-		if err := p.computePool.Queue().Push(task); err != nil {
-			wg.Done()
+		task := sched.Task{
+			Do: func() {
+				defer wg.Done()
+				p.runComputeChunk(v.fn, prepared, seg)
+			},
+			OnReject: func(err error) {
+				for i := range seg {
+					seg[i].err = err
+				}
+				wg.Done()
+			},
+		}
+		if err := p.computeSched.Submit(tenant, task); err != nil {
 			for i := range seg {
 				seg[i].err = err
 			}
+			wg.Done()
 		}
 	}
 	wg.Wait()

@@ -257,3 +257,75 @@ func TestMemctxResetIsolation(t *testing.T) {
 		t.Fatal("Reset leaked previous instance data")
 	}
 }
+
+// TestInvokeBatchMixedTenants: one batch carrying two tenants' requests
+// still returns per-request results in order, and each tenant's work is
+// scheduled and accounted under its own gauges.
+func TestInvokeBatchMixedTenants(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 2})
+	registerUpperPipeline(t, p)
+
+	var reqs []BatchRequest
+	for i := 0; i < 6; i++ {
+		tenant := "alice"
+		if i%2 == 1 {
+			tenant = "bob"
+		}
+		reqs = append(reqs, BatchRequest{
+			Composition: "Pipe",
+			Tenant:      tenant,
+			Inputs: map[string][]memctx.Item{
+				"In": {{Name: "x", Data: []byte(fmt.Sprintf("t%d", i))}},
+			},
+		})
+	}
+	results := p.InvokeBatch(reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", i, res.Err)
+		}
+		if got := string(res.Outputs["Result"][0].Data); got != fmt.Sprintf("T%d", i) {
+			t.Fatalf("result %d = %q", i, got)
+		}
+	}
+
+	completed := map[string]uint64{}
+	for _, ts := range p.Stats().Tenants {
+		completed[ts.Tenant] = ts.Completed
+	}
+	if completed["alice"] == 0 || completed["bob"] == 0 {
+		t.Fatalf("per-tenant completion gauges missing: %+v", p.Stats().Tenants)
+	}
+	if completed[DefaultTenant] != 0 {
+		t.Fatalf("tagged requests leaked into the default tenant: %+v", p.Stats().Tenants)
+	}
+}
+
+// TestInvokeBatchAsOverridesTenant: the server-side entry point stamps
+// one tenant over the whole batch.
+func TestInvokeBatchAsOverridesTenant(t *testing.T) {
+	p := newPlatform(t, Options{ComputeEngines: 2})
+	registerUpperPipeline(t, p)
+
+	reqs := []BatchRequest{{
+		Composition: "Pipe",
+		Tenant:      "spoofed",
+		Inputs:      map[string][]memctx.Item{"In": {{Name: "x", Data: []byte("a")}}},
+	}}
+	results := p.InvokeBatchAs("real", reqs)
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	var realSeen bool
+	for _, ts := range p.Stats().Tenants {
+		if ts.Tenant == "spoofed" && ts.Dispatched > 0 {
+			t.Fatalf("request ran under the spoofed tenant: %+v", ts)
+		}
+		if ts.Tenant == "real" {
+			realSeen = ts.Completed > 0
+		}
+	}
+	if !realSeen {
+		t.Fatalf("request not accounted to the real tenant: %+v", p.Stats().Tenants)
+	}
+}

@@ -12,7 +12,12 @@ import (
 	"dandelion/internal/graph"
 	"dandelion/internal/isolation"
 	"dandelion/internal/memctx"
+	"dandelion/internal/sched"
 )
+
+// DefaultTenant is the identity invocations run under when the caller
+// supplies none; see internal/sched.
+const DefaultTenant = sched.DefaultTenant
 
 // Execution errors.
 var (
@@ -40,6 +45,14 @@ type Options struct {
 	Balance bool
 	// MaxDepth bounds nested composition recursion (default 16).
 	MaxDepth int
+	// TenantWeights seeds the scheduling plane's per-tenant DRR weights;
+	// unlisted tenants (including DefaultTenant) get weight 1. Weights
+	// can be changed at runtime via SetTenantWeight.
+	TenantWeights map[string]int
+	// DispatchWindow bounds dispatched-but-unfinished tasks per engine
+	// pool; 0 tracks the pool size (2× compute engines; comm engines ×
+	// their green-thread capacity).
+	DispatchWindow int
 }
 
 // Platform is one Dandelion worker node: registry + dispatcher +
@@ -53,6 +66,11 @@ type Platform struct {
 	computePool *engine.Pool
 	commPool    *engine.Pool
 	balancer    *controlplane.Balancer
+
+	// The scheduling plane: all dispatches enter the engine queues
+	// through these per-pool DRR schedulers, keyed by tenant.
+	computeSched *sched.Scheduler
+	commSched    *sched.Scheduler
 
 	invocations  atomic.Uint64
 	batches      atomic.Uint64
@@ -88,6 +106,19 @@ func NewPlatform(opts Options) (*Platform, error) {
 	p.commPool = engine.NewPool(engine.Communication, engine.NewQueue())
 	p.computePool.SetCount(opts.ComputeEngines)
 	p.commPool.SetCount(opts.CommEngines)
+	// The dispatch windows track pool sizes so the balancer's SetCount
+	// re-assignments widen or narrow the refill allowance automatically.
+	// Comm engines multiplex green threads, so their window is per-slot.
+	p.computeSched = sched.New(p.computePool.Queue(), sched.Config{
+		Window:   opts.DispatchWindow,
+		WindowFn: func() int { return 2 * p.computePool.Count() },
+		Weights:  opts.TenantWeights,
+	})
+	p.commSched = sched.New(p.commPool.Queue(), sched.Config{
+		Window:   opts.DispatchWindow,
+		WindowFn: func() int { return p.commPool.Count() * engine.DefaultCommConcurrency },
+		Weights:  opts.TenantWeights,
+	})
 	if opts.Balance {
 		p.balancer = controlplane.NewBalancer(controlplane.NewController(), p.computePool, p.commPool)
 		p.balancer.Start()
@@ -96,12 +127,23 @@ func NewPlatform(opts Options) (*Platform, error) {
 }
 
 // Shutdown stops engines and the balancer, waiting for in-flight work.
+// The schedulers close first so parked tasks are rejected instead of
+// stranded behind a closing queue.
 func (p *Platform) Shutdown() {
 	if p.balancer != nil {
 		p.balancer.Stop()
 	}
+	p.computeSched.Close()
+	p.commSched.Close()
 	p.computePool.Shutdown()
 	p.commPool.Shutdown()
+}
+
+// SetTenantWeight sets a tenant's DRR dispatch weight (minimum 1) on
+// both the compute and communication scheduling planes.
+func (p *Platform) SetTenantWeight(tenant string, w int) {
+	p.computeSched.SetWeight(tenant, w)
+	p.commSched.SetWeight(tenant, w)
 }
 
 // RegisterFunction registers a compute function.
@@ -137,11 +179,16 @@ type Stats struct {
 	ComputeCompleted uint64
 	CommCompleted    uint64
 	CachedPrograms   int
+	// Tenants carries the scheduling plane's per-tenant gauges (queued,
+	// running, completed, dispatch-wait), merged across the compute and
+	// communication schedulers and sorted by tenant name.
+	Tenants []sched.TenantStats
 }
 
 // Stats reports current platform gauges.
 func (p *Platform) Stats() Stats {
 	return Stats{
+		Tenants: sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
 		Invocations:      p.invocations.Load(),
 		Batches:          p.batches.Load(),
 		ComputeEngines:   p.computePool.Count(),
@@ -157,14 +204,29 @@ func (p *Platform) Stats() Stats {
 }
 
 // Invoke runs a registered composition with the given input items and
-// returns its output sets keyed by output name.
+// returns its output sets keyed by output name. It runs under
+// DefaultTenant; multi-tenant callers use InvokeAs.
 func (p *Platform) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return p.InvokeAs(DefaultTenant, name, inputs)
+}
+
+// InvokeAs runs a registered composition under a tenant identity: every
+// engine dispatch it causes is scheduled in that tenant's DRR share and
+// accounted in its gauges. An empty tenant means DefaultTenant.
+func (p *Platform) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	comp, err := p.reg.composition(name)
 	if err != nil {
 		return nil, err
 	}
 	p.invocations.Add(1)
-	return p.invoke(comp, inputs, 0)
+	return p.invoke(tenant, comp, inputs, 0)
+}
+
+// HasComposition reports whether a composition is registered, letting
+// the frontend reject unknown names before admitting a batch.
+func (p *Platform) HasComposition(name string) bool {
+	_, err := p.reg.composition(name)
+	return err == nil
 }
 
 // valueStore holds the dataflow values of one invocation.
@@ -193,7 +255,7 @@ func (s *valueStore) set(name string, items []memctx.Item) {
 	s.vals[name] = items
 }
 
-func (p *Platform) invoke(comp *graph.Composition, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
+func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
 	if depth >= p.opts.MaxDepth {
 		return nil, fmt.Errorf("%w (%d)", ErrTooDeep, p.opts.MaxDepth)
 	}
@@ -236,7 +298,7 @@ func (p *Platform) invoke(comp *graph.Composition, inputs map[string][]memctx.It
 			if failed.Load() {
 				return
 			}
-			if err := p.runStatement(comp.Stmts[i], store, depth); err != nil {
+			if err := p.runStatement(tenant, comp.Stmts[i], store, depth); err != nil {
 				setErr(fmt.Errorf("core: %s: statement %d (%s): %w", comp.Name, i, comp.Stmts[i].Func, err))
 			}
 		}()
@@ -254,8 +316,9 @@ func (p *Platform) invoke(comp *graph.Composition, inputs map[string][]memctx.It
 }
 
 // runStatement expands a statement into instances per the edge modes,
-// executes them on the appropriate engines, and merges outputs.
-func (p *Platform) runStatement(st graph.Stmt, store *valueStore, depth int) error {
+// executes them on the appropriate engines (scheduled under the tenant's
+// DRR share), and merges outputs.
+func (p *Platform) runStatement(tenant string, st graph.Stmt, store *valueStore, depth int) error {
 	v, err := p.reg.resolve(st.Func)
 	if err != nil {
 		return err
@@ -293,19 +356,21 @@ func (p *Platform) runStatement(st graph.Stmt, store *valueStore, depth int) err
 		wg.Add(1)
 		run := func() {
 			defer wg.Done()
-			outs, err := p.runInstance(v, st, inst, depth)
+			outs, err := p.runInstance(tenant, v, st, inst, depth)
 			results[idx], errs[idx] = outs, err
+		}
+		reject := func(err error) {
+			errs[idx] = err
+			wg.Done()
 		}
 		switch {
 		case v.comm != nil:
-			if err := p.commPool.Queue().Push(engine.Task{Do: run}); err != nil {
-				wg.Done()
-				errs[idx] = err
+			if err := p.commSched.Submit(tenant, sched.Task{Do: run, OnReject: reject}); err != nil {
+				reject(err)
 			}
 		case v.fn != nil:
-			if err := p.computePool.Queue().Push(engine.Task{Do: run}); err != nil {
-				wg.Done()
-				errs[idx] = err
+			if err := p.computeSched.Submit(tenant, sched.Task{Do: run, OnReject: reject}); err != nil {
+				reject(err)
 			}
 		default:
 			// Nested composition: orchestrated inline by the dispatcher
@@ -396,7 +461,7 @@ func expandInstances(args []graph.Arg, items [][]memctx.Item) ([]instance, error
 // runInstance executes one instance of a vertex. It is called on an
 // engine worker (compute or communication) or, for nested compositions,
 // on a dispatcher goroutine.
-func (p *Platform) runInstance(v vertex, st graph.Stmt, inst instance, depth int) ([]memctx.Set, error) {
+func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst instance, depth int) ([]memctx.Set, error) {
 	switch {
 	case v.comm != nil:
 		return v.comm.Invoke(inst)
@@ -407,7 +472,7 @@ func (p *Platform) runInstance(v vertex, st graph.Stmt, inst instance, depth int
 		for _, s := range inst {
 			childInputs[s.Name] = s.Items
 		}
-		childOut, err := p.invoke(v.comp, childInputs, depth+1)
+		childOut, err := p.invoke(tenant, v.comp, childInputs, depth+1)
 		if err != nil {
 			return nil, err
 		}

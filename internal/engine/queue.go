@@ -17,6 +17,12 @@
 // internal/controlplane, and SetCount re-assignment keep working.
 // Blocking is handled by a parking lot (mutex+cond) entered only after
 // the lock-free paths come up empty.
+//
+// This queue is single-tenant by design: it orders tasks, it does not
+// arbitrate between principals. Multi-tenant fairness lives one layer
+// up in internal/sched, whose DRR refill loop decides which tenant's
+// task enters this queue next and bounds how many are in it at once;
+// the dispatcher (internal/core) submits there, not here.
 package engine
 
 import (

@@ -7,6 +7,15 @@
 // since it is an ordinary HTTP service, a running composition can spawn
 // further compositions by sending requests to the frontend through the
 // HTTP communication function.
+//
+// Tenancy enters the system here. Every invocation route honors an
+// X-Tenant request header naming the tenant the work is scheduled and
+// accounted under; requests without one run as the default tenant. The
+// batch route additionally runs each tenant's traffic through an
+// admission window (internal/autoscale): a client-framed batch of any
+// size is split into window-sized sub-batches before reaching
+// Platform.InvokeBatch, so a single oversized body cannot monopolize
+// the batched dispatch path.
 package frontend
 
 import (
@@ -16,11 +25,36 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dandelion"
+	"dandelion/internal/autoscale"
 )
 
-// New builds the frontend handler for a platform node.
+// TenantHeader is the request header naming the tenant an invocation is
+// scheduled under; absent or empty selects the default tenant.
+const TenantHeader = "X-Tenant"
+
+// Config parameterizes the frontend beyond its platform.
+type Config struct {
+	// Admission supplies the per-tenant batch admission windows; nil
+	// builds a default autoscale.Admission.
+	Admission *autoscale.Admission
+	// Now is the clock feeding the admission windows (default
+	// time.Now); tests inject a virtual clock.
+	Now func() time.Time
+}
+
+// server binds the platform, the admission plane, and the clock.
+type server struct {
+	p   *dandelion.Platform
+	adm *autoscale.Admission
+	now func() time.Time
+	t0  time.Time
+}
+
+// New builds the frontend handler for a platform node with default
+// admission settings.
 //
 // Routes:
 //
@@ -28,117 +62,154 @@ import (
 //	     headers: X-Memory-Bytes, X-Gas-Limit, X-Output-Sets
 //	POST /register/composition       body = DSL text
 //	POST /invoke/<composition>?input=<InputSet>[&output=<OutputSet>]
+//	     headers: X-Tenant (optional tenant identity)
 //	     body = single input item; response = first item of the
-//	     requested (or first non-empty) output set
+//	     requested (or first non-empty) output set; unknown
+//	     compositions are rejected with 400 and a JSON error body
 //	POST /invoke-batch/<composition> body = JSON array of request
 //	     objects ({"inputs": {"<set>": [{"name","key","data"}]}}, data
 //	     base64); response = JSON array of {"outputs","error"} in
-//	     request order, all driven through Platform.InvokeBatch
-//	GET  /stats                      JSON platform gauges
+//	     request order. The X-Tenant header names the tenant the whole
+//	     batch is scheduled under, and the batch is split into
+//	     admission-window-sized sub-batches (per-tenant, demand-sized
+//	     by internal/autoscale) before Platform.InvokeBatch — client
+//	     framing is advisory, not trusted. Malformed JSON and unknown
+//	     compositions are rejected with 400 and a JSON error body
+//	     {"error": "..."}.
+//	GET  /stats                      JSON platform gauges, including
+//	     the per-tenant scheduling gauges (queued, running, completed,
+//	     dispatch-wait avg/p99/max) under "Tenants"
+//
+// Wrong methods answer 405 with an Allow header and a JSON error body.
 func New(p *dandelion.Platform) http.Handler {
+	return NewWithConfig(p, Config{})
+}
+
+// NewWithConfig builds the frontend handler with explicit admission
+// settings.
+func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
+	s := &server{p: p, adm: cfg.Admission, now: cfg.Now}
+	if s.adm == nil {
+		s.adm = autoscale.NewAdmission(autoscale.AdmissionConfig{})
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	s.t0 = s.now()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/register/function/", func(w http.ResponseWriter, r *http.Request) {
-		handleRegisterFunction(p, w, r)
-	})
-	mux.HandleFunc("/register/composition", func(w http.ResponseWriter, r *http.Request) {
-		handleRegisterComposition(p, w, r)
-	})
-	mux.HandleFunc("/invoke/", func(w http.ResponseWriter, r *http.Request) {
-		handleInvoke(p, w, r)
-	})
-	mux.HandleFunc("/invoke-batch/", func(w http.ResponseWriter, r *http.Request) {
-		handleInvokeBatch(p, w, r)
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(p.Stats())
-	})
+	mux.HandleFunc("/register/function/", method(http.MethodPost, s.handleRegisterFunction))
+	mux.HandleFunc("/register/composition", method(http.MethodPost, s.handleRegisterComposition))
+	mux.HandleFunc("/invoke/", method(http.MethodPost, s.handleInvoke))
+	mux.HandleFunc("/invoke-batch/", method(http.MethodPost, s.handleInvokeBatch))
+	mux.HandleFunc("/stats", method(http.MethodGet, s.handleStats))
 	return mux
 }
 
-func handleRegisterFunction(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
+// clockSeconds is the admission plane's timeline: seconds since the
+// frontend booted.
+func (s *server) clockSeconds() float64 { return s.now().Sub(s.t0).Seconds() }
+
+// tenantOf extracts the request's tenant identity.
+func tenantOf(r *http.Request) string {
+	return strings.TrimSpace(r.Header.Get(TenantHeader))
+}
+
+// jsonError writes a JSON error body, the uniform error shape of every
+// route.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// method guards a handler to one HTTP method, answering a consistent
+// 405 (with Allow header) otherwise.
+func method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			jsonError(w, http.StatusMethodNotAllowed, want+" only")
+			return
+		}
+		h(w, r)
 	}
+}
+
+func (s *server) handleRegisterFunction(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/register/function/")
 	if name == "" {
-		http.Error(w, "function name required", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "function name required")
 		return
 	}
 	binary, err := io.ReadAll(r.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	fn := dandelion.ComputeFunc{Name: name, Binary: binary}
 	if v := r.Header.Get("X-Memory-Bytes"); v != "" {
 		if fn.MemBytes, err = strconv.Atoi(v); err != nil {
-			http.Error(w, "bad X-Memory-Bytes", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad X-Memory-Bytes")
 			return
 		}
 	}
 	if v := r.Header.Get("X-Gas-Limit"); v != "" {
 		if fn.GasLimit, err = strconv.ParseInt(v, 10, 64); err != nil {
-			http.Error(w, "bad X-Gas-Limit", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "bad X-Gas-Limit")
 			return
 		}
 	}
 	if v := r.Header.Get("X-Output-Sets"); v != "" {
 		fn.OutputSets = strings.Split(v, ",")
 	}
-	if err := p.RegisterFunction(fn); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	if err := s.p.RegisterFunction(fn); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	fmt.Fprintf(w, "registered function %s (%d bytes)\n", name, len(binary))
 }
 
-func handleRegisterComposition(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+func (s *server) handleRegisterComposition(w http.ResponseWriter, r *http.Request) {
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	names, err := p.RegisterCompositionText(string(src))
+	names, err := s.p.RegisterCompositionText(string(src))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	fmt.Fprintf(w, "registered compositions: %s\n", strings.Join(names, ", "))
 }
 
-func handleInvoke(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
 	input := r.URL.Query().Get("input")
 	if name == "" || input == "" {
-		http.Error(w, "need /invoke/<composition>?input=<InputSet>", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "need /invoke/<composition>?input=<InputSet>")
+		return
+	}
+	if !s.p.HasComposition(name) {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
 		return
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, err := p.Invoke(name, map[string][]dandelion.Item{
+	out, err := s.p.InvokeAs(tenantOf(r), name, map[string][]dandelion.Item{
 		input: {{Name: "item0", Data: body}},
 	})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	if want := r.URL.Query().Get("output"); want != "" {
 		items, ok := out[want]
 		if !ok {
-			http.Error(w, fmt.Sprintf("no output set %q", want), http.StatusNotFound)
+			jsonError(w, http.StatusNotFound, fmt.Sprintf("no output set %q", want))
 			return
 		}
 		if len(items) == 0 {
@@ -155,6 +226,11 @@ func handleInvoke(p *dandelion.Platform, w http.ResponseWriter, r *http.Request)
 		}
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.p.Stats())
 }
 
 // Wire types of the batch route, shared with clients of the protocol
@@ -179,21 +255,22 @@ type WireBatchResult struct {
 	Error   string                `json:"error,omitempty"`
 }
 
-func handleInvokeBatch(p *dandelion.Platform, w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
+func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/invoke-batch/")
 	if name == "" {
-		http.Error(w, "need /invoke-batch/<composition>", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "need /invoke-batch/<composition>")
 		return
 	}
 	var wireReqs []WireBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&wireReqs); err != nil {
-		http.Error(w, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
 		return
 	}
+	if !s.p.HasComposition(name) {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
+		return
+	}
+	tenant := tenantOf(r)
 	reqs := make([]dandelion.BatchRequest, len(wireReqs))
 	for i, wr := range wireReqs {
 		inputs := make(map[string][]dandelion.Item, len(wr.Inputs))
@@ -204,9 +281,35 @@ func handleInvokeBatch(p *dandelion.Platform, w http.ResponseWriter, r *http.Req
 			}
 			inputs[set] = items
 		}
-		reqs[i] = dandelion.BatchRequest{Composition: name, Inputs: inputs}
+		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: inputs}
 	}
-	results := p.InvokeBatch(reqs)
+
+	// Admit the batch: record demand, then drive it through the
+	// platform in admission-window-sized sub-batches. The window is
+	// re-read between sub-batches so a sustained burst widens it while
+	// it is still being drained.
+	admitTenant := tenant
+	if admitTenant == "" {
+		admitTenant = dandelion.DefaultTenant
+	}
+	window := s.adm.Admit(admitTenant, len(reqs), s.clockSeconds())
+	results := make([]dandelion.BatchResult, 0, len(reqs))
+	for lo := 0; lo < len(reqs); {
+		if window < 1 {
+			window = 1
+		}
+		hi := lo + window
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		results = append(results, s.p.InvokeBatch(reqs[lo:hi])...)
+		lo = hi
+		if lo < len(reqs) {
+			window = s.adm.Window(admitTenant, s.clockSeconds())
+		}
+	}
+	s.adm.Finish(admitTenant, len(reqs), s.clockSeconds())
+
 	wireRes := make([]WireBatchResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"dandelion"
+	"dandelion/internal/autoscale"
 	"dandelion/internal/dvm"
 )
 
@@ -92,7 +93,7 @@ func TestFrontendErrors(t *testing.T) {
 		{srv.URL + "/register/function/Bad", map[string]string{"X-Memory-Bytes": "abc"}, dvm.EchoProgram().Encode(), http.StatusBadRequest},
 		{srv.URL + "/register/function/Bad", map[string]string{"X-Gas-Limit": "xyz"}, dvm.EchoProgram().Encode(), http.StatusBadRequest},
 		{srv.URL + "/register/composition", nil, []byte("not dsl"), http.StatusBadRequest},
-		{srv.URL + "/invoke/Ghost?input=In", nil, []byte("x"), http.StatusInternalServerError},
+		{srv.URL + "/invoke/Ghost?input=In", nil, []byte("x"), http.StatusBadRequest},
 		{srv.URL + "/invoke/", nil, nil, http.StatusBadRequest},
 		{srv.URL + "/invoke/E", nil, nil, http.StatusBadRequest}, // missing input param
 	}
@@ -291,5 +292,178 @@ composition E(In) => Result {
 	}
 	if stats.ComputeEngines < 1 {
 		t.Fatalf("stats.ComputeEngines = %d", stats.ComputeEngines)
+	}
+}
+
+// TestTenantHeaderRoundTrip threads X-Tenant from the HTTP edge to the
+// scheduling plane's per-tenant gauges and back out via /stats.
+func TestTenantHeaderRoundTrip(t *testing.T) {
+	p, srv := newServer(t)
+	if err := p.RegisterFunction(dandelion.ComputeFunc{Name: "Echo", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCompositionText(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+
+	// One invoke as alice, one batch as bob, one untagged invoke.
+	code, body := post(t, srv.URL+"/invoke/E?input=In", map[string]string{"X-Tenant": "alice"}, []byte("hi"))
+	if code != 200 || body != "hi" {
+		t.Fatalf("alice invoke = %d %q", code, body)
+	}
+	batch := []byte(`[{"inputs":{"In":[{"name":"i0","data":"aGk="}]}},{"inputs":{"In":[{"name":"i1","data":"aGk="}]}}]`)
+	code, body = post(t, srv.URL+"/invoke-batch/E", map[string]string{"X-Tenant": "bob"}, batch)
+	if code != 200 {
+		t.Fatalf("bob batch = %d %s", code, body)
+	}
+	code, body = post(t, srv.URL+"/invoke/E?input=In", nil, []byte("anon"))
+	if code != 200 || body != "anon" {
+		t.Fatalf("default invoke = %d %q", code, body)
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats dandelion.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	completed := map[string]uint64{}
+	for _, ts := range stats.Tenants {
+		completed[ts.Tenant] = ts.Completed
+	}
+	if completed["alice"] < 1 {
+		t.Fatalf("alice completed = %d, want >= 1 (tenants: %+v)", completed["alice"], stats.Tenants)
+	}
+	if completed["bob"] < 1 {
+		t.Fatalf("bob completed = %d, want >= 1 (tenants: %+v)", completed["bob"], stats.Tenants)
+	}
+	if completed[dandelion.DefaultTenant] < 1 {
+		t.Fatalf("default completed = %d, want >= 1 (tenants: %+v)",
+			completed[dandelion.DefaultTenant], stats.Tenants)
+	}
+}
+
+// TestBatchErrorPaths pins the hardened /invoke-batch error contract:
+// JSON error bodies on 400s and consistent 405s with Allow headers.
+func TestBatchErrorPaths(t *testing.T) {
+	_, srv := newServer(t)
+
+	assertJSONError := func(code int, body string, wantCode int, wantSub string) {
+		t.Helper()
+		if code != wantCode {
+			t.Fatalf("status = %d, want %d (%s)", code, wantCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("body %q is not a JSON error", body)
+		}
+		if !strings.Contains(e.Error, wantSub) {
+			t.Fatalf("error %q does not mention %q", e.Error, wantSub)
+		}
+	}
+
+	code, body := post(t, srv.URL+"/invoke-batch/E", nil, []byte("{not json"))
+	assertJSONError(code, body, http.StatusBadRequest, "bad batch body")
+
+	code, body = post(t, srv.URL+"/invoke-batch/Ghost", nil, []byte("[]"))
+	assertJSONError(code, body, http.StatusBadRequest, "unknown composition")
+
+	code, body = post(t, srv.URL+"/invoke-batch/", nil, []byte("[]"))
+	assertJSONError(code, body, http.StatusBadRequest, "invoke-batch")
+
+	// Wrong methods: 405 + Allow on every route, including GET-only /stats.
+	for _, c := range []struct{ method, path, allow string }{
+		{http.MethodGet, "/invoke-batch/E", "POST"},
+		{http.MethodGet, "/invoke/E", "POST"},
+		{http.MethodGet, "/register/function/F", "POST"},
+		{http.MethodGet, "/register/composition", "POST"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodDelete, "/invoke-batch/E", "POST"},
+	} {
+		req, err := http.NewRequest(c.method, srv.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s = %d, want 405", c.method, c.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Fatalf("%s %s Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+		assertJSONError(resp.StatusCode, string(b), http.StatusMethodNotAllowed, c.allow)
+	}
+}
+
+// TestBatchAdmissionSplitsOversizedBody: an oversized client batch is
+// driven through multiple window-sized InvokeBatch calls (visible as
+// the platform's Batches counter), with results still in order.
+func TestBatchAdmissionSplitsOversizedBody(t *testing.T) {
+	p, err := dandelion.New(dandelion.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	// A tight admission ceiling forces splitting regardless of demand.
+	adm := autoscale.NewAdmission(autoscale.AdmissionConfig{MaxBatch: 4})
+	srv := httptest.NewServer(NewWithConfig(p, Config{Admission: adm}))
+	t.Cleanup(srv.Close)
+
+	if err := p.RegisterFunction(dandelion.ComputeFunc{Name: "Echo", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCompositionText(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+
+	var reqs []WireBatchRequest
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, WireBatchRequest{Inputs: map[string][]WireItem{
+			"In": {{Name: "i", Data: []byte{byte('a' + i)}}},
+		}})
+	}
+	buf, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, srv.URL+"/invoke-batch/E", nil, buf)
+	if code != 200 {
+		t.Fatalf("batch = %d %s", code, body)
+	}
+	var res []WireBatchResult
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 {
+		t.Fatalf("results = %d, want 10", len(res))
+	}
+	for i, r := range res {
+		if r.Error != "" || len(r.Outputs["Result"]) != 1 || r.Outputs["Result"][0].Data[0] != byte('a'+i) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	// 10 requests through a window of 4 → ceil(10/4) = 3 platform batches.
+	if st := p.Stats(); st.Batches != 3 {
+		t.Fatalf("platform batches = %d, want 3", st.Batches)
 	}
 }

@@ -1,9 +1,13 @@
-// Package loadgen is a deterministic closed-loop load generator for the
-// Dandelion serving path. It drives M concurrent clients against a real
-// HTTP frontend (internal/frontend): each client issues its requests
-// sequentially (closed loop — the next request starts only after the
-// previous response arrives), either one invocation per request through
-// POST /invoke/ or a batch per request through POST /invoke-batch/.
+// Package loadgen is a deterministic load generator for the Dandelion
+// serving path, with two modes. The closed loop here drives M
+// concurrent clients against a real HTTP frontend (internal/frontend):
+// each client issues its requests sequentially (the next request starts
+// only after the previous response arrives), either one invocation per
+// request through POST /invoke/ or a batch per request through
+// POST /invoke-batch/. The open loop (openloop.go) instead offers
+// arrivals at a fixed rate on a deterministic virtual clock and reports
+// queueing delay separately from service latency. Both modes tag
+// traffic with an X-Tenant header when Config.Tenant is set.
 //
 // The generator is deterministic by construction: a fixed client count,
 // a fixed request count per client, and a caller-supplied payload
@@ -39,6 +43,9 @@ type Config struct {
 	InputSet string
 	// OutputSet optionally names the output set for /invoke requests.
 	OutputSet string
+	// Tenant, when set, is sent as the X-Tenant header so the platform
+	// schedules and accounts the traffic under that tenant.
+	Tenant string
 	// Clients is the number of concurrent closed-loop clients
 	// (default 1).
 	Clients int
@@ -164,13 +171,25 @@ func doRequest(cfg Config, client, seq int) int {
 	return doBatch(cfg, client, seq)
 }
 
+// post issues one POST with the tenant header applied.
+func post(cfg Config, url, contentType string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if cfg.Tenant != "" {
+		req.Header.Set("X-Tenant", cfg.Tenant)
+	}
+	return cfg.Client.Do(req)
+}
+
 func doSingle(cfg Config, client, seq int) int {
 	url := cfg.BaseURL + "/invoke/" + cfg.Composition + "?input=" + cfg.InputSet
 	if cfg.OutputSet != "" {
 		url += "&output=" + cfg.OutputSet
 	}
-	resp, err := cfg.Client.Post(url, "application/octet-stream",
-		bytes.NewReader(cfg.Payload(client, seq, 0)))
+	resp, err := post(cfg, url, "application/octet-stream", cfg.Payload(client, seq, 0))
 	if err != nil {
 		return 1
 	}
@@ -196,8 +215,8 @@ func doBatch(cfg Config, client, seq int) int {
 	if err != nil {
 		return cfg.BatchSize
 	}
-	resp, err := cfg.Client.Post(cfg.BaseURL+"/invoke-batch/"+cfg.Composition,
-		"application/json", bytes.NewReader(body))
+	resp, err := post(cfg, cfg.BaseURL+"/invoke-batch/"+cfg.Composition,
+		"application/json", body)
 	if err != nil {
 		return cfg.BatchSize
 	}

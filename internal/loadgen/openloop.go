@@ -1,0 +1,180 @@
+// Open-loop load generation. The closed loop in loadgen.go measures
+// service capacity — each client waits for its response, so the offered
+// load adapts to the server and queueing is invisible. The open loop
+// here offers load at a fixed rate regardless of completions, the shape
+// that exposes queueing: arrival i is scheduled at t0 + i/Rate on a
+// deterministic virtual clock (pure arithmetic, no randomness), and the
+// report separates queueing delay (scheduled arrival → request actually
+// sent, which grows when MaxInFlight throttles a falling-behind server)
+// from service latency (request sent → response). This is the harness
+// the two-tenant fairness criterion is measured with.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// OpenConfig parameterizes one open-loop run.
+type OpenConfig struct {
+	// BaseURL is the frontend root, e.g. an httptest.Server URL.
+	BaseURL string
+	// Client issues the HTTP requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// Composition is the registered composition to invoke.
+	Composition string
+	// InputSet is the composition input the payload lands in.
+	InputSet string
+	// OutputSet optionally names the output set for /invoke requests.
+	OutputSet string
+	// Tenant, when set, travels as the X-Tenant header.
+	Tenant string
+	// Rate is the arrival rate in requests per second (required > 0);
+	// arrival i is scheduled at t0 + i/Rate.
+	Rate float64
+	// Requests is the total number of arrivals (default 1).
+	Requests int
+	// BatchSize is the number of invocations per arrival: 1 uses
+	// POST /invoke/, larger values POST /invoke-batch/ (default 1).
+	BatchSize int
+	// MaxInFlight caps concurrently outstanding requests; an arrival
+	// without a free slot waits (accruing queueing delay) but later
+	// arrivals keep their original schedule (default 256).
+	MaxInFlight int
+	// Payload produces the input bytes for invocation index i of
+	// arrival seq; nil selects a small deterministic default.
+	Payload func(seq, i int) []byte
+	// Validate, when set, checks each invocation's response payload.
+	Validate func(seq, i int, body []byte) error
+}
+
+// OpenReport summarizes one open-loop run. Queueing delay and service
+// latency are reported separately: their sum is the classic open-loop
+// sojourn time, but only the split shows whether time was lost waiting
+// for dispatch or doing work.
+type OpenReport struct {
+	// Requests is the number of arrivals issued; Invocations is
+	// Requests × BatchSize; Errors counts failed invocations.
+	Requests    int
+	Invocations int
+	Errors      int
+	// Duration spans the first scheduled arrival to the last response.
+	Duration time.Duration
+	// Throughput is successful invocations per second.
+	Throughput float64
+	// OfferedRate echoes the configured arrival rate.
+	OfferedRate float64
+	// Queue* summarize queueing delay: scheduled arrival → send.
+	QueueP50, QueueP95, QueueP99, QueueMax time.Duration
+	// Service* summarize service latency: send → response.
+	ServiceP50, ServiceP95, ServiceP99, ServiceMax time.Duration
+}
+
+func (r OpenReport) String() string {
+	return fmt.Sprintf(
+		"loadgen open-loop: %d reqs (%d invocations, %d errors) at %.0f/s in %v — %.0f inv/s, queue p50=%v p99=%v max=%v, service p50=%v p99=%v max=%v",
+		r.Requests, r.Invocations, r.Errors, r.OfferedRate, r.Duration.Round(time.Millisecond),
+		r.Throughput, r.QueueP50, r.QueueP99, r.QueueMax,
+		r.ServiceP50, r.ServiceP99, r.ServiceMax)
+}
+
+// RunOpenLoop executes the configured fixed-rate arrival schedule and
+// reports queueing delay and service latency separately.
+func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
+	if cfg.BaseURL == "" || cfg.Composition == "" || cfg.InputSet == "" {
+		return OpenReport{}, errors.New("loadgen: BaseURL, Composition, and InputSet are required")
+	}
+	if cfg.Rate <= 0 {
+		return OpenReport{}, errors.New("loadgen: open loop requires Rate > 0")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Payload == nil {
+		cfg.Payload = func(seq, i int) []byte {
+			return fmt.Appendf(nil, "r%d-i%d", seq, i)
+		}
+	}
+	// The single-client closed-loop request codec is reused for the
+	// actual HTTP round trips; client index 0 carries the open loop.
+	reqCfg := Config{
+		BaseURL:     cfg.BaseURL,
+		Client:      cfg.Client,
+		Composition: cfg.Composition,
+		InputSet:    cfg.InputSet,
+		OutputSet:   cfg.OutputSet,
+		Tenant:      cfg.Tenant,
+		BatchSize:   cfg.BatchSize,
+		Payload:     func(_, seq, i int) []byte { return cfg.Payload(seq, i) },
+	}
+	if cfg.Validate != nil {
+		reqCfg.Validate = func(_, seq, i int, body []byte) error { return cfg.Validate(seq, i, body) }
+	}
+
+	queueing := make([]time.Duration, cfg.Requests)
+	service := make([]time.Duration, cfg.Requests)
+	errCounts := make([]int, cfg.Requests)
+	slots := make(chan struct{}, cfg.MaxInFlight)
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for seq := 0; seq < cfg.Requests; seq++ {
+		// The deterministic virtual clock: arrival seq is due at
+		// t0 + seq/Rate, independent of every other request's fate.
+		scheduled := t0.Add(time.Duration(float64(seq) / cfg.Rate * float64(time.Second)))
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		slots <- struct{}{} // may block: that wait is queueing delay
+		send := time.Now()
+		queueing[seq] = send.Sub(scheduled)
+		wg.Add(1)
+		go func(seq int, send time.Time) {
+			defer func() {
+				<-slots
+				wg.Done()
+			}()
+			errCounts[seq] = doRequest(reqCfg, 0, seq)
+			service[seq] = time.Since(send)
+		}(seq, send)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	rep := OpenReport{
+		Requests:    cfg.Requests,
+		Invocations: cfg.Requests * cfg.BatchSize,
+		Duration:    elapsed,
+		OfferedRate: cfg.Rate,
+	}
+	for _, e := range errCounts {
+		rep.Errors += e
+	}
+	sortDurations(queueing)
+	sortDurations(service)
+	rep.QueueP50, rep.QueueP95, rep.QueueP99 = percentile(queueing, 0.50), percentile(queueing, 0.95), percentile(queueing, 0.99)
+	rep.QueueMax = queueing[len(queueing)-1]
+	rep.ServiceP50, rep.ServiceP95, rep.ServiceP99 = percentile(service, 0.50), percentile(service, 0.95), percentile(service, 0.99)
+	rep.ServiceMax = service[len(service)-1]
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
+	}
+	return rep, nil
+}
+
+func sortDurations(ds []time.Duration) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+}

@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dandelion/internal/engine"
+)
+
+// drain pops tasks from q one at a time, executing each synchronously,
+// until the queue is momentarily empty. Executing a task triggers the
+// scheduler's completion pump, so the observed execution order is the
+// DRR dispatch order.
+func drain(q *engine.Queue, limit int) int {
+	n := 0
+	for n < limit {
+		t, ok := q.TryPop()
+		if !ok {
+			return n
+		}
+		t.Do()
+		n++
+	}
+	return n
+}
+
+// TestDRRInterleavesTenants is the deterministic fairness core: one
+// tenant floods 40 tasks, then an interactive tenant submits 2. With
+// equal weights the interactive tasks must execute within roughly one
+// window plus one DRR round — not behind the whole flood backlog.
+func TestDRRInterleavesTenants(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	const window = 4
+	s := New(q, Config{Window: window})
+
+	var order []string
+	var mu sync.Mutex
+	submit := func(tenant string) {
+		if err := s.Submit(tenant, Task{Do: func() {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		submit("flood")
+	}
+	submit("interactive")
+	submit("interactive")
+	if got := drain(q, 100); got != 42 {
+		t.Fatalf("executed %d tasks, want 42", got)
+	}
+
+	last := -1
+	for i, tenant := range order {
+		if tenant == "interactive" {
+			last = i
+		}
+	}
+	// The window was already full of flood tasks when the interactive
+	// tenant arrived; after those, DRR alternates. Both interactive
+	// tasks must land within window + a couple of rounds.
+	if last < 0 || last > window+6 {
+		t.Fatalf("interactive tasks finished at position %d of %d: %v", last, len(order), order[:12])
+	}
+}
+
+// TestDRRWeights checks weighted shares with a strict window of 1, where
+// execution order equals dispatch order exactly: weight 2 gets two slots
+// per round to weight 1's one.
+func TestDRRWeights(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1, Weights: map[string]int{"a": 2, "b": 1}})
+
+	var order []string
+	var mu sync.Mutex
+	for i := 0; i < 30; i++ {
+		tenant := "a"
+		if err := s.Submit(tenant, Task{Do: func() {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		tenant := "b"
+		if err := s.Submit(tenant, Task{Do: func() {
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := drain(q, 100); got != 60 {
+		t.Fatalf("executed %d tasks, want 60", got)
+	}
+	a, b := 0, 0
+	for _, tenant := range order[:30] {
+		if tenant == "a" {
+			a++
+		} else {
+			b++
+		}
+	}
+	// Exactly 2:1 while both stay backlogged (±1 for round boundaries).
+	if a < 19 || a > 21 || a+b != 30 {
+		t.Fatalf("first 30 dispatches: a=%d b=%d, want ~20/10", a, b)
+	}
+}
+
+func TestSubmitAfterCloseAndReject(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1})
+
+	ran := make(chan struct{})
+	if err := s.Submit("t", Task{Do: func() { close(ran) }}); err != nil {
+		t.Fatal(err)
+	}
+	// Parked behind the window=1 slot: must be rejected on Close.
+	var rejectedErr error
+	if err := s.Submit("t", Task{
+		Do:       func() { t.Error("parked task ran after Close") },
+		OnReject: func(err error) { rejectedErr = err },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if !errors.Is(rejectedErr, ErrClosed) {
+		t.Fatalf("OnReject got %v, want ErrClosed", rejectedErr)
+	}
+	if err := s.Submit("t", Task{Do: func() {}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	// The already-dispatched task still runs.
+	if got := drain(q, 10); got != 1 {
+		t.Fatalf("drained %d, want 1", got)
+	}
+	<-ran
+	st := s.Stats()
+	if len(st) != 1 || st[0].Rejected != 1 || st[0].Completed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestGaugesAndDispatchWait drives a virtual clock: the second task is
+// parked for 5ms of virtual time behind a window of 1, so its dispatch
+// wait is exactly 5ms.
+func TestGaugesAndDispatchWait(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	var now atomic.Int64 // virtual nanos
+	clock := func() time.Time { return time.Unix(0, now.Load()) }
+	s := New(q, Config{Window: 1, Now: clock})
+
+	s.Submit("t", Task{Do: func() {}})
+	s.Submit("t", Task{Do: func() {}})
+
+	st := s.Stats()[0]
+	if st.Queued != 1 || st.Running != 1 || st.Dispatched != 1 {
+		t.Fatalf("pre-drain stats = %+v", st)
+	}
+
+	now.Store(int64(5 * time.Millisecond))
+	if got := drain(q, 10); got != 2 {
+		t.Fatalf("drained %d, want 2", got)
+	}
+	st = s.Stats()[0]
+	if st.Queued != 0 || st.Running != 0 || st.Completed != 2 {
+		t.Fatalf("post-drain stats = %+v", st)
+	}
+	// First task waited 0, second waited 5ms.
+	if st.MaxDispatchWait != 5*time.Millisecond || st.P99DispatchWait != 5*time.Millisecond {
+		t.Fatalf("waits = %+v", st)
+	}
+	if st.AvgDispatchWait != 2500*time.Microsecond {
+		t.Fatalf("avg wait = %v", st.AvgDispatchWait)
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := []TenantStats{{Tenant: "x", Weight: 2, Dispatched: 3, Completed: 3,
+		AvgDispatchWait: 10 * time.Millisecond, P99DispatchWait: 20 * time.Millisecond}}
+	b := []TenantStats{
+		{Tenant: "x", Weight: 2, Dispatched: 1, Completed: 1,
+			AvgDispatchWait: 2 * time.Millisecond, MaxDispatchWait: 30 * time.Millisecond},
+		{Tenant: "y", Queued: 4},
+	}
+	m := MergeStats(a, b)
+	if len(m) != 2 || m[0].Tenant != "x" || m[1].Tenant != "y" {
+		t.Fatalf("merged = %+v", m)
+	}
+	x := m[0]
+	if x.Dispatched != 4 || x.Completed != 4 || x.Weight != 2 {
+		t.Fatalf("x counts = %+v", x)
+	}
+	if x.AvgDispatchWait != 8*time.Millisecond { // (3·10 + 1·2) / 4
+		t.Fatalf("x avg = %v", x.AvgDispatchWait)
+	}
+	if x.P99DispatchWait != 20*time.Millisecond || x.MaxDispatchWait != 30*time.Millisecond {
+		t.Fatalf("x tails = %+v", x)
+	}
+}
+
+// TestConcurrentSubmitWithPool stresses the scheduler against a real
+// engine pool under -race: many goroutines submitting across tenants
+// while engines execute and the refill pump runs on completions.
+func TestConcurrentSubmitWithPool(t *testing.T) {
+	q := engine.NewQueue()
+	pool := engine.NewPool(engine.Compute, q)
+	pool.SetCount(4)
+	defer pool.Shutdown()
+	s := New(q, Config{WindowFn: func() int { return 2 * pool.Count() }})
+
+	const tenants, perTenant = 4, 500
+	var done sync.WaitGroup
+	var executed atomic.Int64
+	tenantNames := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		tenant := tenantNames[ti]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				done.Add(1)
+				if err := s.Submit(tenant, Task{Do: func() {
+					executed.Add(1)
+					done.Done()
+				}}); err != nil {
+					t.Error(err)
+					done.Done()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	done.Wait()
+	if executed.Load() != tenants*perTenant {
+		t.Fatalf("executed = %d", executed.Load())
+	}
+	var total uint64
+	for _, st := range s.Stats() {
+		if st.Queued != 0 || st.Running != 0 {
+			t.Fatalf("leftover work: %+v", st)
+		}
+		total += st.Completed
+	}
+	if total != tenants*perTenant {
+		t.Fatalf("completed total = %d", total)
+	}
+	s.Close()
+}
