@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke
+.PHONY: ci build vet test race bench bench-smoke docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
-# the race detector, and keep the batched dispatch path alive
-# (bench-smoke catches dispatch-path regressions that compile fine).
-ci: build vet race bench-smoke
+# the race detector, keep the batched dispatch path alive (bench-smoke
+# catches dispatch-path regressions that compile fine), and keep the
+# docs honest (docs-check catches references to removed symbols).
+ci: build vet race bench-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,12 @@ bench:
 
 # bench-smoke is a short single-iteration run of the batched dispatch
 # benchmark: not a performance measurement, just proof the hot path
-# still executes end to end.
+# still executes end to end (in both data-plane modes — the batch and
+# batch-zerocopy sub-benchmarks).
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkInvokeBatch -benchtime 1x -benchmem .
+
+# docs-check fails if README.md or docs/ reference Go symbols or CLI
+# flags that no longer exist (see scripts/docs-check.sh).
+docs-check:
+	sh scripts/docs-check.sh

@@ -53,6 +53,7 @@ func main() {
 	commEngines := flag.Int("comm-engines", 0, "initial communication engines (0 = default)")
 	balance := flag.Bool("balance", true, "enable the PI-controller core balancer")
 	cache := flag.Bool("cache-binaries", true, "keep decoded binaries in memory")
+	zeroCopy := flag.Bool("zero-copy", false, "hand statement outputs off between memory contexts instead of copying (functions must treat inputs as immutable)")
 	tenantWeights := flag.String("tenant-weights", "", "per-tenant DRR dispatch weights, e.g. 'alice=2,bob=1' (unlisted tenants get 1)")
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		CommEngines:    *commEngines,
 		Balance:        *balance,
 		CacheBinaries:  *cache,
+		ZeroCopy:       *zeroCopy,
 		TenantWeights:  weights,
 	})
 	if err != nil {

@@ -92,7 +92,12 @@ type Options struct {
 	CommEngines    int
 	// CacheBinaries keeps decoded function binaries in memory.
 	CacheBinaries bool
-	// ZeroCopy shares data between contexts instead of copying.
+	// ZeroCopy hands statement outputs off between memory contexts
+	// (ownership moves) instead of cloning them, on both the single
+	// Invoke and the batched InvokeBatch data paths. Functions must
+	// treat their input items as immutable when this is on: payloads
+	// may be shared with other instances. The /stats counters
+	// ZeroCopyHandoffs and ZeroCopyHandoffBytes report what it saves.
 	ZeroCopy bool
 	// Balance enables the PI-controller core re-balancer.
 	Balance bool

@@ -7,6 +7,18 @@
 // Compared with N independent Invoke calls this removes per-instance
 // queue round trips, context allocations, and binary decodes — the hot
 // path the serving harness in internal/loadgen measures.
+//
+// Under Options.ZeroCopy the batch data plane also stops copying
+// payloads between statements: a chunk's per-statement output sets are
+// handed off out of the producing context (memctx.TakeOutputs, the
+// dispatcher-mediated form of memctx.HandoffOutput) into the per-request
+// value store, and the consuming statement's instances adopt them
+// (memctx.AdoptInputSet) without cloning — including across chunk
+// boundaries, when the producing and consuming chunks run on different
+// engines. Ownership tracking in memctx guarantees a handed-off set is
+// never re-read from or re-released by its producer. With ZeroCopy off,
+// every one of those boundaries is a clone (the paper's default copying
+// path); see docs/ARCHITECTURE.md for the full data-path map.
 package core
 
 import (
@@ -293,7 +305,10 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 	}
 
 	// Compute path: gather every live request's instances into one flat
-	// work list.
+	// work list. Under ZeroCopy the gather aliases the store's items —
+	// the sets a producing chunk handed off — so the instances adopt the
+	// producer's buffers; otherwise each request's arguments are cloned
+	// out of the store (value semantics, the copying fallback).
 	var items []batchItem
 	perReq := map[int][]int{}
 	for _, r := range live {
@@ -403,7 +418,11 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 
 // runComputeChunk executes a chunk of same-function instances
 // back-to-back on the calling compute engine, reusing one memory
-// context (Reset between instances) and one decoded program.
+// context (Reset between instances) and one decoded program. Reuse is
+// safe in both data-plane modes: under ZeroCopy each instance's output
+// sets are taken out of the context (ownership moved to the dispatcher)
+// before the next instance Resets it, and the payloads are independent
+// heap buffers, not region-backed, so Reset cannot invalidate them.
 func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem) {
 	ctx := memctx.New(funcMemBytes(f))
 	for i := range seg {

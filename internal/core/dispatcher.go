@@ -38,8 +38,14 @@ type Options struct {
 	CommEngines    int
 	// CacheBinaries keeps decoded programs in memory (§7.4 "cached").
 	CacheBinaries bool
-	// ZeroCopy shares item payloads between contexts instead of
-	// copying (§6.1's future-work data path, used by the ablation).
+	// ZeroCopy routes the data plane through ownership moves instead of
+	// copies (§6.1's future-work data path): statement outputs are
+	// handed off out of the producing memory context (memctx.TakeOutputs
+	// / memctx.HandoffOutput) and adopted by the consuming statement's
+	// context (memctx.AdoptInputSet) without cloning item payloads, on
+	// both the single-invoke and the chunked batch paths. Functions must
+	// treat input items as immutable under this option — payloads may be
+	// shared with other instances of the same batch.
 	ZeroCopy bool
 	// Balance starts the PI-controller core balancer.
 	Balance bool
@@ -76,6 +82,14 @@ type Platform struct {
 	batches      atomic.Uint64
 	memCommitted atomic.Int64
 	memPeak      atomic.Int64
+
+	// Data-plane counters: sets (and their payload bytes) crossing a
+	// memory-context boundary by ownership move vs. by clone. Together
+	// they quantify what the ZeroCopy option saves on a live node.
+	zcHandoffs  atomic.Uint64
+	zcBytes     atomic.Uint64
+	copiedSets  atomic.Uint64
+	copiedBytes atomic.Uint64
 }
 
 // NewPlatform builds and starts a worker node.
@@ -166,19 +180,39 @@ func (p *Platform) RegisterCompositionText(src string) ([]string, error) {
 	return p.reg.addCompositionText(src)
 }
 
-// Stats is a point-in-time snapshot of platform gauges.
+// Stats is a point-in-time snapshot of platform gauges. The frontend
+// serializes it verbatim as the GET /stats JSON body (field names are
+// the JSON keys); docs/STATS.md documents the schema for clients.
 type Stats struct {
-	Invocations      uint64
-	Batches          uint64
-	ComputeEngines   int
-	CommEngines      int
-	ComputeQueueLen  int
-	CommQueueLen     int
-	CommittedBytes   int64
-	PeakCommitted    int64
+	// Invocations counts composition invocations admitted (batched
+	// requests count individually); Batches counts InvokeBatch calls.
+	Invocations uint64
+	Batches     uint64
+	// ComputeEngines / CommEngines are the current pool sizes, and
+	// ComputeQueueLen / CommQueueLen their engine-queue backlogs.
+	ComputeEngines  int
+	CommEngines     int
+	ComputeQueueLen int
+	CommQueueLen    int
+	// CommittedBytes is memory currently committed for live contexts;
+	// PeakCommitted its historical high-water mark.
+	CommittedBytes int64
+	PeakCommitted  int64
+	// ComputeCompleted / CommCompleted are cumulative finished engine
+	// tasks; CachedPrograms is the decoded-binary cache population.
 	ComputeCompleted uint64
 	CommCompleted    uint64
 	CachedPrograms   int
+	// ZeroCopyHandoffs counts output/input sets that crossed a memory-
+	// context boundary by ownership move (zero-copy handoff) instead of
+	// by clone; ZeroCopyHandoffBytes is their summed payload size — the
+	// bytes whose copy was avoided. Non-zero only with Options.ZeroCopy.
+	ZeroCopyHandoffs     uint64
+	ZeroCopyHandoffBytes uint64
+	// CopiedSets / CopiedBytes are the copying-path counterparts: sets
+	// and payload bytes cloned across context boundaries.
+	CopiedSets  uint64
+	CopiedBytes uint64
 	// Tenants carries the scheduling plane's per-tenant gauges (queued,
 	// running, completed, dispatch-wait), merged across the compute and
 	// communication schedulers and sorted by tenant name.
@@ -188,7 +222,7 @@ type Stats struct {
 // Stats reports current platform gauges.
 func (p *Platform) Stats() Stats {
 	return Stats{
-		Tenants: sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
+		Tenants:          sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
 		Invocations:      p.invocations.Load(),
 		Batches:          p.batches.Load(),
 		ComputeEngines:   p.computePool.Count(),
@@ -200,6 +234,11 @@ func (p *Platform) Stats() Stats {
 		ComputeCompleted: p.computePool.Completed(),
 		CommCompleted:    p.commPool.Completed(),
 		CachedPrograms:   p.programs.size(),
+
+		ZeroCopyHandoffs:     p.zcHandoffs.Load(),
+		ZeroCopyHandoffBytes: p.zcBytes.Load(),
+		CopiedSets:           p.copiedSets.Load(),
+		CopiedBytes:          p.copiedBytes.Load(),
 	}
 }
 
@@ -501,17 +540,42 @@ func (p *Platform) runCompute(f *registeredFunc, inst instance) ([]memctx.Set, e
 // runComputeIn executes one instance inside the provided context, which
 // the batch path reuses (via Reset) across the instances of a chunk.
 // prepared, when non-nil, skips the per-execution binary decode.
+//
+// The data plane has two modes. The copying path (default) clones the
+// instance's input sets into the context, clones them again for the
+// function, and clones the harvested outputs back out — every boundary
+// is a memcpy. Under Options.ZeroCopy the same boundaries are ownership
+// moves: inputs are adopted (AdoptInputSet), the function reads the
+// shared payloads directly (ShareInputSets), and outputs are handed off
+// out of the sealed context (AdoptOutputs + TakeOutputs) so the
+// dispatcher — and through it the consuming statement's context, also
+// across chunk boundaries within one batch — receives the producer's
+// buffers instead of copies.
 func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance) (outs []memctx.Set, err error) {
 	memBytes := funcMemBytes(f)
 	for _, s := range inst {
-		if err := ctx.AddInputSet(s); err != nil {
-			return nil, err
+		if p.opts.ZeroCopy {
+			if err := ctx.AdoptInputSet(s); err != nil {
+				return nil, err
+			}
+			p.zcHandoffs.Add(1)
+			p.zcBytes.Add(uint64(s.TotalBytes()))
+		} else {
+			if err := ctx.AddInputSet(s); err != nil {
+				return nil, err
+			}
+			p.copiedSets.Add(1)
+			p.copiedBytes.Add(uint64(s.TotalBytes()))
 		}
 	}
 	charge := int64(ctx.CommittedBytes())
 	p.chargeMemory(charge)
 	defer p.releaseMemory(&charge)
 
+	funcInputs := ctx.InputSets
+	if p.opts.ZeroCopy {
+		funcInputs = ctx.ShareInputSets
+	}
 	if f.Go != nil {
 		defer func() {
 			if r := recover(); r != nil {
@@ -519,13 +583,13 @@ func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared
 				outs = nil
 			}
 		}()
-		outs, err = f.Go(ctx.InputSets())
+		outs, err = f.Go(funcInputs())
 	} else {
 		task := isolation.Task{
 			Binary:   f.Binary,
 			Prepared: prepared,
 			MemBytes: memBytes,
-			Inputs:   ctx.InputSets(),
+			Inputs:   funcInputs(),
 			GasLimit: f.GasLimit,
 		}
 		outs, err = p.backend.Execute(task)
@@ -543,6 +607,24 @@ func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared
 			}
 		}
 	}
+	if p.opts.ZeroCopy {
+		if err := ctx.AdoptOutputs(outs); err != nil {
+			return nil, err
+		}
+		ctx.Seal()
+		newCharge := int64(ctx.CommittedBytes())
+		p.chargeMemory(newCharge - charge)
+		charge = newCharge
+		taken, err := ctx.TakeOutputs()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range taken {
+			p.zcHandoffs.Add(1)
+			p.zcBytes.Add(uint64(s.TotalBytes()))
+		}
+		return taken, nil
+	}
 	if err := ctx.SetOutputs(outs); err != nil {
 		return nil, err
 	}
@@ -550,7 +632,12 @@ func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared
 	newCharge := int64(ctx.CommittedBytes())
 	p.chargeMemory(newCharge - charge)
 	charge = newCharge
-	return ctx.OutputSets(), nil
+	harvested := ctx.OutputSets()
+	for _, s := range harvested {
+		p.copiedSets.Add(1)
+		p.copiedBytes.Add(uint64(s.TotalBytes()))
+	}
+	return harvested, nil
 }
 
 func (p *Platform) chargeMemory(delta int64) {

@@ -85,7 +85,10 @@ func AblationBinaryCache() Table {
 
 // AblationZeroCopy compares the copying data path against zero-copy
 // hand-off on the real platform (DESIGN.md ablation 3), using a
-// fan-out composition that moves payloads between functions.
+// fan-out composition that moves payloads between functions. It covers
+// both entry points: single Invoke calls in a loop, and the batched
+// dispatch path (InvokeBatch) over a multi-stage composition, where
+// zero-copy also spans chunk boundaries between engines.
 func AblationZeroCopy() Table {
 	t := Table{
 		Title:  "Ablation: data passing by copy vs zero-copy handoff (real platform)",
@@ -142,8 +145,84 @@ composition Pipe(In) => Result {
 		})
 		p.Shutdown()
 	}
+	for _, zc := range []bool{false, true} {
+		ms, n, err := zeroCopyBatched(zc)
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			continue
+		}
+		mode := "copy batched (paper default)"
+		if zc {
+			mode = "zero-copy batched handoff"
+		}
+		t.Rows = append(t.Rows, []string{
+			mode, fmt.Sprintf("%d", n), f2(ms), f3(ms / float64(n)),
+		})
+	}
 	t.Notes = append(t.Notes, "2 MB moved per invocation; §6.1 sketches zero-copy as future work")
+	t.Notes = append(t.Notes, "batched rows: 3-stage composition, 1 MiB handed between stages, InvokeBatch of 8")
 	return t
+}
+
+// zeroCopyBatched drives the batched dispatch path through a 3-stage
+// composition that moves 8x128 KiB items between every stage, and
+// reports (total ms, invocations). With ZeroCopy off each stage
+// boundary clones the megabyte several times (store gather, context
+// install, function copy-in, output harvest); with it on the same
+// boundaries are ownership moves, also across chunk boundaries when
+// producing and consuming chunks land on different engines.
+func zeroCopyBatched(zc bool) (float64, int, error) {
+	p, err := dandelion.New(dandelion.Options{ZeroCopy: zc, ComputeEngines: 4})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer p.Shutdown()
+	payload := make([]byte, 128<<10)
+	passthrough := func(in []dandelion.Set) ([]dandelion.Set, error) {
+		return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+	}
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "ProduceB", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		items := make([]dandelion.Item, 8)
+		for i := range items {
+			items[i] = dandelion.Item{Name: fmt.Sprintf("b%d", i), Data: payload}
+		}
+		return []dandelion.Set{{Name: "Out", Items: items}}, nil
+	}})
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "RelayB", Go: passthrough})
+	p.RegisterFunction(dandelion.ComputeFunc{Name: "ConsumeB", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+		var n int
+		for _, s := range in {
+			for _, it := range s.Items {
+				n += len(it.Data)
+			}
+		}
+		return []dandelion.Set{{Name: "Out", Items: []dandelion.Item{
+			{Name: "n", Data: []byte(fmt.Sprintf("%d", n))},
+		}}}, nil
+	}})
+	if _, err := p.RegisterCompositionText(`
+composition PipeB(In) => Result {
+    ProduceB(x = all In) => (bufs = Out);
+    RelayB(x = all bufs) => (mid = Out);
+    ConsumeB(x = all mid) => (Result = Out);
+}`); err != nil {
+		return 0, 0, err
+	}
+	const batch, iters = 8, 3
+	payloads := make([][]byte, batch)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	reqs := dandelion.BatchOf("PipeB", "In", payloads...)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, res := range p.InvokeBatch(reqs) {
+			if res.Err != nil {
+				return 0, 0, res.Err
+			}
+		}
+	}
+	return time.Since(start).Seconds() * 1000, batch * iters, nil
 }
 
 // All runs every driver in figure order (quick settings) — the

@@ -16,6 +16,12 @@
 // size is split into window-sized sub-batches before reaching
 // Platform.InvokeBatch, so a single oversized body cannot monopolize
 // the batched dispatch path.
+//
+// GET /stats serializes the platform's gauge snapshot (dandelion.Stats)
+// as JSON, including the per-tenant scheduling gauges and the zero-copy
+// data-plane counters (ZeroCopyHandoffs / ZeroCopyHandoffBytes vs
+// CopiedSets / CopiedBytes). The full field-by-field schema is
+// documented in docs/STATS.md.
 package frontend
 
 import (

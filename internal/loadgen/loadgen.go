@@ -82,6 +82,7 @@ type Report struct {
 	P50, P95, P99, Max time.Duration
 }
 
+// String renders the report as the one-line summary the harnesses log.
 func (r Report) String() string {
 	return fmt.Sprintf(
 		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, p50=%v p95=%v p99=%v max=%v",

@@ -74,6 +74,8 @@ type OpenReport struct {
 	ServiceP50, ServiceP95, ServiceP99, ServiceMax time.Duration
 }
 
+// String renders the report as a one-line summary with the queueing /
+// service split spelled out.
 func (r OpenReport) String() string {
 	return fmt.Sprintf(
 		"loadgen open-loop: %d reqs (%d invocations, %d errors) at %.0f/s in %v — %.0f inv/s, queue p50=%v p99=%v max=%v, service p50=%v p99=%v max=%v",

@@ -24,6 +24,15 @@ var (
 	ErrNoSuchSet    = errors.New("memctx: no such set")
 	ErrNoSuchItem   = errors.New("memctx: no such item")
 	ErrDuplicateSet = errors.New("memctx: duplicate set name")
+	// ErrNotSealed is returned by move operations (HandoffOutput,
+	// TakeOutputs) on a context that has not been sealed yet: ownership
+	// may only move out of an immutable snapshot.
+	ErrNotSealed = errors.New("memctx: handoff requires a sealed source context")
+	// ErrHandedOff is returned when an output set whose ownership has
+	// already moved to another context is read or handed off again. It
+	// wraps ErrNoSuchSet — the set is gone from this context — but lets
+	// callers distinguish "never existed" from "moved away".
+	ErrHandedOff = fmt.Errorf("%w (ownership handed off)", ErrNoSuchSet)
 )
 
 // Item is one data item within a set: a named, optionally keyed blob.
@@ -79,16 +88,23 @@ type Context struct {
 	inputs []Set
 	output []Set
 	sealed bool
+	// handed names the output sets whose ownership has moved to another
+	// context (HandoffOutput) or to the dispatcher (TakeOutputs). A
+	// handed-off set cannot be read or handed off a second time: the
+	// zero-copy data plane relies on unique ownership so a payload is
+	// never aliased by two writable holders or released twice.
+	handed map[string]bool
 	// committed tracks the high-water mark of touched bytes, the number
 	// the memory-accounting experiments (Figures 1/10) charge for.
 	committed int
 }
 
-// New creates a context bounded at limit bytes. A non-positive limit
-// means "no explicit bound" and is clamped to a 256 MiB default, matching
-// common FaaS defaults.
+// DefaultLimit is the context bound used when the caller gives none:
+// 256 MiB, matching common FaaS memory-sizing defaults.
 const DefaultLimit = 256 << 20
 
+// New creates a context bounded at limit bytes. A non-positive limit
+// means "no explicit bound" and is clamped to DefaultLimit.
 func New(limit int) *Context {
 	if limit <= 0 {
 		limit = DefaultLimit
@@ -172,6 +188,7 @@ func (c *Context) Reset() {
 	c.inputs = nil
 	c.output = nil
 	c.sealed = false
+	c.handed = nil
 	c.committed = 0
 	for i := range c.region {
 		c.region[i] = 0
@@ -259,6 +276,7 @@ func (c *Context) SetOutputs(sets []Set) error {
 		return fmt.Errorf("%w: outputs need %d bytes, limit %d", ErrOutOfBounds, total, c.limit)
 	}
 	c.committed = total
+	c.handed = nil
 	c.output = make([]Set, len(sets))
 	for i, s := range sets {
 		c.output[i] = s.Clone()
@@ -266,7 +284,41 @@ func (c *Context) SetOutputs(sets []Set) error {
 	return nil
 }
 
-// OutputSet returns a copy of the named output set.
+// AdoptOutputs installs the function's output sets without cloning item
+// payloads: the context takes ownership of the sets as given. It is the
+// zero-copy counterpart of SetOutputs, used when the producer (the
+// isolation backend or a native-SDK function) relinquishes its buffers.
+// The payloads are not duplicated, but they are charged to the
+// context's committed footprint and bounds-checked against its limit
+// exactly like SetOutputs — zero-copy changes how bytes move, not how
+// much memory a function may hold.
+func (c *Context) AdoptOutputs(sets []Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
+		return ErrSealed
+	}
+	seen := map[string]bool{}
+	total := c.committed
+	for _, s := range sets {
+		if seen[s.Name] {
+			return fmt.Errorf("%w: %q", ErrDuplicateSet, s.Name)
+		}
+		seen[s.Name] = true
+		total += s.TotalBytes()
+	}
+	if total > c.limit {
+		return fmt.Errorf("%w: outputs need %d bytes, limit %d", ErrOutOfBounds, total, c.limit)
+	}
+	c.committed = total
+	c.handed = nil
+	c.output = append([]Set(nil), sets...)
+	return nil
+}
+
+// OutputSet returns a copy of the named output set. A set whose
+// ownership has been handed off is gone: reading it reports
+// ErrHandedOff, not stale data.
 func (c *Context) OutputSet(name string) (Set, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -274,6 +326,9 @@ func (c *Context) OutputSet(name string) (Set, error) {
 		if s.Name == name {
 			return s.Clone(), nil
 		}
+	}
+	if c.handed[name] {
+		return Set{}, fmt.Errorf("%w: output %q", ErrHandedOff, name)
 	}
 	return Set{}, fmt.Errorf("%w: output %q", ErrNoSuchSet, name)
 }
@@ -303,42 +358,126 @@ func (c *Context) TransferOutput(setName string, dst *Context, dstName string) e
 // HandoffOutput moves the named output set of c into dst without copying
 // item payloads (zero-copy remap, the §6.1 future-work variant). The
 // source context must be sealed first, guaranteeing immutability; the
-// set is removed from c's outputs so ownership is unique.
+// set is removed from c's outputs and marked handed off, so ownership
+// stays unique: a second handoff (or a read) of the same set reports
+// ErrHandedOff. If dst rejects the set — it is sealed, already owns an
+// input of that name, or the payload would exceed its memory limit —
+// ownership is restored to c, so a failed handoff never loses data.
 func (c *Context) HandoffOutput(setName string, dst *Context, dstName string) error {
-	c.mu.Lock()
-	if !c.sealed {
-		c.mu.Unlock()
-		return errors.New("memctx: handoff requires a sealed source context")
+	s, err := c.takeOutput(setName)
+	if err != nil {
+		return err
 	}
-	idx := -1
+	moved := s
+	moved.Name = dstName
+	if err := dst.adoptInput(moved); err != nil {
+		c.restoreOutput(s)
+		return err
+	}
+	return nil
+}
+
+// TakeOutput moves the named output set out of a sealed context to the
+// caller, without cloning payloads: the context-to-dispatcher half of
+// the zero-copy data plane (HandoffOutput is the context-to-context
+// half; both share the same ownership tracking). The returned set's
+// items must be treated as immutable — they may alias buffers that
+// other readers share.
+func (c *Context) TakeOutput(name string) (Set, error) {
+	return c.takeOutput(name)
+}
+
+// TakeOutputs moves every remaining output set out of a sealed context
+// to the caller, in installation order, without cloning payloads. Sets
+// already handed off individually are not included. After the call the
+// context owns no outputs; reading or re-taking any of them reports
+// ErrHandedOff until the context is Reset or new outputs are installed.
+func (c *Context) TakeOutputs() ([]Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sealed {
+		return nil, ErrNotSealed
+	}
+	out := c.output
+	c.output = nil
+	for _, s := range out {
+		if c.handed == nil {
+			c.handed = map[string]bool{}
+		}
+		c.handed[s.Name] = true
+	}
+	return out, nil
+}
+
+// takeOutput removes one output set under c.mu, marking it handed off.
+func (c *Context) takeOutput(name string) (Set, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sealed {
+		return Set{}, ErrNotSealed
+	}
 	for i, s := range c.output {
-		if s.Name == setName {
-			idx = i
-			break
+		if s.Name == name {
+			c.output = append(c.output[:i:i], c.output[i+1:]...)
+			if c.handed == nil {
+				c.handed = map[string]bool{}
+			}
+			c.handed[name] = true
+			return s, nil
 		}
 	}
-	if idx < 0 {
-		c.mu.Unlock()
-		return fmt.Errorf("%w: output %q", ErrNoSuchSet, setName)
+	if c.handed[name] {
+		return Set{}, fmt.Errorf("%w: output %q", ErrHandedOff, name)
 	}
-	s := c.output[idx]
-	c.output = append(c.output[:idx:idx], c.output[idx+1:]...)
-	c.mu.Unlock()
+	return Set{}, fmt.Errorf("%w: output %q", ErrNoSuchSet, name)
+}
 
-	s.Name = dstName
-	dst.mu.Lock()
-	defer dst.mu.Unlock()
-	if dst.sealed {
+// restoreOutput returns a taken set to c after a failed handoff.
+func (c *Context) restoreOutput(s Set) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.output = append(c.output, s)
+	delete(c.handed, s.Name)
+}
+
+// AdoptInputSet installs an input set without cloning item payloads:
+// the context takes ownership of (or shares read-only access to) the
+// given set. It is the zero-copy counterpart of AddInputSet — the
+// receiving half of a handoff — with identical limit enforcement and
+// committed-bytes accounting: only the memcpy is skipped.
+func (c *Context) AdoptInputSet(s Set) error {
+	return c.adoptInput(s)
+}
+
+func (c *Context) adoptInput(s Set) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sealed {
 		return ErrSealed
 	}
-	for _, ex := range dst.inputs {
-		if ex.Name == dstName {
-			return fmt.Errorf("%w: %q", ErrDuplicateSet, dstName)
+	for _, ex := range c.inputs {
+		if ex.Name == s.Name {
+			return fmt.Errorf("%w: %q", ErrDuplicateSet, s.Name)
 		}
 	}
-	// Zero-copy: charge only descriptor bookkeeping, payloads are shared.
-	dst.inputs = append(dst.inputs, s)
+	need := c.committed + s.TotalBytes()
+	if need > c.limit {
+		return fmt.Errorf("%w: inputs need %d bytes, limit %d", ErrOutOfBounds, need, c.limit)
+	}
+	// Zero-copy: the payload is charged but shared, not duplicated.
+	c.committed = need
+	c.inputs = append(c.inputs, s)
 	return nil
+}
+
+// ShareInputSets returns the input sets without cloning item payloads,
+// for consumers that promise not to mutate them (the engines treat
+// inputs as read-only; the dvm host interface only copies out of them).
+// The slice itself is fresh, so callers may reorder it freely.
+func (c *Context) ShareInputSets() []Set {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Set(nil), c.inputs...)
 }
 
 // GroupByKey partitions a set's items by Item.Key, returning groups in

@@ -3,6 +3,7 @@ package memctx
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -210,6 +211,225 @@ func TestHandoffOutput(t *testing.T) {
 	// Second handoff of the same set must fail.
 	if err := src.HandoffOutput("resp", dst, "in2"); !errors.Is(err, ErrNoSuchSet) {
 		t.Fatalf("double handoff err = %v", err)
+	}
+}
+
+// TestHandoffDoubleIsHandedOff: re-handing a moved set reports the
+// ownership error, which still matches ErrNoSuchSet for old callers.
+func TestHandoffDoubleIsHandedOff(t *testing.T) {
+	src := New(1 << 10)
+	dst := New(1 << 10)
+	src.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Data: []byte("d")}}}})
+	src.Seal()
+	if err := src.HandoffOutput("o", dst, "in"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.HandoffOutput("o", dst, "in2"); !errors.Is(err, ErrHandedOff) {
+		t.Fatalf("double handoff err = %v, want ErrHandedOff", err)
+	}
+	if _, err := src.OutputSet("o"); !errors.Is(err, ErrHandedOff) {
+		t.Fatalf("read of handed-off set err = %v, want ErrHandedOff", err)
+	}
+	if _, err := src.TakeOutput("o"); !errors.Is(err, ErrHandedOff) {
+		t.Fatalf("take of handed-off set err = %v, want ErrHandedOff", err)
+	}
+}
+
+// TestHandoffIntoOccupiedDestination: when the destination already owns
+// an input of the target name, the handoff fails AND the source keeps
+// the set — a failed handoff must not lose data.
+func TestHandoffIntoOccupiedDestination(t *testing.T) {
+	src := New(1 << 10)
+	dst := New(1 << 10)
+	if err := dst.AddInputSet(Set{Name: "in", Items: []Item{{Name: "old", Data: []byte("v")}}}); err != nil {
+		t.Fatal(err)
+	}
+	src.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Data: []byte("d")}}}})
+	src.Seal()
+	if err := src.HandoffOutput("o", dst, "in"); !errors.Is(err, ErrDuplicateSet) {
+		t.Fatalf("handoff into occupied name err = %v, want ErrDuplicateSet", err)
+	}
+	got, err := src.OutputSet("o")
+	if err != nil {
+		t.Fatalf("source lost set after failed handoff: %v", err)
+	}
+	if string(got.Items[0].Data) != "d" {
+		t.Fatalf("restored set corrupted: %+v", got)
+	}
+	// The restored set is owned again: a handoff to a free name works.
+	if err := src.HandoffOutput("o", dst, "in2"); err != nil {
+		t.Fatalf("handoff after restore: %v", err)
+	}
+	// Same for a sealed destination.
+	src2 := New(1 << 10)
+	src2.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Data: []byte("d")}}}})
+	src2.Seal()
+	sealedDst := New(1 << 10)
+	sealedDst.Seal()
+	if err := src2.HandoffOutput("o", sealedDst, "in"); !errors.Is(err, ErrSealed) {
+		t.Fatalf("handoff into sealed dst err = %v, want ErrSealed", err)
+	}
+	if _, err := src2.OutputSet("o"); err != nil {
+		t.Fatalf("source lost set after sealed-dst handoff: %v", err)
+	}
+}
+
+// TestHandoffAfterReset: Reset drops outputs and clears the handed-off
+// marks, so the same set name is usable by the next instance of a
+// reused context, while sets handed off before the Reset stay valid
+// (their payloads are independent of the context region).
+func TestHandoffAfterReset(t *testing.T) {
+	src := New(1 << 10)
+	dst := New(1 << 10)
+	src.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Data: []byte("gen1")}}}})
+	src.Seal()
+	if err := src.HandoffOutput("o", dst, "in1"); err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	if err := src.HandoffOutput("o", dst, "in2"); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("handoff from reset (unsealed) context err = %v, want ErrNotSealed", err)
+	}
+	src.Seal()
+	if err := src.HandoffOutput("o", dst, "in2"); !errors.Is(err, ErrNoSuchSet) || errors.Is(err, ErrHandedOff) {
+		t.Fatalf("handoff after Reset err = %v, want plain ErrNoSuchSet", err)
+	}
+	// A new generation of outputs under the same name hands off cleanly.
+	src.Reset()
+	src.SetOutputs([]Set{{Name: "o", Items: []Item{{Name: "x", Data: []byte("gen2")}}}})
+	src.Seal()
+	if err := src.HandoffOutput("o", dst, "in2"); err != nil {
+		t.Fatal(err)
+	}
+	g1, err := dst.InputSet("in1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g1.Items[0].Data) != "gen1" {
+		t.Fatalf("pre-Reset handoff invalidated: %+v", g1)
+	}
+	g2, _ := dst.InputSet("in2")
+	if string(g2.Items[0].Data) != "gen2" {
+		t.Fatalf("post-Reset handoff wrong: %+v", g2)
+	}
+}
+
+// TestConcurrentHandoff: many goroutines hand distinct sets off from
+// one sealed source — some into a shared destination, some into their
+// own — exercising the ownership tracking under the race detector.
+// Every set must end up in exactly one place.
+func TestConcurrentHandoff(t *testing.T) {
+	const n = 32
+	src := New(1 << 20)
+	sets := make([]Set, n)
+	for i := range sets {
+		sets[i] = Set{Name: string(rune('a'+i%26)) + string(rune('0'+i/26)), Items: []Item{{Name: "x", Data: []byte{byte(i)}}}}
+	}
+	if err := src.SetOutputs(sets); err != nil {
+		t.Fatal(err)
+	}
+	src.Seal()
+	shared := New(1 << 20)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = src.HandoffOutput(sets[i].Name, shared, sets[i].Name)
+				return
+			}
+			own := New(1 << 20)
+			errs[i] = src.HandoffOutput(sets[i].Name, own, "in")
+			if errs[i] == nil {
+				if _, err := own.InputSet("in"); err != nil {
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("handoff %d: %v", i, err)
+		}
+	}
+	if got := len(shared.InputSets()); got != n/2 {
+		t.Fatalf("shared destination has %d sets, want %d", got, n/2)
+	}
+	if got := len(src.OutputSets()); got != 0 {
+		t.Fatalf("source still owns %d sets", got)
+	}
+}
+
+// TestTakeOutputs: the dispatcher-side handoff moves all sets out
+// without cloning, and marks them handed off.
+func TestTakeOutputs(t *testing.T) {
+	c := New(1 << 10)
+	if _, err := c.TakeOutputs(); !errors.Is(err, ErrNotSealed) {
+		t.Fatalf("take from unsealed err = %v, want ErrNotSealed", err)
+	}
+	payload := []byte("shared")
+	c.AdoptOutputs([]Set{
+		{Name: "a", Items: []Item{{Name: "x", Data: payload}}},
+		{Name: "b"},
+	})
+	c.Seal()
+	taken, err := c.TakeOutputs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taken) != 2 || taken[0].Name != "a" || taken[1].Name != "b" {
+		t.Fatalf("taken = %+v", taken)
+	}
+	// Zero-copy: the taken set aliases the adopted payload.
+	if &taken[0].Items[0].Data[0] != &payload[0] {
+		t.Fatal("TakeOutputs cloned the payload")
+	}
+	if _, err := c.OutputSet("a"); !errors.Is(err, ErrHandedOff) {
+		t.Fatalf("read after take err = %v, want ErrHandedOff", err)
+	}
+	if got, err := c.TakeOutputs(); err != nil || len(got) != 0 {
+		t.Fatalf("second take = %v sets, err %v", len(got), err)
+	}
+}
+
+// TestAdoptInputSet: zero-copy input install shares payloads instead
+// of cloning them, but keeps the copying path's protections: duplicate
+// and sealed rejection, committed-bytes accounting, and memory-limit
+// enforcement (zero-copy changes how bytes move, not how much memory a
+// function may hold).
+func TestAdoptInputSet(t *testing.T) {
+	c := New(1 << 20)
+	payload := make([]byte, 1<<10)
+	payload[0] = 7
+	if err := c.AdoptInputSet(Set{Name: "in", Items: []Item{{Name: "x", Data: payload}}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.CommittedBytes() != len(payload) {
+		t.Fatalf("adoption charged %d bytes, want %d", c.CommittedBytes(), len(payload))
+	}
+	if err := c.AdoptInputSet(Set{Name: "in"}); !errors.Is(err, ErrDuplicateSet) {
+		t.Fatalf("duplicate adopt err = %v", err)
+	}
+	shared := c.ShareInputSets()
+	if len(shared) != 1 || &shared[0].Items[0].Data[0] != &payload[0] {
+		t.Fatal("ShareInputSets did not alias the adopted payload")
+	}
+	c.Seal()
+	if err := c.AdoptInputSet(Set{Name: "in2"}); !errors.Is(err, ErrSealed) {
+		t.Fatalf("adopt into sealed err = %v", err)
+	}
+
+	// Limits hold in zero-copy mode, for inputs and outputs alike.
+	small := New(16)
+	if err := small.AdoptInputSet(Set{Name: "big", Items: []Item{{Name: "x", Data: payload}}}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("oversized adopt err = %v, want ErrOutOfBounds", err)
+	}
+	if err := small.AdoptOutputs([]Set{{Name: "big", Items: []Item{{Name: "x", Data: payload}}}}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("oversized adopted outputs err = %v, want ErrOutOfBounds", err)
 	}
 }
 

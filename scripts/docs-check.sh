@@ -1,0 +1,53 @@
+#!/bin/sh
+# docs-check: fail if README.md or docs/*.md reference Go symbols or
+# CLI flags that no longer exist in the source tree. Deliberately a
+# simple grep-based check: it keys on backticked tokens, the way the
+# docs mark identifiers, so prose never triggers it.
+set -eu
+cd "$(dirname "$0")/.."
+
+docs="README.md"
+for f in docs/*.md; do
+  docs="$docs $f"
+done
+
+fail=0
+
+# Rule 1: dotted symbols in backticks (`pkg.Symbol`, `Type.Method`,
+# chains like `a.B.C`): the final identifier must appear somewhere in
+# the Go sources. File names (`FOO.md` and friends) are skipped.
+for sym in $(grep -ho '`[A-Za-z][A-Za-z0-9_]*\(\.[A-Za-z][A-Za-z0-9_]*\)\{1,\}`' $docs | tr -d '`' | sort -u); do
+  last=${sym##*.}
+  case "$last" in
+    md|go|json|dvm|s|sh|mod) continue ;;
+  esac
+  if ! grep -rq --include='*.go' "$last" .; then
+    echo "docs-check: \`$sym\` referenced in docs but \"$last\" not found in any .go file" >&2
+    fail=1
+  fi
+done
+
+# Rule 2: plain mixed-case identifiers in backticks (`InvokeBatch`,
+# `ZeroCopyHandoffs`, `TestFoo`): must appear in the Go sources.
+for sym in $(grep -ho '`[A-Z][a-z][A-Za-z0-9]\{2,\}`' $docs | tr -d '`' | sort -u); do
+  if ! grep -rq --include='*.go' "$sym" .; then
+    echo "docs-check: \`$sym\` referenced in docs but not found in any .go file" >&2
+    fail=1
+  fi
+done
+
+# Rule 3: CLI flags in backticks (`-zero-copy`): the flag name must be
+# declared in cmd/ (flag.X("name", ...)) or appear in the Makefile
+# (go-tool flags like `-race`).
+for f in $(grep -ho '`-[a-z][a-z0-9-]*`' $docs | tr -d '`' | sort -u); do
+  name=${f#-}
+  if ! grep -rq --include='*.go' "\"$name\"" cmd/ && ! grep -q -- "$f" Makefile; then
+    echo "docs-check: flag \`$f\` referenced in docs but not declared in cmd/ or used in Makefile" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs-check: OK"
+fi
+exit $fail
