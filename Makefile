@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke docs-check
+.PHONY: ci build vet test race bench bench-smoke bench-baseline docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
@@ -31,6 +31,13 @@ bench:
 # batch-zerocopy sub-benchmarks).
 bench-smoke:
 	$(GO) test -run XXX -bench BenchmarkInvokeBatch -benchtime 1x -benchmem .
+
+# bench-baseline snapshots the invoke hot-path numbers (inv/s, allocs/op
+# for the single, batch, and batch+zerocopy paths, plus the sharded-vs-
+# mutex counter contention probe) into BENCH_4.json, giving future PRs a
+# perf trajectory to regress against (see scripts/bench-baseline.sh).
+bench-baseline:
+	sh scripts/bench-baseline.sh
 
 # docs-check fails if README.md or docs/ reference Go symbols or CLI
 # flags that no longer exist (see scripts/docs-check.sh).

@@ -9,6 +9,7 @@ package dandelion_test
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"dandelion/internal/isolation"
 	"dandelion/internal/memctx"
 	"dandelion/internal/ssb"
+	"dandelion/internal/stats"
 )
 
 // mustCell extracts a numeric cell from an experiment table.
@@ -254,6 +256,7 @@ composition I(In) => Result {
     Id(x = all In) => (Result = Out);
 }`)
 	input := map[string][]dandelion.Item{"In": {{Name: "x", Data: []byte("y")}}}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.Invoke("I", input); err != nil {
@@ -346,6 +349,7 @@ composition I(In) => Result {
 	b.Run("sequential", func(b *testing.B) {
 		p := newP(b)
 		input := map[string][]dandelion.Item{"In": {{Name: "x", Data: []byte("y")}}}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < batch; j++ {
@@ -359,6 +363,7 @@ composition I(In) => Result {
 	b.Run("batch", func(b *testing.B) {
 		p := newP(b)
 		reqs := dandelion.BatchOf("I", "In", payloads...)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res := p.InvokeBatch(reqs)
@@ -375,6 +380,7 @@ composition I(In) => Result {
 	b.Run("batch-zerocopy", func(b *testing.B) {
 		p := newP(b, func(o *dandelion.Options) { o.ZeroCopy = true })
 		reqs := dandelion.BatchOf("I", "In", payloads...)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			res := p.InvokeBatch(reqs)
@@ -385,5 +391,77 @@ composition I(In) => Result {
 			}
 		}
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "inv/s")
+	})
+}
+
+// BenchmarkStatsContention isolates the hot-path bookkeeping pattern of
+// the dispatcher — every invoke ticks a few counters — and compares a
+// single mutex-guarded counter struct against sharded atomic counters.
+// stats.Counter is the single-counter reference form of the sharding
+// machinery (ShardCount/ShardIndex/CacheLinePad padding) that
+// internal/core's hotCounters block is built on. Run with
+// -cpu 1,2,4,... to see the mutex flatline (all updaters serialize on
+// one cache line) while the sharded version scales with GOMAXPROCS:
+// each goroutine lands on its own padded shard, and Stats() merges
+// lazily at read time. ISSUE 4 acceptance records both in BENCH_4.json.
+func BenchmarkStatsContention(b *testing.B) {
+	// One "bookkeeping event" = two counter ticks (a count and a byte
+	// total), matching what one boundary crossing costs the dispatcher.
+	b.Run("mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		var sets, bytes uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				sets++
+				bytes += 10
+				mu.Unlock()
+			}
+		})
+		if sets != uint64(b.N) || bytes != 10*uint64(b.N) {
+			b.Fatalf("lost updates: sets=%d bytes=%d N=%d", sets, bytes, b.N)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		sets, bytes := stats.NewCounter(), stats.NewCounter()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				sets.Add(1)
+				bytes.Add(10)
+			}
+		})
+		if sets.Load() != uint64(b.N) || bytes.Load() != 10*uint64(b.N) {
+			b.Fatalf("lost updates: sets=%d bytes=%d N=%d", sets.Load(), bytes.Load(), b.N)
+		}
+	})
+}
+
+// BenchmarkMemctxPooled measures the pooled-context acquire/dirty/
+// recycle cycle against allocating a fresh context per invocation, the
+// allocation the invoke hot path used to pay.
+func BenchmarkMemctxPooled(b *testing.B) {
+	payload := make([]byte, 4<<10)
+	run := func(b *testing.B, acquire func() *memctx.Context, release func(*memctx.Context)) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := acquire()
+			if err := c.AddInputSet(memctx.Set{Name: "in", Items: []memctx.Item{{Name: "x", Data: payload}}}); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.SetOutputs([]memctx.Set{{Name: "out", Items: []memctx.Item{{Name: "y", Data: payload}}}}); err != nil {
+				b.Fatal(err)
+			}
+			c.Seal()
+			if _, err := c.TakeOutputs(); err != nil {
+				b.Fatal(err)
+			}
+			release(c)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		run(b, func() *memctx.Context { return memctx.New(1 << 20) }, func(*memctx.Context) {})
+	})
+	b.Run("pooled", func(b *testing.B) {
+		run(b, func() *memctx.Context { c, _ := memctx.NewPooled(1 << 20); return c }, memctx.Recycle)
 	})
 }

@@ -27,17 +27,19 @@ import (
 	"sync"
 
 	"dandelion/internal/dvm"
-	"dandelion/internal/graph"
 	"dandelion/internal/memctx"
 	"dandelion/internal/sched"
 )
 
-// programCache maps binary hashes to decoded DVM programs. It
-// generalizes Options.CacheBinaries: the option pins the decoded program
-// to the registered function for the single-invoke path, while the
-// cache itself is keyed by content hash so identical binaries — however
-// many names they are registered under — decode exactly once, and the
-// batch path can reuse programs unconditionally.
+// programCache maps binary content addresses to decoded DVM programs.
+// It generalizes Options.CacheBinaries: the option pins the decoded
+// program to the registered function for the single-invoke path, while
+// the cache itself is keyed by content hash so identical binaries —
+// however many names they are registered under — decode exactly once,
+// and the batch path can reuse programs unconditionally. The hash is
+// computed once, at registration (registeredFunc.progKey); lookups here
+// never re-hash a binary, so the cache costs a map read on the hot
+// path instead of a sha256 over the whole program.
 type programCache struct {
 	mu    sync.RWMutex
 	progs map[[sha256.Size]byte]*dvm.Program
@@ -47,10 +49,9 @@ func newProgramCache() *programCache {
 	return &programCache{progs: map[[sha256.Size]byte]*dvm.Program{}}
 }
 
-// get returns the decoded program for binary, decoding and caching on
-// first sight.
-func (c *programCache) get(binary []byte) (*dvm.Program, error) {
-	key := sha256.Sum256(binary)
+// getByKey returns the decoded program for the content address key,
+// decoding binary and caching on first sight.
+func (c *programCache) getByKey(key [sha256.Size]byte, binary []byte) (*dvm.Program, error) {
 	c.mu.RLock()
 	p := c.progs[key]
 	c.mu.RUnlock()
@@ -106,7 +107,7 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	if len(reqs) == 0 {
 		return results
 	}
-	p.batches.Add(1)
+	p.ctrs.shard().batches.Add(1)
 
 	// Group request indices by (composition, tenant), preserving
 	// first-seen order. Tenant is part of the key so one group's chunk
@@ -135,19 +136,19 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 			}
 			continue
 		}
-		p.invocations.Add(uint64(len(idxs)))
+		p.ctrs.shard().invocations.Add(uint64(len(idxs)))
 		wg.Add(1)
-		go func(tenant string, comp *graph.Composition, idxs []int) {
+		go func(tenant string, pl *compPlan, idxs []int) {
 			defer wg.Done()
 			inputs := make([]map[string][]memctx.Item, len(idxs))
 			for k, i := range idxs {
 				inputs[k] = reqs[i].Inputs
 			}
-			outs, errs := p.invokeBatch(tenant, comp, inputs)
+			outs, errs := p.invokeBatch(tenant, pl, inputs)
 			for k, i := range idxs {
 				results[i].Outputs, results[i].Err = outs[k], errs[k]
 			}
-		}(key.tenant, comp, idxs)
+		}(key.tenant, p.planFor(comp), idxs)
 	}
 	wg.Wait()
 	return results
@@ -205,12 +206,14 @@ func (b *batchState) live() []int {
 // invokeBatch mirrors invoke for a group of requests running the same
 // composition under one tenant: one goroutine per statement (shared
 // across the group, honoring DAG dependencies), with compute statements
-// executed through the chunked batch path.
-func (p *Platform) invokeBatch(tenant string, comp *graph.Composition, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+// executed through the chunked batch path. Orchestration state — deps,
+// vertices, programs, error labels — comes precompiled from the plan.
+func (p *Platform) invokeBatch(tenant string, pl *compPlan, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+	comp := pl.comp
 	n := len(inputs)
 	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
 	for r := 0; r < n; r++ {
-		st.stores[r] = &valueStore{vals: map[string][]memctx.Item{}}
+		st.stores[r] = &valueStore{vals: make(map[string][]memctx.Item, len(comp.Inputs)+len(comp.Stmts))}
 		for _, in := range comp.Inputs {
 			items, ok := inputs[r][in]
 			if !ok {
@@ -221,7 +224,6 @@ func (p *Platform) invokeBatch(tenant string, comp *graph.Composition, inputs []
 		}
 	}
 
-	deps := comp.Deps()
 	done := make([]chan struct{}, len(comp.Stmts))
 	for i := range done {
 		done[i] = make(chan struct{})
@@ -233,10 +235,10 @@ func (p *Platform) invokeBatch(tenant string, comp *graph.Composition, inputs []
 		go func() {
 			defer wg.Done()
 			defer close(done[i])
-			for _, d := range deps[i] {
+			for _, d := range pl.deps[i] {
 				<-done[d]
 			}
-			p.runStatementBatch(tenant, comp, i, st)
+			p.runStatementBatch(tenant, pl, i, st)
 		}()
 	}
 	wg.Wait()
@@ -246,7 +248,7 @@ func (p *Platform) invokeBatch(tenant string, comp *graph.Composition, inputs []
 		if st.errs[r] != nil {
 			continue
 		}
-		out := map[string][]memctx.Item{}
+		out := make(map[string][]memctx.Item, len(comp.Outputs))
 		for _, b := range comp.Outputs {
 			out[b.Name] = st.stores[r].get(b.Value, false)
 		}
@@ -267,16 +269,15 @@ type batchItem struct {
 // the group. Compute functions take the chunked batch path; everything
 // else (communication functions, nested compositions) falls back to the
 // per-request dispatcher logic.
-func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si int, bst *batchState) {
-	st := comp.Stmts[si]
+func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *batchState) {
+	sp := &pl.stmts[si]
+	st := *sp.st
 	live := bst.live()
 	if len(live) == 0 {
 		return
 	}
-	wrap := func(err error) error {
-		return fmt.Errorf("core: %s: statement %d (%s): %w", comp.Name, si, st.Func, err)
-	}
-	v, err := p.reg.resolve(st.Func)
+	wrap := sp.wrap
+	v, err := p.resolveStmt(sp)
 	if err != nil {
 		for _, r := range live {
 			bst.fail(r, wrap(err))
@@ -295,7 +296,7 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if err := p.runStatement(tenant, st, bst.stores[r], 0); err != nil {
+				if err := p.runStatement(tenant, sp, bst.stores[r], 0); err != nil {
 					bst.fail(r, wrap(err))
 				}
 			}()
@@ -304,18 +305,21 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 		return
 	}
 
-	// Compute path: gather every live request's instances into one flat
-	// work list. Under ZeroCopy the gather aliases the store's items —
-	// the sets a producing chunk handed off — so the instances adopt the
-	// producer's buffers; otherwise each request's arguments are cloned
-	// out of the store (value semantics, the copying fallback).
+	// Compute path (v.fn != nil past this point, so no comm-function
+	// gather clone to worry about): gather every live request's
+	// instances into one flat work list. The gather aliases the store's
+	// items in both data-plane modes: under ZeroCopy the instances adopt
+	// the producer's handed-off buffers, and on the copying path each
+	// instance's one value-semantics clone happens at the context
+	// boundary (AddInputSet), so cloning here as well would be a second
+	// copy.
 	var items []batchItem
 	perReq := map[int][]int{}
 	for _, r := range live {
 		argItems := make([][]memctx.Item, len(st.Args))
 		skip := false
 		for ai, a := range st.Args {
-			argItems[ai] = bst.stores[r].get(a.Value, !p.opts.ZeroCopy)
+			argItems[ai] = bst.stores[r].get(a.Value, false)
 			if len(argItems[ai]) == 0 && !a.Optional {
 				skip = true
 			}
@@ -326,8 +330,10 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 			}
 			continue
 		}
-		insts, err := expandInstances(st.Args, argItems)
-		if err != nil {
+		var insts []instance
+		if sp.broadcastOnly {
+			insts = []instance{singleInstance(st.Args, argItems)}
+		} else if insts, err = expandInstances(st.Args, argItems); err != nil {
 			bst.fail(r, wrap(err))
 			continue
 		}
@@ -340,11 +346,12 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 		return
 	}
 
-	// Resolve the decoded program once for the whole statement; the
-	// chunk tasks share it.
-	prepared := v.fn.prepared
+	// The decoded program comes precompiled from the plan (resolved by
+	// content address at registration — no per-statement hashing); only
+	// a plan built before the function registered resolves it here.
+	prepared := sp.batchProg
 	if prepared == nil && v.fn.Binary != nil {
-		prepared, err = p.programs.get(v.fn.Binary)
+		prepared, err = p.programs.getByKey(v.fn.progKey, v.fn.Binary)
 		if err != nil {
 			for _, r := range live {
 				bst.fail(r, wrap(err))
@@ -353,15 +360,13 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 		}
 	}
 
-	// Split the work list into contiguous chunks, one per compute
-	// engine, and run each chunk to completion on a single engine.
-	chunks := p.computePool.Count()
-	if chunks < 1 {
-		chunks = 1
-	}
-	if chunks > len(items) {
-		chunks = len(items)
-	}
+	// Split the work list into contiguous chunks and run each chunk to
+	// completion on a single engine. Solo tenants get one chunk per
+	// compute engine (maximum per-chunk amortization of the reused
+	// context); a tenant contending for the engines gets chunks sized
+	// down by its DRR share, so the scheduler can interleave other
+	// tenants' work between its chunks and dispatch-wait tails tighten.
+	chunks := p.schedAwareChunks(tenant, len(items))
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
 		lo, hi := c*len(items)/chunks, (c+1)*len(items)/chunks
@@ -416,19 +421,52 @@ func (p *Platform) runStatementBatch(tenant string, comp *graph.Composition, si 
 	}
 }
 
+// schedAwareChunks sizes the chunk split of a batched statement's
+// work list. The floor is one chunk per compute engine — the PR-1
+// amortization sweet spot for a tenant running alone. When the tenant
+// shares the compute plane (other tenants have queued or running
+// work), its chunk count scales up by the inverse of its DRR dispatch
+// share — more, smaller chunks — bounded at 4× the engine count so
+// per-chunk amortization never collapses entirely.
+func (p *Platform) schedAwareChunks(tenant string, items int) int {
+	engines := p.computePool.Count()
+	if engines < 1 {
+		engines = 1
+	}
+	chunks := engines
+	if share := p.computeSched.Share(tenant); share < 1 {
+		chunks = int(float64(engines)/share + 0.5)
+		if cap := 4 * engines; chunks > cap {
+			chunks = cap
+		}
+	}
+	if chunks > items {
+		chunks = items
+	}
+	return chunks
+}
+
 // runComputeChunk executes a chunk of same-function instances
-// back-to-back on the calling compute engine, reusing one memory
-// context (Reset between instances) and one decoded program. Reuse is
-// safe in both data-plane modes: under ZeroCopy each instance's output
-// sets are taken out of the context (ownership moved to the dispatcher)
-// before the next instance Resets it, and the payloads are independent
-// heap buffers, not region-backed, so Reset cannot invalidate them.
+// back-to-back on the calling compute engine, reusing one pooled
+// memory context (Reset between instances, Recycle at the end) and one
+// decoded program. Reuse is safe in both data-plane modes: each
+// instance's output sets are taken out of the context (ownership moved
+// to the dispatcher) before the next instance Resets it, and the
+// payloads are independent heap buffers, not region-backed, so neither
+// Reset nor a later pooled reuse can invalidate them.
 func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem) {
-	ctx := memctx.New(funcMemBytes(f))
+	ctx, reused := memctx.NewPooled(funcMemBytes(f))
+	sh := p.ctrs.shard()
+	if reused {
+		sh.ctxReused.Add(1)
+	} else {
+		sh.ctxFresh.Add(1)
+	}
 	for i := range seg {
 		if i > 0 {
 			ctx.Reset()
 		}
 		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst)
 	}
+	memctx.Recycle(ctx)
 }

@@ -69,6 +69,10 @@ type Platform struct {
 	opts     Options
 	programs *programCache
 
+	// plans caches precompiled invocation plans by composition name
+	// (see plan.go); entries are invalidated by registry generation.
+	plans sync.Map
+
 	computePool *engine.Pool
 	commPool    *engine.Pool
 	balancer    *controlplane.Balancer
@@ -78,18 +82,17 @@ type Platform struct {
 	computeSched *sched.Scheduler
 	commSched    *sched.Scheduler
 
-	invocations  atomic.Uint64
-	batches      atomic.Uint64
+	// ctrs holds every hot-path counter — invocation/batch admissions,
+	// the data-plane set/byte counters, context-pool provenance —
+	// sharded per goroutine affinity so concurrent invokes never
+	// serialize on bookkeeping (see counters.go). Stats() merges lazily.
+	ctrs *hotCounters
+
+	// Memory gauges stay unsharded: the peak is a max over the summed
+	// committed bytes, which needs the total order a single atomic
+	// provides (rationale in counters.go).
 	memCommitted atomic.Int64
 	memPeak      atomic.Int64
-
-	// Data-plane counters: sets (and their payload bytes) crossing a
-	// memory-context boundary by ownership move vs. by clone. Together
-	// they quantify what the ZeroCopy option saves on a live node.
-	zcHandoffs  atomic.Uint64
-	zcBytes     atomic.Uint64
-	copiedSets  atomic.Uint64
-	copiedBytes atomic.Uint64
 }
 
 // NewPlatform builds and starts a worker node.
@@ -115,6 +118,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		backend:  opts.Backend,
 		opts:     opts,
 		programs: newProgramCache(),
+		ctrs:     newHotCounters(),
 	}
 	p.computePool = engine.NewPool(engine.Compute, engine.NewQueue())
 	p.commPool = engine.NewPool(engine.Communication, engine.NewQueue())
@@ -213,18 +217,29 @@ type Stats struct {
 	// and payload bytes cloned across context boundaries.
 	CopiedSets  uint64
 	CopiedBytes uint64
+	// PooledContextReuses / PooledContextAllocs split the hot path's
+	// memory-context acquisitions by provenance: recycled through the
+	// memctx context pool (warm backing allocations) vs allocated
+	// fresh. A steady-state node should see reuses dominate; a rising
+	// alloc share means contexts are leaving the pool (e.g. oversized
+	// regions) faster than they return.
+	PooledContextReuses uint64
+	PooledContextAllocs uint64
 	// Tenants carries the scheduling plane's per-tenant gauges (queued,
 	// running, completed, dispatch-wait), merged across the compute and
 	// communication schedulers and sorted by tenant name.
 	Tenants []sched.TenantStats
 }
 
-// Stats reports current platform gauges.
+// Stats reports current platform gauges. The hot-path counters are
+// merged from their per-goroutine shards here, on the cold read, so
+// the invoke path never serializes on them.
 func (p *Platform) Stats() Stats {
+	t := p.ctrs.merge()
 	return Stats{
 		Tenants:          sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
-		Invocations:      p.invocations.Load(),
-		Batches:          p.batches.Load(),
+		Invocations:      t.invocations,
+		Batches:          t.batches,
 		ComputeEngines:   p.computePool.Count(),
 		CommEngines:      p.commPool.Count(),
 		ComputeQueueLen:  p.computePool.Queue().Len(),
@@ -235,10 +250,12 @@ func (p *Platform) Stats() Stats {
 		CommCompleted:    p.commPool.Completed(),
 		CachedPrograms:   p.programs.size(),
 
-		ZeroCopyHandoffs:     p.zcHandoffs.Load(),
-		ZeroCopyHandoffBytes: p.zcBytes.Load(),
-		CopiedSets:           p.copiedSets.Load(),
-		CopiedBytes:          p.copiedBytes.Load(),
+		ZeroCopyHandoffs:     t.zcHandoffs,
+		ZeroCopyHandoffBytes: t.zcBytes,
+		CopiedSets:           t.copiedSets,
+		CopiedBytes:          t.copiedBytes,
+		PooledContextReuses:  t.ctxReused,
+		PooledContextAllocs:  t.ctxFresh,
 	}
 }
 
@@ -257,8 +274,8 @@ func (p *Platform) InvokeAs(tenant, name string, inputs map[string][]memctx.Item
 	if err != nil {
 		return nil, err
 	}
-	p.invocations.Add(1)
-	return p.invoke(tenant, comp, inputs, 0)
+	p.ctrs.shard().invocations.Add(1)
+	return p.invoke(tenant, p.planFor(comp), inputs, 0)
 }
 
 // HasComposition reports whether a composition is registered, letting
@@ -268,7 +285,14 @@ func (p *Platform) HasComposition(name string) bool {
 	return err == nil
 }
 
-// valueStore holds the dataflow values of one invocation.
+// valueStore holds the dataflow values of one invocation. Values are
+// exchanged by reference: producers deposit the sets they harvested
+// (private clones on the copying path, handed-off buffers under
+// ZeroCopy) and consumers receive aliases — every value-semantics copy
+// the copying data path owes is paid exactly once, at the context
+// boundary (Context.AddInputSet / Context.SetOutputs) for compute
+// functions, or at the gather (clone=true) for communication
+// functions, which have no context.
 type valueStore struct {
 	mu   sync.Mutex
 	vals map[string][]memctx.Item
@@ -294,11 +318,12 @@ func (s *valueStore) set(name string, items []memctx.Item) {
 	s.vals[name] = items
 }
 
-func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
+func (p *Platform) invoke(tenant string, pl *compPlan, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
 	if depth >= p.opts.MaxDepth {
 		return nil, fmt.Errorf("%w (%d)", ErrTooDeep, p.opts.MaxDepth)
 	}
-	store := &valueStore{vals: map[string][]memctx.Item{}}
+	comp := pl.comp
+	store := &valueStore{vals: make(map[string][]memctx.Item, len(comp.Inputs)+len(comp.Stmts))}
 	for _, in := range comp.Inputs {
 		items, ok := inputs[in]
 		if !ok {
@@ -307,7 +332,6 @@ func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[str
 		store.set(in, items)
 	}
 
-	deps := comp.Deps()
 	done := make([]chan struct{}, len(comp.Stmts))
 	for i := range done {
 		done[i] = make(chan struct{})
@@ -331,14 +355,14 @@ func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[str
 		go func() {
 			defer wg.Done()
 			defer close(done[i])
-			for _, d := range deps[i] {
+			for _, d := range pl.deps[i] {
 				<-done[d]
 			}
 			if failed.Load() {
 				return
 			}
-			if err := p.runStatement(tenant, comp.Stmts[i], store, depth); err != nil {
-				setErr(fmt.Errorf("core: %s: statement %d (%s): %w", comp.Name, i, comp.Stmts[i].Func, err))
+			if err := p.runStatement(tenant, &pl.stmts[i], store, depth); err != nil {
+				setErr(pl.stmts[i].wrap(err))
 			}
 		}()
 	}
@@ -347,7 +371,7 @@ func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[str
 		return nil, firstErr
 	}
 
-	out := map[string][]memctx.Item{}
+	out := make(map[string][]memctx.Item, len(comp.Outputs))
 	for _, b := range comp.Outputs {
 		out[b.Name] = store.get(b.Value, false)
 	}
@@ -356,19 +380,29 @@ func (p *Platform) invoke(tenant string, comp *graph.Composition, inputs map[str
 
 // runStatement expands a statement into instances per the edge modes,
 // executes them on the appropriate engines (scheduled under the tenant's
-// DRR share), and merges outputs.
-func (p *Platform) runStatement(tenant string, st graph.Stmt, store *valueStore, depth int) error {
-	v, err := p.reg.resolve(st.Func)
+// DRR share), and merges outputs. The vertex, instance shape, and error
+// label come precompiled from the statement's plan (plan.go).
+func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, depth int) error {
+	st := *sp.st
+	v, err := p.resolveStmt(sp)
 	if err != nil {
 		return err
 	}
 
 	// Gather argument items; decide skip (§4.4): any non-optional input
 	// set with zero items suppresses execution, defining empty outputs.
+	// For compute functions and nested compositions the gather aliases
+	// the store's items — the one value-semantics clone each instance is
+	// owed happens at the context boundary (AddInputSet), not here.
+	// Communication functions have no memory context, so on the copying
+	// path their one clone is paid here instead (under ZeroCopy they
+	// receive aliases and must not mutate them, per the CommFunc
+	// contract).
+	cloneGather := v.comm != nil && !p.opts.ZeroCopy
 	argItems := make([][]memctx.Item, len(st.Args))
 	skip := false
 	for ai, a := range st.Args {
-		argItems[ai] = store.get(a.Value, !p.opts.ZeroCopy)
+		argItems[ai] = store.get(a.Value, cloneGather)
 		if len(argItems[ai]) == 0 && !a.Optional {
 			skip = true
 		}
@@ -380,8 +414,11 @@ func (p *Platform) runStatement(tenant string, st graph.Stmt, store *valueStore,
 		return nil
 	}
 
-	instances, err := expandInstances(st.Args, argItems)
-	if err != nil {
+	var instances []instance
+	if sp.broadcastOnly {
+		// Precompiled shape: every arg broadcasts, exactly one instance.
+		instances = []instance{singleInstance(st.Args, argItems)}
+	} else if instances, err = expandInstances(st.Args, argItems); err != nil {
 		return err
 	}
 
@@ -507,11 +544,11 @@ func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst inst
 	case v.fn != nil:
 		return p.runCompute(v.fn, inst)
 	default:
-		childInputs := map[string][]memctx.Item{}
+		childInputs := make(map[string][]memctx.Item, len(inst))
 		for _, s := range inst {
 			childInputs[s.Name] = s.Items
 		}
-		childOut, err := p.invoke(tenant, v.comp, childInputs, depth+1)
+		childOut, err := p.invoke(tenant, p.planFor(v.comp), childInputs, depth+1)
 		if err != nil {
 			return nil, err
 		}
@@ -531,51 +568,71 @@ func funcMemBytes(f *registeredFunc) int {
 	return memctx.DefaultLimit
 }
 
-// runCompute prepares an isolated memory context, executes the function
-// under the configured backend, and harvests outputs.
+// runCompute prepares an isolated memory context (recycled through the
+// memctx pool), executes the function under the configured backend,
+// harvests outputs, and recycles the context.
 func (p *Platform) runCompute(f *registeredFunc, inst instance) ([]memctx.Set, error) {
-	return p.runComputeIn(memctx.New(funcMemBytes(f)), f, f.prepared, inst)
+	ctx, reused := memctx.NewPooled(funcMemBytes(f))
+	sh := p.ctrs.shard()
+	if reused {
+		sh.ctxReused.Add(1)
+	} else {
+		sh.ctxFresh.Add(1)
+	}
+	outs, err := p.runComputeIn(ctx, f, f.prepared, inst)
+	// Safe to recycle in both data-plane modes: harvested outputs were
+	// moved out of (or cloned by) the context, and their payloads are
+	// independent heap buffers, never region-backed.
+	memctx.Recycle(ctx)
+	return outs, err
 }
 
 // runComputeIn executes one instance inside the provided context, which
 // the batch path reuses (via Reset) across the instances of a chunk.
 // prepared, when non-nil, skips the per-execution binary decode.
 //
-// The data plane has two modes. The copying path (default) clones the
-// instance's input sets into the context, clones them again for the
-// function, and clones the harvested outputs back out — every boundary
-// is a memcpy. Under Options.ZeroCopy the same boundaries are ownership
-// moves: inputs are adopted (AdoptInputSet), the function reads the
-// shared payloads directly (ShareInputSets), and outputs are handed off
-// out of the sealed context (AdoptOutputs + TakeOutputs) so the
-// dispatcher — and through it the consuming statement's context, also
-// across chunk boundaries within one batch — receives the producer's
-// buffers instead of copies.
+// The data plane has two modes, and in both each boundary crossing
+// costs at most one memcpy. The copying path (default) clones the
+// instance's input sets into the context (AddInputSet — the copy into
+// the function's memory, preserving value semantics), lets the function
+// read the context's private copy in place (ShareInputSets — the
+// context IS the function's memory; re-cloning it for the function
+// would be a second copy the model doesn't charge), clones the outputs
+// into the context (SetOutputs — the copy out of the function's
+// memory), and moves that clone to the dispatcher without another copy
+// (TakeOutputs). Under Options.ZeroCopy even those two clones become
+// ownership moves: inputs are adopted (AdoptInputSet) and outputs
+// handed off (AdoptOutputs + TakeOutputs), so the dispatcher — and
+// through it the consuming statement's context, also across chunk
+// boundaries within one batch — receives the producer's buffers.
 func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance) (outs []memctx.Set, err error) {
+	sh := p.ctrs.shard()
 	memBytes := funcMemBytes(f)
 	for _, s := range inst {
 		if p.opts.ZeroCopy {
 			if err := ctx.AdoptInputSet(s); err != nil {
 				return nil, err
 			}
-			p.zcHandoffs.Add(1)
-			p.zcBytes.Add(uint64(s.TotalBytes()))
+			sh.zcHandoffs.Add(1)
+			sh.zcBytes.Add(uint64(s.TotalBytes()))
 		} else {
 			if err := ctx.AddInputSet(s); err != nil {
 				return nil, err
 			}
-			p.copiedSets.Add(1)
-			p.copiedBytes.Add(uint64(s.TotalBytes()))
+			sh.copiedSets.Add(1)
+			sh.copiedBytes.Add(uint64(s.TotalBytes()))
 		}
 	}
 	charge := int64(ctx.CommittedBytes())
 	p.chargeMemory(charge)
 	defer p.releaseMemory(&charge)
 
-	funcInputs := ctx.InputSets
-	if p.opts.ZeroCopy {
-		funcInputs = ctx.ShareInputSets
-	}
+	// Both modes read the context's sets in place. On the copying path
+	// these are the context's private clones (the function may scribble
+	// on them; the context is reset or recycled after harvest); under
+	// ZeroCopy they are shared payloads the function must treat as
+	// immutable.
+	funcInputs := ctx.ShareInputSets
 	if f.Go != nil {
 		defer func() {
 			if r := recover(); r != nil {
@@ -597,13 +654,12 @@ func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared
 	if err != nil {
 		return nil, err
 	}
-	// Positional rename for dvm outputs (out0, out1, ...).
-	if f.Go == nil && len(f.OutputSets) > 0 {
+	// Positional rename for dvm outputs (out0, out1, ...), via the
+	// rename table precomputed at registration.
+	if f.Go == nil && f.outRename != nil {
 		for i := range outs {
-			for k, declared := range f.OutputSets {
-				if outs[i].Name == fmt.Sprintf("out%d", k) {
-					outs[i].Name = declared
-				}
+			if declared, ok := f.outRename[outs[i].Name]; ok {
+				outs[i].Name = declared
 			}
 		}
 	}
@@ -611,33 +667,27 @@ func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared
 		if err := ctx.AdoptOutputs(outs); err != nil {
 			return nil, err
 		}
-		ctx.Seal()
-		newCharge := int64(ctx.CommittedBytes())
-		p.chargeMemory(newCharge - charge)
-		charge = newCharge
-		taken, err := ctx.TakeOutputs()
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range taken {
-			p.zcHandoffs.Add(1)
-			p.zcBytes.Add(uint64(s.TotalBytes()))
-		}
-		return taken, nil
-	}
-	if err := ctx.SetOutputs(outs); err != nil {
+	} else if err := ctx.SetOutputs(outs); err != nil {
 		return nil, err
 	}
 	ctx.Seal()
 	newCharge := int64(ctx.CommittedBytes())
 	p.chargeMemory(newCharge - charge)
 	charge = newCharge
-	harvested := ctx.OutputSets()
-	for _, s := range harvested {
-		p.copiedSets.Add(1)
-		p.copiedBytes.Add(uint64(s.TotalBytes()))
+	taken, err := ctx.TakeOutputs()
+	if err != nil {
+		return nil, err
 	}
-	return harvested, nil
+	for _, s := range taken {
+		if p.opts.ZeroCopy {
+			sh.zcHandoffs.Add(1)
+			sh.zcBytes.Add(uint64(s.TotalBytes()))
+		} else {
+			sh.copiedSets.Add(1)
+			sh.copiedBytes.Add(uint64(s.TotalBytes()))
+		}
+	}
+	return taken, nil
 }
 
 func (p *Platform) chargeMemory(delta int64) {

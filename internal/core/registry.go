@@ -6,9 +6,11 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dandelion/internal/dsl"
 	"dandelion/internal/dvm"
@@ -31,7 +33,11 @@ type GoFunc func(inputs []memctx.Set) ([]memctx.Set, error)
 
 // CommFunc is a trusted communication function (§6.3). Implementations
 // are platform-provided; user compositions may invoke but not define
-// them.
+// them. Under Options.ZeroCopy the input sets passed to Invoke alias
+// payloads shared with other consumers and must not be mutated (on the
+// copying path they are the function's private clones); returned
+// output sets must always be freshly allocated, never aliases of the
+// inputs.
 type CommFunc interface {
 	Name() string
 	Invoke(inputs []memctx.Set) ([]memctx.Set, error)
@@ -59,6 +65,15 @@ type ComputeFunc struct {
 type registeredFunc struct {
 	ComputeFunc
 	prepared *dvm.Program // in-memory binary cache entry (nil = uncached)
+	// progKey is the binary's content address, computed once here at
+	// registration. Hot-path consumers (the batch program lookup, the
+	// invocation-plan builder) key the program cache by it directly, so
+	// no invoke ever re-hashes a binary.
+	progKey [sha256.Size]byte
+	// outRename maps positional dvm output names (out0, out1, ...) to
+	// the function's declared output-set names, precomputed here so the
+	// per-invoke harvest is a map lookup instead of a fmt.Sprintf scan.
+	outRename map[string]string
 }
 
 type registry struct {
@@ -66,6 +81,12 @@ type registry struct {
 	funcs        map[string]*registeredFunc
 	comms        map[string]CommFunc
 	compositions map[string]*graph.Composition
+	// gen counts successful registrations of any kind. Cached
+	// invocation plans record the generation they were built at and are
+	// rebuilt when it moves, so a plan can never serve a resolution the
+	// registry has since outgrown (e.g. a statement that failed to
+	// resolve before its function was registered).
+	gen atomic.Uint64
 }
 
 func newRegistry() *registry {
@@ -95,11 +116,14 @@ func (r *registry) addFunc(f ComputeFunc, backend isolation.Backend, cache bool,
 	if f.Binary != nil {
 		// Validate at registration through the hash-keyed program cache,
 		// so identical binaries registered under different names share
-		// one decoded program. The decoded program is pinned to the
-		// function (skipping the per-invocation decode) only when the
-		// in-memory binary cache is enabled; the batch path always
-		// consults the hash cache regardless.
-		p, err := programs.get(f.Binary)
+		// one decoded program. The content hash is computed exactly once,
+		// here; the hot paths reuse rf.progKey and never re-hash. The
+		// decoded program is pinned to the function (skipping the
+		// per-invocation decode) only when the in-memory binary cache is
+		// enabled; the batch path always consults the key cache
+		// regardless.
+		rf.progKey = sha256.Sum256(f.Binary)
+		p, err := programs.getByKey(rf.progKey, f.Binary)
 		if err != nil {
 			return fmt.Errorf("core: function %q: %w", f.Name, err)
 		}
@@ -111,8 +135,15 @@ func (r *registry) addFunc(f ComputeFunc, backend isolation.Backend, cache bool,
 		if cache {
 			rf.prepared = p
 		}
+		if len(f.OutputSets) > 0 {
+			rf.outRename = make(map[string]string, len(f.OutputSets))
+			for k, declared := range f.OutputSets {
+				rf.outRename[fmt.Sprintf("out%d", k)] = declared
+			}
+		}
 	}
 	r.funcs[f.Name] = rf
+	r.gen.Add(1)
 	return nil
 }
 
@@ -130,6 +161,7 @@ func (r *registry) addComm(f CommFunc) error {
 		return fmt.Errorf("%w: %q is a compute function", ErrAlreadyRegistered, name)
 	}
 	r.comms[name] = f
+	r.gen.Add(1)
 	return nil
 }
 
@@ -143,6 +175,7 @@ func (r *registry) addComposition(c *graph.Composition) error {
 		return fmt.Errorf("%w: composition %q", ErrAlreadyRegistered, c.Name)
 	}
 	r.compositions[c.Name] = c
+	r.gen.Add(1)
 	return nil
 }
 
@@ -161,6 +194,10 @@ func (r *registry) addCompositionText(src string) ([]string, error) {
 	return names, nil
 }
 
+// generation reports the registry's registration counter; cached
+// invocation plans are keyed by it.
+func (r *registry) generation() uint64 { return r.gen.Load() }
+
 // vertex resolution: compositions shadow nothing; lookup order is
 // comm function, compute function, composition.
 type vertex struct {
@@ -168,6 +205,9 @@ type vertex struct {
 	fn   *registeredFunc
 	comp *graph.Composition
 }
+
+// zero reports whether the vertex is unresolved.
+func (v vertex) zero() bool { return v.comm == nil && v.fn == nil && v.comp == nil }
 
 func (r *registry) resolve(name string) (vertex, error) {
 	r.mu.RLock()

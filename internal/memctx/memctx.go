@@ -58,11 +58,21 @@ type Set struct {
 	Items []Item
 }
 
-// Clone returns a deep copy of the set.
+// Clone returns a deep copy of the set. All item payloads are copied
+// into one backing buffer sized up front from TotalBytes, so cloning a
+// set costs two allocations regardless of item count (items are capped
+// with full slice expressions, so appending to one cloned payload can
+// never bleed into its neighbor).
 func (s Set) Clone() Set {
 	items := make([]Item, len(s.Items))
+	buf := make([]byte, s.TotalBytes())
+	off := 0
 	for i, it := range s.Items {
-		items[i] = it.Clone()
+		end := off + len(it.Data)
+		d := buf[off:end:end]
+		copy(d, it.Data)
+		items[i] = Item{Name: it.Name, Key: it.Key, Data: d}
+		off = end
 	}
 	return Set{Name: s.Name, Items: items}
 }
@@ -97,6 +107,12 @@ type Context struct {
 	// committed tracks the high-water mark of touched bytes, the number
 	// the memory-accounting experiments (Figures 1/10) charge for.
 	committed int
+	// regionHi is the high-water mark of region bytes actually written
+	// this cycle. Bytes at or beyond regionHi are always zero (fresh
+	// allocations start zeroed; Reset re-zeroes [0, regionHi)), so Reset
+	// only pays for what the instance touched, not for the whole grown
+	// region a pooled or chunk-reused context carries.
+	regionHi int
 }
 
 // DefaultLimit is the context bound used when the caller gives none:
@@ -135,6 +151,9 @@ func (c *Context) ensure(n int) error {
 	}
 	if n > c.committed {
 		c.committed = n
+	}
+	if n > c.regionHi {
+		c.regionHi = n
 	}
 	return nil
 }
@@ -179,20 +198,27 @@ func (c *Context) ReadAt(p []byte, off int) error {
 
 // Reset returns the context to its pre-invocation state so one context
 // (and its grown backing region) can be reused across a batch of
-// instances of the same function. The region allocation is kept but
-// zeroed: a fresh instance must not observe the previous instance's
-// bytes through ReadAt, exactly as if it had been given a new context.
+// instances of the same function, or recycled through the context pool
+// (NewPooled/Recycle). A fresh instance must not observe the previous
+// instance's state: set descriptors are dropped, handoff marks are
+// cleared, and the written span of the region is zeroed so ReadAt sees
+// demand-paged zero pages exactly as if the context were new. The
+// backing allocations — the region, the set slices, and the handoff
+// map — are retained for the next cycle; only the bytes the previous
+// instance actually touched (regionHi, not the full grown region) are
+// re-zeroed.
 func (c *Context) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.inputs = nil
-	c.output = nil
+	clear(c.inputs) // drop payload references so reuse cannot pin them
+	c.inputs = c.inputs[:0]
+	clear(c.output)
+	c.output = c.output[:0]
 	c.sealed = false
-	c.handed = nil
+	clear(c.handed)
 	c.committed = 0
-	for i := range c.region {
-		c.region[i] = 0
-	}
+	clear(c.region[:c.regionHi])
+	c.regionHi = 0
 }
 
 // Seal marks the context read-only. The dispatcher seals a context after
@@ -276,10 +302,10 @@ func (c *Context) SetOutputs(sets []Set) error {
 		return fmt.Errorf("%w: outputs need %d bytes, limit %d", ErrOutOfBounds, total, c.limit)
 	}
 	c.committed = total
-	c.handed = nil
-	c.output = make([]Set, len(sets))
-	for i, s := range sets {
-		c.output[i] = s.Clone()
+	clear(c.handed)
+	c.output = c.output[:0]
+	for _, s := range sets {
+		c.output = append(c.output, s.Clone())
 	}
 	return nil
 }
@@ -311,8 +337,8 @@ func (c *Context) AdoptOutputs(sets []Set) error {
 		return fmt.Errorf("%w: outputs need %d bytes, limit %d", ErrOutOfBounds, total, c.limit)
 	}
 	c.committed = total
-	c.handed = nil
-	c.output = append([]Set(nil), sets...)
+	clear(c.handed)
+	c.output = append(c.output[:0], sets...)
 	return nil
 }
 
@@ -497,11 +523,4 @@ func GroupByKey(s Set) []Set {
 		out[i] = Set{Name: s.Name, Items: byKey[k]}
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

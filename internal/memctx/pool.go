@@ -1,0 +1,62 @@
+// Context pooling. The invoke hot path used to allocate a fresh
+// Context (plus its region, set slices, and handoff map) for every
+// function instance; under heavy traffic that allocation — and the GC
+// pressure behind it — is pure overhead, since a Reset context is
+// indistinguishable from a new one. NewPooled/Recycle put contexts
+// through a sync.Pool instead: Recycle resets the context (dropping
+// every set descriptor, payload reference, and PR-3 handoff mark, and
+// re-zeroing the touched region span) and parks it; NewPooled hands it
+// back out with its warm backing allocations — the grown region, the
+// input/output slices, and the interned handoff-mark map — intact.
+package memctx
+
+import "sync"
+
+// maxPooledRegion bounds the backing region a recycled context may
+// retain (4 MiB). Contexts that grew larger are left to the garbage
+// collector rather than pinned in the pool, so one giant invocation
+// cannot turn the pool into a leak.
+const maxPooledRegion = 4 << 20
+
+var ctxPool sync.Pool
+
+// NewPooled returns a context bounded at limit bytes (non-positive
+// limits clamp to DefaultLimit, as in New), drawing from the recycle
+// pool when possible. reused reports whether the context came from the
+// pool — its backing allocations are warm — or had to be allocated
+// fresh; callers feed the distinction to their pool-efficiency gauges.
+//
+// A pooled context is observably identical to a new one: no inputs, no
+// outputs, no handoff marks, unsealed, zero committed bytes, and a
+// region that reads as zeroes.
+func NewPooled(limit int) (c *Context, reused bool) {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if v := ctxPool.Get(); v != nil {
+		c = v.(*Context)
+		c.limit = limit
+		return c, true
+	}
+	return &Context{limit: limit}, false
+}
+
+// Recycle resets c and returns it to the pool for a future NewPooled.
+// The caller must be the context's sole owner: no goroutine may use c
+// (or rely on slices returned by its accessors aliasing it) after
+// Recycle. Sets previously moved out via TakeOutputs/HandoffOutput are
+// unaffected — their payloads are independent heap buffers, and the
+// slice that carried them was relinquished by the context at handoff.
+func Recycle(c *Context) {
+	if c == nil {
+		return
+	}
+	c.Reset()
+	c.mu.Lock()
+	oversized := cap(c.region) > maxPooledRegion
+	c.mu.Unlock()
+	if oversized {
+		return
+	}
+	ctxPool.Put(c)
+}

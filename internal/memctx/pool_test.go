@@ -1,0 +1,179 @@
+package memctx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// dirty runs one messy invocation lifecycle on c: region writes, input
+// installs (both clone and adopt forms), outputs, seal, and a partial
+// handoff so the context ends with handoff marks — the state PR 3's
+// ownership tracking must not leak through a recycle.
+func dirty(t *testing.T, c *Context, tag byte) {
+	t.Helper()
+	payload := bytes.Repeat([]byte{tag}, 64)
+	if err := c.WriteAt(payload, 128); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := c.AddInputSet(Set{Name: "in", Items: []Item{{Name: "a", Data: payload}}}); err != nil {
+		t.Fatalf("AddInputSet: %v", err)
+	}
+	if err := c.AdoptInputSet(Set{Name: "shared", Items: []Item{{Name: "b", Data: payload}}}); err != nil {
+		t.Fatalf("AdoptInputSet: %v", err)
+	}
+	err := c.SetOutputs([]Set{
+		{Name: "out", Items: []Item{{Name: "o", Data: payload}}},
+		{Name: "kept", Items: []Item{{Name: "k", Data: payload}}},
+	})
+	if err != nil {
+		t.Fatalf("SetOutputs: %v", err)
+	}
+	c.Seal()
+	if _, err := c.TakeOutput("out"); err != nil {
+		t.Fatalf("TakeOutput: %v", err)
+	}
+	// The context now holds inputs, an un-taken output, a handoff mark
+	// for "out", a sealed flag, and dirty region bytes.
+	if _, err := c.OutputSet("out"); !errors.Is(err, ErrHandedOff) {
+		t.Fatalf("pre-recycle OutputSet(out) err = %v, want ErrHandedOff", err)
+	}
+}
+
+// assertPristine fails unless c is observably identical to New(limit):
+// no sets, no handoff marks, unsealed, nothing committed, zero region.
+func assertPristine(t *testing.T, c *Context, round int) {
+	t.Helper()
+	if got := c.InputSets(); len(got) != 0 {
+		t.Fatalf("round %d: recycled context leaked %d input sets: %v", round, len(got), got)
+	}
+	if got := c.OutputSets(); len(got) != 0 {
+		t.Fatalf("round %d: recycled context leaked %d output sets", round, len(got))
+	}
+	if c.Sealed() {
+		t.Fatalf("round %d: recycled context still sealed", round)
+	}
+	if got := c.CommittedBytes(); got != 0 {
+		t.Fatalf("round %d: recycled context has %d committed bytes", round, got)
+	}
+	// Handoff marks must be gone: a set that was handed off before the
+	// recycle reads as never-existed, not as moved-away.
+	for _, name := range []string{"out", "kept", "in", "shared"} {
+		_, err := c.OutputSet(name)
+		if errors.Is(err, ErrHandedOff) {
+			t.Fatalf("round %d: recycled context leaked handoff mark for %q", round, name)
+		}
+		if !errors.Is(err, ErrNoSuchSet) {
+			t.Fatalf("round %d: OutputSet(%q) err = %v, want ErrNoSuchSet", round, name, err)
+		}
+		if _, err := c.InputSet(name); !errors.Is(err, ErrNoSuchSet) {
+			t.Fatalf("round %d: InputSet(%q) err = %v, want ErrNoSuchSet", round, name, err)
+		}
+	}
+	// The region must read as demand-paged zero pages over the span the
+	// previous cycle wrote.
+	probe := make([]byte, 256)
+	if err := c.ReadAt(probe, 0); err != nil {
+		t.Fatalf("round %d: ReadAt: %v", round, err)
+	}
+	for i, b := range probe {
+		if b != 0 {
+			t.Fatalf("round %d: recycled context leaked region byte %#x at offset %d", round, b, i)
+		}
+	}
+}
+
+// TestPooledContextReuseIsClean is the reuse-after-Reset property test:
+// however a context was dirtied — inputs, outputs, seals, region
+// writes, zero-copy handoff marks — the context NewPooled hands out
+// next is indistinguishable from a brand-new one.
+func TestPooledContextReuseIsClean(t *testing.T) {
+	const rounds = 50
+	for round := 0; round < rounds; round++ {
+		c, _ := NewPooled(1 << 20)
+		assertPristine(t, c, round)
+		dirty(t, c, byte(round+1))
+		Recycle(c)
+	}
+}
+
+// TestPooledContextIdentityReuse pins the pooling actually happening:
+// recycling then re-acquiring on one goroutine hands the same context
+// back (sync.Pool keeps a per-P private slot), with its grown region
+// retained but cleared.
+func TestPooledContextIdentityReuse(t *testing.T) {
+	c1, _ := NewPooled(1 << 20)
+	dirty(t, c1, 0xAB)
+	Recycle(c1)
+	c2, reused := NewPooled(1 << 20)
+	if c2 == c1 {
+		if !reused {
+			t.Fatalf("same context returned but reused = false")
+		}
+		if cap(c2.region) == 0 {
+			t.Fatalf("recycled context lost its backing region")
+		}
+		assertPristine(t, c2, 0)
+	} else {
+		// sync.Pool gives no hard guarantee (GC may intervene); the
+		// cleanliness property is covered above either way.
+		t.Skip("pool did not return the recycled context (GC race)")
+	}
+}
+
+// TestPooledContextLimitRebind: a context recycled under one limit and
+// reacquired under a smaller one must enforce the new limit even though
+// its retained region may be larger.
+func TestPooledContextLimitRebind(t *testing.T) {
+	c1, _ := NewPooled(1 << 20)
+	if err := c1.WriteAt(bytes.Repeat([]byte{1}, 4096), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	Recycle(c1)
+	c2, _ := NewPooled(64)
+	if got := c2.Limit(); got != 64 {
+		t.Fatalf("Limit() = %d, want 64", got)
+	}
+	if err := c2.WriteAt(make([]byte, 65), 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("WriteAt past rebound limit err = %v, want ErrOutOfBounds", err)
+	}
+	if err := c2.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatalf("WriteAt within rebound limit: %v", err)
+	}
+}
+
+// TestRecycleDropsOversizedRegions: giant contexts are not pinned in
+// the pool.
+func TestRecycleDropsOversizedRegions(t *testing.T) {
+	c, _ := NewPooled(maxPooledRegion * 2)
+	if err := c.WriteAt([]byte{1}, maxPooledRegion); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if cap(c.region) <= maxPooledRegion {
+		t.Fatalf("test setup: region cap %d not oversized", cap(c.region))
+	}
+	Recycle(c) // must not panic; context is simply not pooled
+}
+
+// TestResetClearsHandoffMarksForChunkReuse mirrors the batch chunk
+// path: Reset between instances must let the next instance install and
+// read output sets under names the previous instance handed off.
+func TestResetClearsHandoffMarksForChunkReuse(t *testing.T) {
+	c := New(1 << 16)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("o%d", i%2) // collide names across instances
+		if err := c.SetOutputs([]Set{{Name: name, Items: []Item{{Name: "x", Data: []byte{byte(i)}}}}}); err != nil {
+			t.Fatalf("instance %d: SetOutputs: %v", i, err)
+		}
+		c.Seal()
+		taken, err := c.TakeOutputs()
+		if err != nil || len(taken) != 1 {
+			t.Fatalf("instance %d: TakeOutputs = %v, %v", i, taken, err)
+		}
+		if got := taken[0].Items[0].Data[0]; got != byte(i) {
+			t.Fatalf("instance %d: took payload %d", i, got)
+		}
+		c.Reset()
+	}
+}

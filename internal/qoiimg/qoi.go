@@ -236,10 +236,3 @@ func TestImage(w, h int) *image.NRGBA {
 	}
 	return img
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

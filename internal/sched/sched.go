@@ -144,6 +144,36 @@ func (s *Scheduler) tenantLocked(name string) *tenantQueue {
 	return tq
 }
 
+// Share reports the tenant's weighted dispatch share in (0, 1]: its
+// DRR weight over the summed weights of all currently active tenants
+// (those with parked or running work), the tenant itself always
+// included. A tenant alone on the scheduler has share 1. Callers use
+// it to right-size work granularity — e.g. the dispatcher's
+// sched-aware batch chunking splits a contending tenant's work list
+// into chunks shrunk by its share, so the DRR refill loop can
+// interleave other tenants between chunks.
+func (s *Scheduler) Share(tenant string) float64 {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mine := 1
+	if tq := s.tenants[tenant]; tq != nil {
+		mine = tq.weight
+	}
+	total := mine
+	for name, tq := range s.tenants {
+		if name == tenant {
+			continue
+		}
+		if len(tq.backlog) > 0 || tq.running > 0 {
+			total += tq.weight
+		}
+	}
+	return float64(mine) / float64(total)
+}
+
 // SetWeight sets a tenant's DRR weight (minimum 1). It applies from the
 // next refill round.
 func (s *Scheduler) SetWeight(tenant string, w int) {

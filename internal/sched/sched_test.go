@@ -261,3 +261,45 @@ func TestConcurrentSubmitWithPool(t *testing.T) {
 	}
 	s.Close()
 }
+
+// TestShare covers the weighted dispatch-share query behind sched-aware
+// batch chunking. Tasks are parked (window 0 is impossible, so a
+// 1-slot window with a blocked queue keeps backlogs resident).
+func TestShare(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1, Weights: map[string]int{"heavy": 3}})
+	defer s.Close()
+
+	// Nobody active: everyone's share is 1, known or unknown tenants.
+	if got := s.Share("alice"); got != 1 {
+		t.Fatalf("idle Share(alice) = %v, want 1", got)
+	}
+	if got := s.Share(""); got != 1 {
+		t.Fatalf("idle Share(default) = %v, want 1", got)
+	}
+
+	// Park work for two tenants (no engine drains the queue, and the
+	// 1-slot window keeps all but one task in the tenant FIFOs).
+	for i := 0; i < 3; i++ {
+		if err := s.Submit("heavy", Task{Do: func() {}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit("light", Task{Do: func() {}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// heavy(3) + light(1) active. A third, idle tenant of weight 1
+	// counts itself: 1 / (1+3+1).
+	if got := s.Share("alice"); got != 0.2 {
+		t.Fatalf("Share(alice) = %v, want 0.2", got)
+	}
+	// Active tenants count themselves once, by weight.
+	if got := s.Share("heavy"); got != 0.75 {
+		t.Fatalf("Share(heavy) = %v, want 0.75", got)
+	}
+	if got := s.Share("light"); got != 0.25 {
+		t.Fatalf("Share(light) = %v, want 0.25", got)
+	}
+	drain(q, 100)
+}

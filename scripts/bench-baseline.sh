@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench-baseline: capture the invoke hot-path performance trajectory in
+# BENCH_4.json so future PRs have concrete numbers to regress against.
+#
+# Records, per benchmark: ns/op, inv/s (where reported), B/op, and
+# allocs/op for the single-invoke and batched dispatch paths (both
+# data-plane modes), plus the mutex-vs-sharded counter contention probe
+# at -cpu 1 and 4. One warm -benchtime 1s pass each; these are
+# trajectory markers, not publication-grade measurements — rerun on the
+# machine you compare against.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=BENCH_4.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' \
+    -benchmem -benchtime 1s -count 1 . >"$tmp"
+go test -run XXX -bench 'BenchmarkStatsContention' \
+    -benchtime 1s -cpu 1,4 -count 1 . >>"$tmp"
+
+{
+    printf '{\n'
+    printf '  "issue": 4,\n'
+    printf '  "generated_by": "make bench-baseline",\n'
+    printf '  "goos_goarch_cpu": "%s",\n' \
+        "$(awk '/^goos:/{os=$2} /^goarch:/{arch=$2} /^cpu:/{sub(/^cpu: */,""); cpu=$0} END{printf "%s/%s %s", os, arch, cpu}' "$tmp")"
+    printf '  "benchmarks": {\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/^Benchmark/, "", name)
+            if (sep != "") printf "%s", sep
+            printf "    \"%s\": {", name
+            inner = ""
+            for (i = 3; i < NF; i += 2) {
+                printf "%s\"%s\": %s", inner, $(i+1), $i
+                inner = ", "
+            }
+            printf "}"
+            sep = ",\n"
+        }
+        END { printf "\n" }
+    ' "$tmp"
+    printf '  }\n'
+    printf '}\n'
+} >"$out"
+
+echo "bench-baseline: wrote $out"
