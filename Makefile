@@ -34,8 +34,9 @@ bench-smoke:
 
 # bench-baseline snapshots the invoke hot-path numbers (inv/s, allocs/op
 # for the single, batch, and batch+zerocopy paths, plus the sharded-vs-
-# mutex counter contention probe) into BENCH_4.json, giving future PRs a
-# perf trajectory to regress against (see scripts/bench-baseline.sh).
+# mutex counter contention probe) into BENCH_5.json — alongside the
+# committed PR-4 baseline BENCH_4.json — giving future PRs a perf
+# trajectory to regress against (see scripts/bench-baseline.sh).
 bench-baseline:
 	sh scripts/bench-baseline.sh
 

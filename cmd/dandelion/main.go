@@ -55,6 +55,9 @@ func main() {
 	cache := flag.Bool("cache-binaries", true, "keep decoded binaries in memory")
 	zeroCopy := flag.Bool("zero-copy", false, "hand statement outputs off between memory contexts instead of copying (functions must treat inputs as immutable)")
 	tenantWeights := flag.String("tenant-weights", "", "per-tenant DRR dispatch weights, e.g. 'alice=2,bob=1' (unlisted tenants get 1)")
+	autoscale := flag.Bool("autoscale", false, "grow/shrink the compute-engine pool with load (elasticity controller)")
+	autoscaleMax := flag.Int("autoscale-max", 0, "compute-pool ceiling under -autoscale (0 = 4x initial)")
+	adminToken := flag.String("admin-token", "", "bearer token enabling the /admin control-plane routes (empty disables them)")
 	flag.Parse()
 
 	weights, err := parseTenantWeights(*tenantWeights)
@@ -69,12 +72,15 @@ func main() {
 		CacheBinaries:  *cache,
 		ZeroCopy:       *zeroCopy,
 		TenantWeights:  weights,
+		Autoscale:      *autoscale,
+		AutoscaleMax:   *autoscaleMax,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Shutdown()
 
-	log.Printf("dandelion worker node on http://%s (backend=%s)", *addr, *backend)
-	log.Fatal(http.ListenAndServe(*addr, frontend.New(p)))
+	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v)",
+		*addr, *backend, *autoscale, *adminToken != "")
+	log.Fatal(http.ListenAndServe(*addr, frontend.NewWithConfig(p, frontend.Config{AdminToken: *adminToken})))
 }

@@ -38,6 +38,7 @@ import (
 	"net/http"
 
 	"dandelion/internal/core"
+	"dandelion/internal/ctlplane"
 	"dandelion/internal/httpfn"
 	"dandelion/internal/isolation"
 	"dandelion/internal/memctx"
@@ -74,6 +75,10 @@ type TenantStats = sched.TenantStats
 // requests without an X-Tenant header.
 const DefaultTenant = core.DefaultTenant
 
+// ErrDraining rejects new invocations while a node drains (see
+// Platform.Drain / POST /admin/drain); in-flight work completes.
+var ErrDraining = core.ErrDraining
+
 // BatchRequest is one composition invocation inside a
 // Platform.InvokeBatch call.
 type BatchRequest = core.BatchRequest
@@ -101,6 +106,16 @@ type Options struct {
 	ZeroCopy bool
 	// Balance enables the PI-controller core re-balancer.
 	Balance bool
+	// Autoscale starts the elasticity controller: the compute-engine
+	// pool grows and shrinks with queue backlog and dispatch-wait p99
+	// (hysteresis on both edges), between ComputeEngines and
+	// AutoscaleMax engines. Resizes are counted in Stats.EngineResizes
+	// and the switch can be flipped at runtime (SetAutoscale or
+	// PUT /admin/engines).
+	Autoscale bool
+	// AutoscaleMax bounds the compute pool under Autoscale (default
+	// 4× the initial compute-engine count).
+	AutoscaleMax int
 	// TenantWeights seeds the scheduling plane's per-tenant DRR
 	// dispatch weights; unlisted tenants get weight 1. Weights can be
 	// changed at runtime via Platform.SetTenantWeight.
@@ -140,6 +155,8 @@ func New(opts Options) (*Platform, error) {
 		ZeroCopy:       opts.ZeroCopy,
 		Balance:        opts.Balance,
 		TenantWeights:  opts.TenantWeights,
+		Autoscale:      opts.Autoscale,
+		Elasticity:     ctlplane.Config{Max: opts.AutoscaleMax},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dandelion: %w", err)

@@ -92,6 +92,25 @@ func (a *Admission) Finish(tenant string, n int, now float64) {
 	s.Tick(now)
 }
 
+// SetClamp overrides the [MinBatch, MaxBatch] window clamp at runtime —
+// the control plane's admission-window override. Non-positive values
+// fall back to the defaults (1 and 64), and max is raised to min when
+// the pair is inverted, exactly as at construction. The new clamp
+// applies to every tenant from its next window read.
+func (a *Admission) SetClamp(min, max int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.cfg.MinBatch, a.cfg.MaxBatch = min, max
+	a.cfg = a.cfg.withDefaults()
+}
+
+// Clamp reports the current [MinBatch, MaxBatch] window clamp.
+func (a *Admission) Clamp() (min, max int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cfg.MinBatch, a.cfg.MaxBatch
+}
+
 // Window reads the tenant's current batch window without recording
 // demand.
 func (a *Admission) Window(tenant string, now float64) int {

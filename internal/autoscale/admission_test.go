@@ -47,3 +47,30 @@ func TestAdmissionTenantsAreIndependent(t *testing.T) {
 		t.Fatalf("flood window = %d, want 32", w)
 	}
 }
+
+func TestAdmissionSetClamp(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{})
+	if min, max := a.Clamp(); min != 1 || max != 64 {
+		t.Fatalf("default clamp = [%d, %d], want [1, 64]", min, max)
+	}
+	// Tighten at runtime: a flood that previously earned the full window
+	// is now capped.
+	a.Admit("flood", 100000, 0)
+	a.SetClamp(2, 8)
+	if w := a.Window("flood", 0); w != 8 {
+		t.Fatalf("window after SetClamp = %d, want 8", w)
+	}
+	if w := a.Window("idle", 0); w != 2 {
+		t.Fatalf("idle window after SetClamp = %d, want min 2", w)
+	}
+	// Degenerate inputs normalize like the constructor: non-positive
+	// values take defaults, inverted pairs raise max to min.
+	a.SetClamp(0, 0)
+	if min, max := a.Clamp(); min != 1 || max != 64 {
+		t.Fatalf("clamp after SetClamp(0,0) = [%d, %d], want [1, 64]", min, max)
+	}
+	a.SetClamp(16, 4)
+	if min, max := a.Clamp(); min != 16 || max != 16 {
+		t.Fatalf("inverted clamp = [%d, %d], want [16, 16]", min, max)
+	}
+}

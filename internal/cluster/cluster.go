@@ -11,6 +11,7 @@ import (
 
 	"dandelion/internal/core"
 	"dandelion/internal/memctx"
+	"dandelion/internal/sched"
 )
 
 // Node is one worker the manager can route invocations to. A
@@ -32,6 +33,24 @@ type TenantNode interface {
 // core.BatchRequest, so no separate tenant interface is needed here.
 type BatchNode interface {
 	InvokeBatch(reqs []core.BatchRequest) []core.BatchResult
+}
+
+// WeightNode is the optional control-plane interface of a worker: the
+// manager fans per-tenant DRR weight updates out to every registered
+// worker implementing it (see SetTenantWeight). A *core.Platform
+// satisfies it.
+type WeightNode interface {
+	SetTenantWeight(tenant string, weight int)
+}
+
+// StatsNode is the optional observability interface of a worker: nodes
+// implementing it contribute their gauge snapshot to AggregateStats.
+// The error return accommodates remote workers whose snapshot travels a
+// network; a worker that errors is skipped for that aggregation round
+// and reported in ClusterStats.StatsErrors. A *core.Platform satisfies
+// it (never erroring).
+type StatsNode interface {
+	NodeStats() (core.Stats, error)
 }
 
 // Policy selects a worker for an invocation.
@@ -201,13 +220,7 @@ func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memct
 	if len(inputs) == 0 {
 		return results
 	}
-	m.mu.RLock()
-	names := append([]string(nil), m.names...)
-	members := make([]*member, len(names))
-	for i, n := range names {
-		members[i] = m.workers[n]
-	}
-	m.mu.RUnlock()
+	_, members := m.snapshot()
 	if len(members) == 0 {
 		for i := range results {
 			results[i].Err = ErrNoWorkers
@@ -349,4 +362,121 @@ func (m *Manager) Stats() []WorkerStats {
 		})
 	}
 	return out
+}
+
+// snapshot copies the current registration order and members so slow
+// per-worker calls never run under the manager lock.
+func (m *Manager) snapshot() ([]string, []*member) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := append([]string(nil), m.names...)
+	members := make([]*member, len(names))
+	for i, n := range names {
+		members[i] = m.workers[n]
+	}
+	return names, members
+}
+
+// SetTenantWeight fans a tenant's DRR dispatch weight out to every
+// registered worker implementing WeightNode and returns how many
+// applied it — the cluster-wide form of the control plane's weight
+// update, so one admin request reconfigures the whole fleet. Workers
+// registered mid-fan-out pick the weight up on the next update; the
+// scheduler clamps non-positive weights to 1 on every node.
+func (m *Manager) SetTenantWeight(tenant string, weight int) int {
+	_, members := m.snapshot()
+	applied := 0
+	for _, w := range members {
+		if wn, ok := w.node.(WeightNode); ok {
+			wn.SetTenantWeight(tenant, weight)
+			applied++
+		}
+	}
+	return applied
+}
+
+// ClusterStats is the cluster-wide gauge snapshot AggregateStats
+// assembles: platform counters summed across reporting workers, the
+// per-tenant scheduling gauges merged the same way the compute and
+// communication planes merge on one node (sched.MergeStats: counts add,
+// averages weight by dispatches, percentiles take the worst), and the
+// manager's own per-worker routing counters. The frontend serializes it
+// verbatim as GET /stats/cluster; docs/STATS.md documents the schema.
+type ClusterStats struct {
+	// Workers is the number of registered workers when aggregation
+	// started; Reporting how many contributed a snapshot. StatsErrors
+	// names the workers whose NodeStats failed this round (skipped, not
+	// fatal); workers not implementing StatsNode are simply absent from
+	// both.
+	Workers     int
+	Reporting   int
+	StatsErrors []string `json:",omitempty"`
+	// Summed platform counters across reporting workers.
+	Invocations      uint64
+	Batches          uint64
+	ComputeEngines   int
+	CommEngines      int
+	ComputeQueueLen  int
+	CommQueueLen     int
+	ComputeCompleted uint64
+	CommCompleted    uint64
+	CommittedBytes   int64
+	EngineResizes    uint64
+	// Tenants carries the per-tenant scheduling gauges merged across
+	// every reporting worker.
+	Tenants []sched.TenantStats `json:",omitempty"`
+	// Routing carries the manager's per-worker routing counters, one
+	// entry per registered worker in registration order.
+	Routing []WorkerStats `json:",omitempty"`
+}
+
+// AggregateStats merges every reporting worker's gauges into one
+// cluster-wide view. The member list is snapshotted first and each
+// worker's NodeStats runs outside the manager lock, so registration
+// changes mid-aggregation neither block nor corrupt the merge: a worker
+// deregistered mid-flight is still counted (exactly once) from the
+// snapshot, and a worker whose NodeStats errors is skipped and named in
+// StatsErrors rather than failing the aggregation.
+func (m *Manager) AggregateStats() ClusterStats {
+	names, members := m.snapshot()
+	cs := ClusterStats{Workers: len(names)}
+	// Routing comes from the same snapshot as everything else, so
+	// Workers and the Routing entries always agree even when workers
+	// register or deregister mid-aggregation.
+	cs.Routing = make([]WorkerStats, len(names))
+	for i, w := range members {
+		cs.Routing[i] = WorkerStats{
+			Name: names[i], InFlight: w.inflight.Load(),
+			Total: w.total.Load(), Failures: w.failures.Load(),
+			Rerouted: w.rerouted.Load(),
+		}
+	}
+	var tenantLists [][]sched.TenantStats
+	for i, w := range members {
+		sn, ok := w.node.(StatsNode)
+		if !ok {
+			continue
+		}
+		st, err := sn.NodeStats()
+		if err != nil {
+			cs.StatsErrors = append(cs.StatsErrors, names[i])
+			continue
+		}
+		cs.Reporting++
+		cs.Invocations += st.Invocations
+		cs.Batches += st.Batches
+		cs.ComputeEngines += st.ComputeEngines
+		cs.CommEngines += st.CommEngines
+		cs.ComputeQueueLen += st.ComputeQueueLen
+		cs.CommQueueLen += st.CommQueueLen
+		cs.ComputeCompleted += st.ComputeCompleted
+		cs.CommCompleted += st.CommCompleted
+		cs.CommittedBytes += st.CommittedBytes
+		cs.EngineResizes += st.EngineResizes
+		if len(st.Tenants) > 0 {
+			tenantLists = append(tenantLists, st.Tenants)
+		}
+	}
+	cs.Tenants = sched.MergeStats(tenantLists...)
+	return cs
 }

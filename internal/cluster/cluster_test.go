@@ -9,6 +9,7 @@ import (
 
 	"dandelion/internal/core"
 	"dandelion/internal/memctx"
+	"dandelion/internal/sched"
 )
 
 type fakeNode struct {
@@ -463,5 +464,163 @@ func TestInvokeBatchNoRerouteForSingleRequestChunk(t *testing.T) {
 		if s.Rerouted != 0 {
 			t.Fatalf("rerouted = %+v", s)
 		}
+	}
+}
+
+// statsFake is a Node + StatsNode whose snapshot is scripted: it can
+// report fixed gauges, error, or block until released — the shapes the
+// aggregation hardening is tested against.
+type statsFake struct {
+	fakeNode
+	stats   core.Stats
+	statErr error
+	block   chan struct{} // when non-nil, NodeStats waits on it
+	polled  atomic.Int64
+}
+
+func (f *statsFake) NodeStats() (core.Stats, error) {
+	f.polled.Add(1)
+	if f.block != nil {
+		<-f.block
+	}
+	return f.stats, f.statErr
+}
+
+func tstats(tenant string, weight int, completed uint64) []sched.TenantStats {
+	return []sched.TenantStats{{Tenant: tenant, Weight: weight, Completed: completed, Dispatched: completed}}
+}
+
+// TestAggregateStatsMergesWorkers: counters sum, per-tenant gauges
+// merge across workers, and workers without StatsNode are ignored.
+func TestAggregateStatsMergesWorkers(t *testing.T) {
+	m := NewManager(RoundRobin)
+	w1 := &statsFake{stats: core.Stats{
+		Invocations: 10, Batches: 2, ComputeEngines: 2, ComputeQueueLen: 3,
+		EngineResizes: 1, Tenants: append(tstats("alice", 2, 5), tstats("bob", 1, 1)...),
+	}}
+	w2 := &statsFake{stats: core.Stats{
+		Invocations: 5, Batches: 1, ComputeEngines: 4, ComputeQueueLen: 1,
+		EngineResizes: 2, Tenants: tstats("alice", 2, 7),
+	}}
+	plain := &fakeNode{} // no StatsNode: routing only
+	m.Register("w1", &w1.fakeNode)
+	m.Deregister("w1") // re-register the StatsNode-capable wrapper
+	m.Register("w1", w1)
+	m.Register("w2", w2)
+	m.Register("plain", plain)
+
+	cs := m.AggregateStats()
+	if cs.Workers != 3 || cs.Reporting != 2 || len(cs.StatsErrors) != 0 {
+		t.Fatalf("workers/reporting/errors = %d/%d/%v", cs.Workers, cs.Reporting, cs.StatsErrors)
+	}
+	if cs.Invocations != 15 || cs.Batches != 3 || cs.ComputeEngines != 6 ||
+		cs.ComputeQueueLen != 4 || cs.EngineResizes != 3 {
+		t.Fatalf("summed gauges wrong: %+v", cs)
+	}
+	byTenant := map[string]sched.TenantStats{}
+	for _, ts := range cs.Tenants {
+		byTenant[ts.Tenant] = ts
+	}
+	if byTenant["alice"].Completed != 12 {
+		t.Fatalf("alice completed = %d, want 12 (5+7)", byTenant["alice"].Completed)
+	}
+	if byTenant["bob"].Completed != 1 {
+		t.Fatalf("bob completed = %d, want 1", byTenant["bob"].Completed)
+	}
+	if len(cs.Routing) != 3 {
+		t.Fatalf("routing entries = %d, want 3", len(cs.Routing))
+	}
+}
+
+// TestAggregateStatsSkipsErroringWorker: a worker whose NodeStats
+// errors is named in StatsErrors and contributes nothing — no panic, no
+// partial counts.
+func TestAggregateStatsSkipsErroringWorker(t *testing.T) {
+	m := NewManager(RoundRobin)
+	good := &statsFake{stats: core.Stats{Invocations: 7, Tenants: tstats("alice", 1, 7)}}
+	bad := &statsFake{stats: core.Stats{Invocations: 999}, statErr: errors.New("stats rpc timeout")}
+	m.Register("good", good)
+	m.Register("bad", bad)
+
+	cs := m.AggregateStats()
+	if cs.Workers != 2 || cs.Reporting != 1 {
+		t.Fatalf("workers/reporting = %d/%d, want 2/1", cs.Workers, cs.Reporting)
+	}
+	if len(cs.StatsErrors) != 1 || cs.StatsErrors[0] != "bad" {
+		t.Fatalf("StatsErrors = %v, want [bad]", cs.StatsErrors)
+	}
+	if cs.Invocations != 7 {
+		t.Fatalf("Invocations = %d, want 7 (erroring worker skipped)", cs.Invocations)
+	}
+}
+
+// TestAggregateStatsMidFlightDeregister: a worker deregistered while
+// its (slow) snapshot is being read is still counted exactly once from
+// the aggregation's member snapshot, and concurrent Deregister never
+// races or panics the merge.
+func TestAggregateStatsMidFlightDeregister(t *testing.T) {
+	m := NewManager(RoundRobin)
+	slow := &statsFake{stats: core.Stats{Invocations: 3}, block: make(chan struct{})}
+	fast := &statsFake{stats: core.Stats{Invocations: 4}}
+	m.Register("slow", slow)
+	m.Register("fast", fast)
+
+	csCh := make(chan ClusterStats, 1)
+	go func() { csCh <- m.AggregateStats() }()
+	// Wait until the aggregation is inside the slow worker's NodeStats,
+	// then deregister it mid-flight and release.
+	deadline := time.After(5 * time.Second)
+	for slow.polled.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("aggregation never polled the slow worker")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if err := m.Deregister("slow"); err != nil {
+		t.Fatal(err)
+	}
+	close(slow.block)
+	cs := <-csCh
+
+	if cs.Workers != 2 || cs.Reporting != 2 {
+		t.Fatalf("workers/reporting = %d/%d, want 2/2 (snapshot semantics)", cs.Workers, cs.Reporting)
+	}
+	if cs.Invocations != 7 {
+		t.Fatalf("Invocations = %d, want 7 — deregistered worker counted exactly once", cs.Invocations)
+	}
+	// A fresh aggregation no longer sees the deregistered worker.
+	if cs2 := m.AggregateStats(); cs2.Workers != 1 || cs2.Invocations != 4 {
+		t.Fatalf("post-deregister aggregate = %+v", cs2)
+	}
+}
+
+// TestSetTenantWeightFanOut: the manager applies a weight update on
+// every WeightNode worker and reports the count; non-WeightNode workers
+// are skipped, not failed.
+func TestSetTenantWeightFanOut(t *testing.T) {
+	m := NewManager(RoundRobin)
+	w1, err := core.NewPlatform(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Shutdown()
+	w2, err := core.NewPlatform(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Shutdown()
+	m.Register("w1", w1)
+	m.Register("w2", w2)
+	m.Register("plain", &fakeNode{})
+
+	if n := m.SetTenantWeight("alice", 5); n != 2 {
+		t.Fatalf("fan-out applied to %d workers, want 2", n)
+	}
+	if w := w1.TenantWeight("alice"); w != 5 {
+		t.Fatalf("w1 weight = %d, want 5", w)
+	}
+	if w := w2.TenantWeight("alice"); w != 5 {
+		t.Fatalf("w2 weight = %d, want 5", w)
 	}
 }

@@ -107,6 +107,12 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	if len(reqs) == 0 {
 		return results
 	}
+	if p.draining.Load() {
+		for i := range results {
+			results[i].Err = ErrDraining
+		}
+		return results
+	}
 	p.ctrs.shard().batches.Add(1)
 
 	// Group request indices by (composition, tenant), preserving
@@ -212,8 +218,13 @@ func (p *Platform) invokeBatch(tenant string, pl *compPlan, inputs []map[string]
 	comp := pl.comp
 	n := len(inputs)
 	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
+	defer func() {
+		for _, s := range st.stores {
+			putValueStore(s)
+		}
+	}()
 	for r := 0; r < n; r++ {
-		st.stores[r] = &valueStore{vals: make(map[string][]memctx.Item, len(comp.Inputs)+len(comp.Stmts))}
+		st.stores[r] = getValueStore()
 		for _, in := range comp.Inputs {
 			items, ok := inputs[r][in]
 			if !ok {
@@ -265,6 +276,16 @@ type batchItem struct {
 	err  error
 }
 
+// batchItemsPool recycles the flat per-statement work lists the batch
+// path gathers (one entry per live instance, rebuilt at every
+// statement). Entries are cleared before a list returns to the pool so
+// recycled backing arrays never pin instance inputs or harvested
+// outputs, and lists grown past maxPooledBatchItems by one huge batch
+// are dropped instead of pinned warm (the memctx region-cap rule).
+var batchItemsPool = sync.Pool{New: func() any { return new([]batchItem) }}
+
+const maxPooledBatchItems = 4096
+
 // runStatementBatch executes one statement for every live request in
 // the group. Compute functions take the chunked batch path; everything
 // else (communication functions, nested compositions) falls back to the
@@ -307,13 +328,23 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 
 	// Compute path (v.fn != nil past this point, so no comm-function
 	// gather clone to worry about): gather every live request's
-	// instances into one flat work list. The gather aliases the store's
-	// items in both data-plane modes: under ZeroCopy the instances adopt
-	// the producer's handed-off buffers, and on the copying path each
+	// instances into one flat work list (recycled through
+	// batchItemsPool). The gather aliases the store's items in both
+	// data-plane modes: under ZeroCopy the instances adopt the
+	// producer's handed-off buffers, and on the copying path each
 	// instance's one value-semantics clone happens at the context
 	// boundary (AddInputSet), so cloning here as well would be a second
 	// copy.
-	var items []batchItem
+	itemsBuf := batchItemsPool.Get().(*[]batchItem)
+	items := (*itemsBuf)[:0]
+	defer func() {
+		if cap(items) > maxPooledBatchItems {
+			return // oversized: leave it to the GC
+		}
+		clear(items)
+		*itemsBuf = items[:0]
+		batchItemsPool.Put(itemsBuf)
+	}()
 	perReq := map[int][]int{}
 	for _, r := range live {
 		argItems := make([][]memctx.Item, len(st.Args))

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dandelion/internal/autoscale"
 	"dandelion/internal/controlplane"
+	"dandelion/internal/ctlplane"
 	"dandelion/internal/dvm"
 	"dandelion/internal/engine"
 	"dandelion/internal/graph"
@@ -24,6 +26,9 @@ var (
 	ErrTooDeep        = errors.New("core: nested composition depth limit exceeded")
 	ErrInstanceFanout = errors.New("core: mismatched instance counts across inputs")
 	ErrMissingInput   = errors.New("core: missing composition input")
+	// ErrDraining rejects new invocations while the node drains (see
+	// Platform.Drain); in-flight compositions complete normally.
+	ErrDraining = errors.New("core: platform draining")
 )
 
 // Options configures a Platform.
@@ -59,6 +64,14 @@ type Options struct {
 	// pool; 0 tracks the pool size (2× compute engines; comm engines ×
 	// their green-thread capacity).
 	DispatchWindow int
+	// Autoscale starts the elasticity controller: a control loop that
+	// grows and shrinks the compute pool from queue backlog and
+	// dispatch-wait p99 (see internal/ctlplane), counted in
+	// Stats.EngineResizes. It can be toggled at runtime via
+	// SetAutoscale. Elasticity tunes it; by default the pool floats in
+	// [ComputeEngines, 4×ComputeEngines].
+	Autoscale  bool
+	Elasticity ctlplane.Config
 }
 
 // Platform is one Dandelion worker node: registry + dispatcher +
@@ -76,6 +89,14 @@ type Platform struct {
 	computePool *engine.Pool
 	commPool    *engine.Pool
 	balancer    *controlplane.Balancer
+
+	// The dynamic control plane (ctlplane.go): the elasticity
+	// controller resizing the compute pool, the batch admission plane
+	// whose clamp the control plane can override, and the drain gate
+	// the invoke entry points check.
+	elastic  *ctlplane.Elasticity
+	adm      *autoscale.Admission
+	draining atomic.Bool
 
 	// The scheduling plane: all dispatches enter the engine queues
 	// through these per-pool DRR schedulers, keyed by tenant.
@@ -119,6 +140,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		opts:     opts,
 		programs: newProgramCache(),
 		ctrs:     newHotCounters(),
+		adm:      autoscale.NewAdmission(autoscale.AdmissionConfig{}),
 	}
 	p.computePool = engine.NewPool(engine.Compute, engine.NewQueue())
 	p.commPool = engine.NewPool(engine.Communication, engine.NewQueue())
@@ -141,6 +163,14 @@ func NewPlatform(opts Options) (*Platform, error) {
 		p.balancer = controlplane.NewBalancer(controlplane.NewController(), p.computePool, p.commPool)
 		p.balancer.Start()
 	}
+	if opts.Autoscale {
+		ecfg := opts.Elasticity
+		if ecfg.Min < 1 {
+			ecfg.Min = opts.ComputeEngines
+		}
+		p.elastic = ctlplane.NewElasticity(ecfg, p.computePool, p.elasticSignals)
+		p.elastic.Start()
+	}
 	return p, nil
 }
 
@@ -148,6 +178,9 @@ func NewPlatform(opts Options) (*Platform, error) {
 // The schedulers close first so parked tasks are rejected instead of
 // stranded behind a closing queue.
 func (p *Platform) Shutdown() {
+	if p.elastic != nil {
+		p.elastic.Stop()
+	}
 	if p.balancer != nil {
 		p.balancer.Stop()
 	}
@@ -225,6 +258,14 @@ type Stats struct {
 	// regions) faster than they return.
 	PooledContextReuses uint64
 	PooledContextAllocs uint64
+	// EngineResizes counts compute-pool resizes applied by the
+	// elasticity controller (grows plus shrinks); 0 without
+	// Options.Autoscale. AutoscaleOn reports the controller's runtime
+	// switch, and Draining whether the node is refusing new invocations
+	// (see Platform.Drain).
+	EngineResizes uint64
+	AutoscaleOn   bool
+	Draining      bool
 	// Tenants carries the scheduling plane's per-tenant gauges (queued,
 	// running, completed, dispatch-wait), merged across the compute and
 	// communication schedulers and sorted by tenant name.
@@ -249,6 +290,9 @@ func (p *Platform) Stats() Stats {
 		ComputeCompleted: p.computePool.Completed(),
 		CommCompleted:    p.commPool.Completed(),
 		CachedPrograms:   p.programs.size(),
+		EngineResizes:    p.EngineResizes(),
+		AutoscaleOn:      p.AutoscaleOn(),
+		Draining:         p.draining.Load(),
 
 		ZeroCopyHandoffs:     t.zcHandoffs,
 		ZeroCopyHandoffBytes: t.zcBytes,
@@ -270,6 +314,9 @@ func (p *Platform) Invoke(name string, inputs map[string][]memctx.Item) (map[str
 // engine dispatch it causes is scheduled in that tenant's DRR share and
 // accounted in its gauges. An empty tenant means DefaultTenant.
 func (p *Platform) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	if p.draining.Load() {
+		return nil, ErrDraining
+	}
 	comp, err := p.reg.composition(name)
 	if err != nil {
 		return nil, err
@@ -298,6 +345,32 @@ type valueStore struct {
 	vals map[string][]memctx.Item
 }
 
+// valueStorePool recycles valueStores across invocations: every request
+// allocates one (batch requests one each), and the map's buckets are
+// the dominant cost. Recycling is safe because the store only holds
+// item-slice references — putValueStore clears the keys (dropping the
+// references) but keeps the buckets, and the slices themselves remain
+// valid in the caller's output map after the store is reused.
+var valueStorePool = sync.Pool{
+	New: func() any { return &valueStore{vals: make(map[string][]memctx.Item, 8)} },
+}
+
+// maxPooledStoreVals bounds the dataflow names a recycled store may
+// have held: Go maps never shrink their buckets, so a store inflated by
+// one giant composition would stay giant in the pool forever (the same
+// over-capacity rule as memctx's 4 MiB region recycle cap).
+const maxPooledStoreVals = 512
+
+func getValueStore() *valueStore { return valueStorePool.Get().(*valueStore) }
+
+func putValueStore(s *valueStore) {
+	if len(s.vals) > maxPooledStoreVals {
+		return // oversized: leave it to the GC
+	}
+	clear(s.vals)
+	valueStorePool.Put(s)
+}
+
 func (s *valueStore) get(name string, clone bool) []memctx.Item {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -323,7 +396,8 @@ func (p *Platform) invoke(tenant string, pl *compPlan, inputs map[string][]memct
 		return nil, fmt.Errorf("%w (%d)", ErrTooDeep, p.opts.MaxDepth)
 	}
 	comp := pl.comp
-	store := &valueStore{vals: make(map[string][]memctx.Item, len(comp.Inputs)+len(comp.Stmts))}
+	store := getValueStore()
+	defer putValueStore(store)
 	for _, in := range comp.Inputs {
 		items, ok := inputs[in]
 		if !ok {

@@ -1,0 +1,198 @@
+package ctlplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakePool is a deterministic Pool for driving the controller by hand.
+type fakePool struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (p *fakePool) Count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *fakePool) SetCount(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.n = n
+}
+
+func TestElasticityGrowsUnderBacklogWithHysteresis(t *testing.T) {
+	pool := &fakePool{n: 1}
+	sig := Signals{QueueLen: 100}
+	e := NewElasticity(Config{Min: 1, Max: 3, GrowHoldSteps: 2},
+		pool, func() Signals { return sig })
+
+	// One hot step is not enough: hysteresis demands GrowHoldSteps.
+	e.StepOnce()
+	if pool.Count() != 1 {
+		t.Fatalf("grew after one hot step: count=%d", pool.Count())
+	}
+	e.StepOnce()
+	if pool.Count() != 2 {
+		t.Fatalf("count after 2 hot steps = %d, want 2", pool.Count())
+	}
+	// Sustained pressure keeps growing, but never past Max.
+	for i := 0; i < 10; i++ {
+		e.StepOnce()
+	}
+	if pool.Count() != 3 {
+		t.Fatalf("count under sustained pressure = %d, want Max=3", pool.Count())
+	}
+	if e.Grows() != 2 || e.Resizes() != 2 {
+		t.Fatalf("grows=%d resizes=%d, want 2/2", e.Grows(), e.Resizes())
+	}
+}
+
+func TestElasticityGrowsOnDispatchWaitP99(t *testing.T) {
+	pool := &fakePool{n: 1}
+	sig := Signals{WaitP99: 50 * time.Millisecond} // empty queue, slow dispatch
+	e := NewElasticity(Config{Min: 1, Max: 2, GrowHoldSteps: 1, GrowWaitP99: 10 * time.Millisecond},
+		pool, func() Signals { return sig })
+	e.StepOnce()
+	if pool.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (p99 pressure)", pool.Count())
+	}
+}
+
+func TestElasticityShrinksWhenCalm(t *testing.T) {
+	pool := &fakePool{n: 3}
+	sig := Signals{QueueLen: 0, InFlight: 0}
+	e := NewElasticity(Config{Min: 1, Max: 3, ShrinkHoldSteps: 3},
+		pool, func() Signals { return sig })
+
+	for i := 0; i < 2; i++ {
+		e.StepOnce()
+	}
+	if pool.Count() != 3 {
+		t.Fatalf("shrank before hold steps: count=%d", pool.Count())
+	}
+	e.StepOnce() // third consecutive calm step
+	if pool.Count() != 2 {
+		t.Fatalf("count after hold = %d, want 2", pool.Count())
+	}
+	// Keep calm long enough and it bottoms out at Min, never below.
+	for i := 0; i < 20; i++ {
+		e.StepOnce()
+	}
+	if pool.Count() != 1 {
+		t.Fatalf("count = %d, want Min=1", pool.Count())
+	}
+	if e.Shrinks() != 2 {
+		t.Fatalf("shrinks = %d, want 2", e.Shrinks())
+	}
+}
+
+func TestElasticityMixedSignalsResetStreaks(t *testing.T) {
+	pool := &fakePool{n: 2}
+	sigs := []Signals{
+		{QueueLen: 0, InFlight: 0}, // calm
+		{QueueLen: 0, InFlight: 0}, // calm
+		{QueueLen: 1, InFlight: 2}, // neither hot nor calm: resets
+		{QueueLen: 0, InFlight: 0}, // calm again, streak restarts
+		{QueueLen: 0, InFlight: 0},
+	}
+	i := 0
+	e := NewElasticity(Config{Min: 1, Max: 4, ShrinkHoldSteps: 3},
+		pool, func() Signals { s := sigs[i]; i++; return s })
+	for range sigs {
+		e.StepOnce()
+	}
+	if pool.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (streak was reset)", pool.Count())
+	}
+}
+
+func TestElasticityDisabledHoldsStill(t *testing.T) {
+	pool := &fakePool{n: 1}
+	e := NewElasticity(Config{Min: 1, Max: 8, GrowHoldSteps: 1},
+		pool, func() Signals { return Signals{QueueLen: 1000} })
+	e.SetEnabled(false)
+	for i := 0; i < 5; i++ {
+		e.StepOnce()
+	}
+	if pool.Count() != 1 || e.Resizes() != 0 {
+		t.Fatalf("disabled controller acted: count=%d resizes=%d", pool.Count(), e.Resizes())
+	}
+	e.SetEnabled(true)
+	e.StepOnce()
+	if pool.Count() != 2 {
+		t.Fatalf("re-enabled controller idle: count=%d", pool.Count())
+	}
+}
+
+// TestElasticityBelowMinComposesWithOtherActuators: a pool another
+// actuator (e.g. the PI core balancer) pushed below Min is NOT forced
+// back while idle — an unconditional restore would re-add the moved
+// core every step, inflating the total budget without bound — but any
+// pressure grows it immediately, skipping the grow hysteresis.
+func TestElasticityBelowMinComposesWithOtherActuators(t *testing.T) {
+	pool := &fakePool{n: 1} // balancer took a core: below Min=2
+	sig := Signals{}
+	e := NewElasticity(Config{Min: 2, Max: 4, GrowHoldSteps: 3},
+		pool, func() Signals { return sig })
+
+	// Idle: no forced restore, no spurious resizes, no shrinking either.
+	for i := 0; i < 5; i++ {
+		e.StepOnce()
+	}
+	if pool.Count() != 1 || e.Resizes() != 0 {
+		t.Fatalf("idle below Min: count=%d resizes=%d, want 1/0", pool.Count(), e.Resizes())
+	}
+	// Pressure: grows on the first hot step despite GrowHoldSteps=3.
+	sig = Signals{QueueLen: 100}
+	e.StepOnce()
+	if pool.Count() != 2 {
+		t.Fatalf("hot below Min: count=%d, want 2 (immediate grow)", pool.Count())
+	}
+}
+
+func TestElasticityStartStop(t *testing.T) {
+	pool := &fakePool{n: 1}
+	e := NewElasticity(Config{Min: 1, Max: 4, GrowHoldSteps: 1, Period: time.Millisecond},
+		pool, func() Signals { return Signals{QueueLen: 100} })
+	e.Start()
+	e.Start() // idempotent
+	deadline := time.After(2 * time.Second)
+	for pool.Count() < 4 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool never reached Max under load: count=%d", pool.Count())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	if e.Resizes() < 3 {
+		t.Fatalf("resizes = %d, want >= 3", e.Resizes())
+	}
+}
+
+// TestConfigBoundsNormalization: an explicit Max below Min pins the
+// pool at Min (a fixed-size pool) — it is never silently widened to
+// 4×Min, which would blow past the operator's ceiling.
+func TestConfigBoundsNormalization(t *testing.T) {
+	cases := []struct {
+		in       Config
+		min, max int
+	}{
+		{Config{}, 1, 4},
+		{Config{Min: 8}, 8, 32},          // unset Max: 4×Min
+		{Config{Min: 8, Max: 4}, 8, 8},   // inverted: fixed at Min
+		{Config{Min: 2, Max: 16}, 2, 16}, // sane pair untouched
+		{Config{Min: -3, Max: -1}, 1, 4}, // garbage: defaults
+	}
+	for _, c := range cases {
+		e := NewElasticity(c.in, &fakePool{n: c.in.Min}, func() Signals { return Signals{} })
+		if min, max := e.Bounds(); min != c.min || max != c.max {
+			t.Errorf("Config %+v → bounds [%d, %d], want [%d, %d]", c.in, min, max, c.min, c.max)
+		}
+	}
+}

@@ -26,6 +26,7 @@ package frontend
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -35,6 +36,7 @@ import (
 
 	"dandelion"
 	"dandelion/internal/autoscale"
+	"dandelion/internal/cluster"
 )
 
 // TenantHeader is the request header naming the tenant an invocation is
@@ -44,19 +46,30 @@ const TenantHeader = "X-Tenant"
 // Config parameterizes the frontend beyond its platform.
 type Config struct {
 	// Admission supplies the per-tenant batch admission windows; nil
-	// builds a default autoscale.Admission.
+	// uses the platform's own admission plane (Platform.Admission), so
+	// control-plane clamp overrides reach the batch route.
 	Admission *autoscale.Admission
 	// Now is the clock feeding the admission windows (default
 	// time.Now); tests inject a virtual clock.
 	Now func() time.Time
+	// AdminToken enables the authenticated /admin control-plane routes
+	// (see admin.go); empty disables them (403 on every /admin request).
+	AdminToken string
+	// Cluster optionally attaches a cluster manager: tenant-weight
+	// updates fan out to every registered worker, and GET /stats/cluster
+	// serves the manager's aggregated cluster-wide gauges.
+	Cluster *cluster.Manager
 }
 
-// server binds the platform, the admission plane, and the clock.
+// server binds the platform, the admission plane, the control-plane
+// config, and the clock.
 type server struct {
-	p   *dandelion.Platform
-	adm *autoscale.Admission
-	now func() time.Time
-	t0  time.Time
+	p          *dandelion.Platform
+	adm        *autoscale.Admission
+	adminToken string
+	cluster    *cluster.Manager
+	now        func() time.Time
+	t0         time.Time
 }
 
 // New builds the frontend handler for a platform node with default
@@ -85,8 +98,16 @@ type server struct {
 //	GET  /stats                      JSON platform gauges, including
 //	     the per-tenant scheduling gauges (queued, running, completed,
 //	     dispatch-wait avg/p99/max) under "Tenants"
+//	GET  /stats/cluster              cluster-wide aggregated gauges
+//	     (requires Config.Cluster; see cluster.Manager.AggregateStats)
+//	/admin/...                       the authenticated control-plane
+//	     surface (tenant weights, engine counts, autoscale, admission
+//	     clamp, drain); requires Config.AdminToken — see admin.go and
+//	     docs/ADMIN.md
 //
 // Wrong methods answer 405 with an Allow header and a JSON error body.
+// While the node drains (POST /admin/drain), invocation routes answer
+// 503 with a JSON error body until resumed.
 func New(p *dandelion.Platform) http.Handler {
 	return NewWithConfig(p, Config{})
 }
@@ -94,9 +115,11 @@ func New(p *dandelion.Platform) http.Handler {
 // NewWithConfig builds the frontend handler with explicit admission
 // settings.
 func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
-	s := &server{p: p, adm: cfg.Admission, now: cfg.Now}
+	s := &server{p: p, adm: cfg.Admission, adminToken: cfg.AdminToken, cluster: cfg.Cluster, now: cfg.Now}
 	if s.adm == nil {
-		s.adm = autoscale.NewAdmission(autoscale.AdmissionConfig{})
+		// The platform's own admission plane, so the control plane's
+		// SetAdmissionClamp reaches the batch route of this frontend.
+		s.adm = p.Admission()
 	}
 	if s.now == nil {
 		s.now = time.Now
@@ -108,6 +131,10 @@ func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
 	mux.HandleFunc("/invoke/", method(http.MethodPost, s.handleInvoke))
 	mux.HandleFunc("/invoke-batch/", method(http.MethodPost, s.handleInvokeBatch))
 	mux.HandleFunc("/stats", method(http.MethodGet, s.handleStats))
+	mux.HandleFunc("/stats/cluster", method(http.MethodGet, s.handleClusterStats))
+	mux.HandleFunc("/admin/tenants/", s.adminAuth(s.handleAdminTenant))
+	mux.HandleFunc("/admin/engines", s.adminAuth(s.handleAdminEngines))
+	mux.HandleFunc("/admin/drain", s.adminAuth(method(http.MethodPost, s.handleAdminDrain)))
 	return mux
 }
 
@@ -209,7 +236,11 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		input: {{Name: "item0", Data: body}},
 	})
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err.Error())
+		code := http.StatusInternalServerError
+		if errors.Is(err, dandelion.ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		jsonError(w, code, err.Error())
 		return
 	}
 	if want := r.URL.Query().Get("output"); want != "" {
@@ -274,6 +305,10 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.p.HasComposition(name) {
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
+		return
+	}
+	if s.p.Draining() {
+		jsonError(w, http.StatusServiceUnavailable, dandelion.ErrDraining.Error())
 		return
 	}
 	tenant := tenantOf(r)

@@ -331,3 +331,110 @@ func TestTwoTenantFairness(t *testing.T) {
 			solo, contended, bound)
 	}
 }
+
+func TestRunStepLoadPhases(t *testing.T) {
+	_, srv := newEchoServer(t)
+	reports, err := RunStepLoad(OpenConfig{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "U",
+		InputSet:    "In",
+		OutputSet:   "Result",
+	}, []Step{
+		{Rate: 200, Requests: 10},
+		{Rate: 400, Requests: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if reports[0].Requests != 10 || reports[1].Requests != 20 {
+		t.Fatalf("per-phase requests = %d/%d, want 10/20", reports[0].Requests, reports[1].Requests)
+	}
+	if reports[0].OfferedRate != 200 || reports[1].OfferedRate != 400 {
+		t.Fatalf("offered rates = %v/%v", reports[0].OfferedRate, reports[1].OfferedRate)
+	}
+	if reports[0].Errors+reports[1].Errors != 0 {
+		t.Fatalf("errors: %s", StepSummary(reports))
+	}
+	if _, err := RunStepLoad(OpenConfig{}, nil); err == nil {
+		t.Fatal("empty step list accepted")
+	}
+}
+
+// TestStepLoadGrowsComputePool is the elasticity acceptance run: a
+// 1-engine worker with -autoscale semantics takes a low step, then an
+// overloading step; the elasticity controller must grow the compute
+// pool (EngineResizes > 0) to absorb it. The slow function makes
+// single-engine capacity ~200 inv/s, so the 350/s step is a genuine
+// overload whichever machine runs the test.
+func TestStepLoadGrowsComputePool(t *testing.T) {
+	p, err := dandelion.New(dandelion.Options{
+		ComputeEngines: 1,
+		Autoscale:      true,
+		AutoscaleMax:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	if err := p.RegisterFunction(dandelion.ComputeFunc{
+		Name: "Slow",
+		Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+			time.Sleep(5 * time.Millisecond)
+			return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RegisterCompositionText(`
+composition S(In) => Result {
+    Slow(x = all In) => (Result = Out);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(frontend.New(p))
+	t.Cleanup(srv.Close)
+
+	reports, err := RunStepLoad(OpenConfig{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "S",
+		InputSet:    "In",
+		Tenant:      "step-tenant",
+	}, []Step{
+		{Rate: 50, Requests: 10},   // warm-up, within one engine's capacity
+		{Rate: 350, Requests: 175}, // ~0.5s of sustained overload
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reports {
+		if r.Errors != 0 {
+			t.Fatalf("step %d errors: %s", i, r)
+		}
+	}
+
+	st := p.Stats()
+	if st.EngineResizes == 0 {
+		t.Fatalf("EngineResizes = 0 after overload step; stats = %+v", st)
+	}
+	if !st.AutoscaleOn {
+		t.Fatal("AutoscaleOn not reported")
+	}
+	if st.ComputeEngines < 2 {
+		t.Fatalf("compute engines = %d, want >= 2 after growth", st.ComputeEngines)
+	}
+	// The tenant's traffic is visible in the scheduling gauges.
+	var seen bool
+	for _, ts := range st.Tenants {
+		if ts.Tenant == "step-tenant" && ts.Completed > 0 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("step-tenant missing from tenant gauges: %+v", st.Tenants)
+	}
+}

@@ -152,6 +152,12 @@ func (s *Scheduler) tenantLocked(name string) *tenantQueue {
 // sched-aware batch chunking splits a contending tenant's work list
 // into chunks shrunk by its share, so the DRR refill loop can
 // interleave other tenants between chunks.
+//
+// Share is hardened against degenerate states: weights are re-clamped
+// to ≥1 as they are read (so a zero weight that slipped past the
+// setters can never zero a numerator or denominator), an unknown
+// tenant counts as weight 1, and with no active competitors the result
+// is exactly 1 — never 0, NaN, or Inf, whatever the tenant map holds.
 func (s *Scheduler) Share(tenant string) float64 {
 	if tenant == "" {
 		tenant = DefaultTenant
@@ -160,7 +166,7 @@ func (s *Scheduler) Share(tenant string) float64 {
 	defer s.mu.Unlock()
 	mine := 1
 	if tq := s.tenants[tenant]; tq != nil {
-		mine = tq.weight
+		mine = clampWeight(tq.weight)
 	}
 	total := mine
 	for name, tq := range s.tenants {
@@ -168,10 +174,28 @@ func (s *Scheduler) Share(tenant string) float64 {
 			continue
 		}
 		if len(tq.backlog) > 0 || tq.running > 0 {
-			total += tq.weight
+			total += clampWeight(tq.weight)
 		}
 	}
+	if total < mine {
+		// Unreachable with clamped addends; keeps the contract ≤1 even so.
+		total = mine
+	}
 	return float64(mine) / float64(total)
+}
+
+// Weight reports a tenant's current DRR weight. Tenants the scheduler
+// has never seen report the default weight 1.
+func (s *Scheduler) Weight(tenant string) int {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tq := s.tenants[tenant]; tq != nil {
+		return clampWeight(tq.weight)
+	}
+	return 1
 }
 
 // SetWeight sets a tenant's DRR weight (minimum 1). It applies from the
@@ -237,7 +261,10 @@ func (s *Scheduler) pumpLocked() {
 		}
 		tq := s.active[s.cursor]
 		if !tq.charged {
-			tq.deficit += tq.weight * s.cfg.Quantum
+			// clampWeight again at credit time: a weight that somehow hit
+			// zero would earn no credit forever, and the refill loop would
+			// spin over a backlogged tenant it can never dispatch.
+			tq.deficit += clampWeight(tq.weight) * s.cfg.Quantum
 			tq.charged = true
 		}
 		for s.inflight < window && len(tq.backlog) > 0 && tq.deficit > 0 {
@@ -375,7 +402,7 @@ func (s *Scheduler) Stats() []TenantStats {
 	for _, tq := range s.tenants {
 		st := TenantStats{
 			Tenant:          tq.name,
-			Weight:          tq.weight,
+			Weight:          clampWeight(tq.weight),
 			Queued:          len(tq.backlog),
 			Running:         tq.running,
 			Dispatched:      tq.dispatched,

@@ -303,3 +303,96 @@ func TestShare(t *testing.T) {
 	}
 	drain(q, 100)
 }
+
+// TestWeightHardening pins the clamp-to-≥1 contract of the whole weight
+// path: seed weights, runtime updates, and the Weight/Share/Stats read
+// side all treat non-positive weights as 1, and Share never degenerates
+// for unknown or removed-from-active tenants.
+func TestWeightHardening(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1, Weights: map[string]int{"zero": 0, "neg": -7, "ok": 3}})
+
+	if w := s.Weight("zero"); w != 1 {
+		t.Fatalf("seed weight 0 clamped to %d, want 1", w)
+	}
+	if w := s.Weight("neg"); w != 1 {
+		t.Fatalf("seed weight -7 clamped to %d, want 1", w)
+	}
+	if w := s.Weight("ok"); w != 3 {
+		t.Fatalf("weight ok = %d, want 3", w)
+	}
+	if w := s.Weight("never-seen"); w != 1 {
+		t.Fatalf("unknown tenant weight = %d, want 1", w)
+	}
+
+	// Runtime updates clamp too.
+	s.SetWeight("zero", 0)
+	s.SetWeight("neg", -100)
+	for _, tenant := range []string{"zero", "neg"} {
+		if w := s.Weight(tenant); w != 1 {
+			t.Fatalf("SetWeight(%s, <=0) stored %d, want 1", tenant, w)
+		}
+	}
+
+	// Share stays in (0, 1] and finite in every degenerate shape: no
+	// tenants active, tenant unknown, and empty tenant name.
+	for _, tenant := range []string{"zero", "never-seen", ""} {
+		sh := s.Share(tenant)
+		if !(sh > 0 && sh <= 1) {
+			t.Fatalf("Share(%q) = %v, want in (0, 1]", tenant, sh)
+		}
+	}
+
+	// Stats reports the clamped weights, never the raw stored values.
+	s.Submit("zero", Task{Do: func() {}})
+	drain(q, 1)
+	for _, st := range s.Stats() {
+		if st.Weight < 1 {
+			t.Fatalf("Stats weight for %s = %d, want >= 1", st.Tenant, st.Weight)
+		}
+	}
+}
+
+// TestZeroWeightTenantStillDispatches drives a backlogged tenant whose
+// weight was pushed to the minimum alongside an active competitor: the
+// clamp at credit time guarantees it earns ≥1 credit per round, so the
+// refill loop can never spin without dispatching.
+func TestZeroWeightTenantStillDispatches(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 2})
+	s.SetWeight("small", -1) // clamped to 1
+
+	var small, big atomic.Int64
+	for i := 0; i < 10; i++ {
+		s.Submit("small", Task{Do: func() { small.Add(1) }})
+		s.Submit("big", Task{Do: func() { big.Add(1) }})
+	}
+	if got := drain(q, 100); got != 20 {
+		t.Fatalf("executed %d, want 20", got)
+	}
+	if small.Load() != 10 || big.Load() != 10 {
+		t.Fatalf("small=%d big=%d, want 10/10", small.Load(), big.Load())
+	}
+}
+
+// TestShareAfterTenantsDrain: a tenant whose competitors have all gone
+// idle (removed from the active set) regains share 1 exactly.
+func TestShareAfterTenantsDrain(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1, Weights: map[string]int{"a": 2}})
+
+	s.Submit("a", Task{Do: func() {}})
+	s.Submit("b", Task{Do: func() {}})
+	// Both active: a has weight 2 of total 3.
+	if sh := s.Share("a"); sh < 0.6 || sh > 0.7 {
+		t.Fatalf("Share(a) with b active = %v, want 2/3", sh)
+	}
+	drain(q, 2)
+	// b drained and idle: a is alone again.
+	if sh := s.Share("a"); sh != 1 {
+		t.Fatalf("Share(a) after drain = %v, want 1", sh)
+	}
+}

@@ -1,6 +1,8 @@
 #!/bin/sh
 # bench-baseline: capture the invoke hot-path performance trajectory in
-# BENCH_4.json so future PRs have concrete numbers to regress against.
+# BENCH_5.json so future PRs have concrete numbers to regress against.
+# The committed BENCH_4.json (PR 4) stays in place as the prior marker,
+# so the two files side by side show the trajectory across PRs.
 #
 # Records, per benchmark: ns/op, inv/s (where reported), B/op, and
 # allocs/op for the single-invoke and batched dispatch paths (both
@@ -11,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=BENCH_4.json
+out=BENCH_5.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
@@ -22,7 +24,7 @@ go test -run XXX -bench 'BenchmarkStatsContention' \
 
 {
     printf '{\n'
-    printf '  "issue": 4,\n'
+    printf '  "issue": 5,\n'
     printf '  "generated_by": "make bench-baseline",\n'
     printf '  "goos_goarch_cpu": "%s",\n' \
         "$(awk '/^goos:/{os=$2} /^goarch:/{arch=$2} /^cpu:/{sub(/^cpu: */,""); cpu=$0} END{printf "%s/%s %s", os, arch, cpu}' "$tmp")"

@@ -1,8 +1,20 @@
 package dandelion
 
 import (
+	"dandelion/internal/ctlplane"
 	"dandelion/internal/vfs"
 )
+
+// Reconfigurer is the runtime-reconfiguration surface of a worker node
+// (the dynamic control plane): live tenant-weight updates, engine-pool
+// resizing, the autoscale switch, admission-window clamps, and
+// drain/resume — all without a restart. Platform implements it; the
+// frontend's authenticated /admin routes (docs/ADMIN.md) expose the
+// same surface over HTTP.
+type Reconfigurer = ctlplane.Reconfigurer
+
+// Platform satisfies the control plane's reconfiguration contract.
+var _ Reconfigurer = (*Platform)(nil)
 
 // FS is the in-memory virtual filesystem view a file-oriented compute
 // function sees (§4.1 of the paper): input sets are mounted read-only
