@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline docs-check
+.PHONY: ci build vet test race bench bench-smoke bench-baseline e2e-cluster docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
-# catches dispatch-path regressions that compile fine), and keep the
-# docs honest (docs-check catches references to removed symbols).
-ci: build vet race bench-smoke docs-check
+# catches dispatch-path regressions that compile fine), keep the
+# multi-process cluster path alive (e2e-cluster), and keep the docs
+# honest (docs-check catches references to removed symbols).
+ci: build vet race bench-smoke e2e-cluster docs-check
 
 build:
 	$(GO) build ./...
@@ -39,6 +40,12 @@ bench-smoke:
 # trajectory to regress against (see scripts/bench-baseline.sh).
 bench-baseline:
 	sh scripts/bench-baseline.sh
+
+# e2e-cluster runs the race-enabled remote-cluster end-to-end test:
+# two httptest-backed workers join a coordinator over the wire, one is
+# killed mid-run, and reroute + eviction are verified (docs/CLUSTER.md).
+e2e-cluster:
+	$(GO) test -race -run 'TestClusterE2E' ./internal/loadgen/
 
 # docs-check fails if README.md or docs/ reference Go symbols or CLI
 # flags that no longer exist (see scripts/docs-check.sh).

@@ -15,14 +15,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"dandelion"
+	"dandelion/internal/cluster"
 	"dandelion/internal/frontend"
 )
 
@@ -58,6 +61,12 @@ func main() {
 	autoscale := flag.Bool("autoscale", false, "grow/shrink the compute-engine pool with load (elasticity controller)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "compute-pool ceiling under -autoscale (0 = 4x initial)")
 	adminToken := flag.String("admin-token", "", "bearer token enabling the /admin control-plane routes (empty disables them)")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: accept remote worker joins on /cluster/join and route invocations across the fleet")
+	join := flag.String("join", "", "coordinator URL to join as a remote worker (self-registers, heartbeats, re-registers after coordinator restarts)")
+	workerName := flag.String("name", "", "worker name presented to the coordinator under -join (default: the listen address)")
+	advertise := flag.String("advertise", "", "URL the coordinator dials this worker back on under -join (default http://<addr>)")
+	hbInterval := flag.Duration("heartbeat-interval", time.Second, "worker heartbeat period; the coordinator sweeps for missed beats on the same period")
+	hbMisses := flag.Int("heartbeat-misses", 3, "missed heartbeats before the coordinator evicts a worker")
 	flag.Parse()
 
 	weights, err := parseTenantWeights(*tenantWeights)
@@ -80,7 +89,42 @@ func main() {
 	}
 	defer p.Shutdown()
 
-	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v)",
-		*addr, *backend, *autoscale, *adminToken != "")
-	log.Fatal(http.ListenAndServe(*addr, frontend.NewWithConfig(p, frontend.Config{AdminToken: *adminToken})))
+	cfg := frontend.Config{AdminToken: *adminToken}
+	if *coordinator {
+		// Coordinator mode: this frontend is the cluster ingress.
+		// Workers join over /cluster/join, prove liveness over
+		// /cluster/heartbeat, and invocation routes fan out across the
+		// fleet; the tracker evicts workers that miss heartbeats.
+		mgr := cluster.NewManager(cluster.RoundRobin)
+		tr := cluster.NewTracker(mgr, *hbInterval, *hbMisses, nil)
+		tr.Start()
+		defer tr.Stop()
+		cfg.Cluster = mgr
+		cfg.Tracker = tr
+		cfg.RouteViaCluster = true
+	}
+	if *join != "" {
+		name := *workerName
+		if name == "" {
+			name = *addr
+		}
+		self := *advertise
+		if self == "" {
+			self = "http://" + *addr
+		}
+		hb := &cluster.Heartbeater{
+			Coordinator: *join,
+			Name:        name,
+			SelfURL:     self,
+			Token:       *adminToken,
+			Interval:    *hbInterval,
+		}
+		log.Printf("dandelion joining coordinator %s as %q (advertising %s, beat every %v)",
+			*join, name, self, *hbInterval)
+		go hb.Run(context.Background())
+	}
+
+	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v, coordinator=%v)",
+		*addr, *backend, *autoscale, *adminToken != "", *coordinator)
+	log.Fatal(http.ListenAndServe(*addr, frontend.NewWithConfig(p, cfg)))
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dandelion/internal/core"
 	"dandelion/internal/memctx"
@@ -264,7 +265,12 @@ func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memct
 			defer wg.Done()
 			res := m.runChunk(c.w, tenant, name, inputs[c.lo:c.hi])
 			if len(res) > 1 && allFailed(res) {
-				if alt := pickSurvivor(members, c.w); alt != nil {
+				// Re-snapshot live membership before retrying: the
+				// pre-batch snapshot can name workers deregistered — or,
+				// with heartbeat tracking, evicted — while this chunk
+				// ran, and retrying onto one of those just fails again.
+				_, live := m.snapshot()
+				if alt := pickSurvivor(live, c.w); alt != nil {
 					c.w.rerouted.Add(1)
 					res = m.runChunk(alt, tenant, name, inputs[c.lo:c.hi])
 				}
@@ -428,6 +434,17 @@ type ClusterStats struct {
 	// Routing carries the manager's per-worker routing counters, one
 	// entry per registered worker in registration order.
 	Routing []WorkerStats `json:",omitempty"`
+	// Heartbeat-tracked membership gauges, filled by
+	// Tracker.AggregateStats when the cluster runs remote workers:
+	// Heartbeats counts beats accepted, Evictions workers evicted for
+	// missing HeartbeatMisses beats of HeartbeatInterval each, and
+	// Evicted lists every currently-evicted worker (reported until it
+	// re-joins, never silently dropped). All zero under a bare Manager.
+	Heartbeats        uint64
+	Evictions         uint64
+	HeartbeatInterval time.Duration   `json:",omitempty"`
+	HeartbeatMisses   int             `json:",omitempty"`
+	Evicted           []EvictedWorker `json:",omitempty"`
 }
 
 // AggregateStats merges every reporting worker's gauges into one

@@ -1,0 +1,368 @@
+// Remote worker transport: the HTTP client side of the cluster layer.
+// RemoteNode makes a worker running behind internal/frontend look like
+// any other Node to the Manager — invocations, batches, tenant-weight
+// fan-out, and stats aggregation all travel the frontend's existing
+// JSON wire protocol (internal/wire) — and Heartbeater is the loop a
+// worker process runs to register with a coordinator and keep proving
+// liveness. Together with the Tracker (heartbeat.go) they turn the
+// in-process federation into a real multi-process deployment: N worker
+// processes join one coordinator, which routes, detects failures, and
+// evicts.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dandelion/internal/core"
+	"dandelion/internal/memctx"
+	"dandelion/internal/wire"
+)
+
+// ErrRemote wraps every transport-level failure of a remote worker
+// call: connection refused, timeout, non-2xx status. Application errors
+// a worker reports per request are returned verbatim, not wrapped.
+var ErrRemote = errors.New("cluster: remote worker call failed")
+
+// tenantHeader mirrors the frontend's tenant header name without
+// importing it (frontend imports cluster).
+const tenantHeader = "X-Tenant"
+
+// adminTokenHeader mirrors frontend.AdminTokenHeader.
+const adminTokenHeader = "X-Admin-Token"
+
+// defaultRemoteTimeout bounds every remote call so a dead worker turns
+// into a failed chunk (rerouted by the manager) instead of a hung one.
+const defaultRemoteTimeout = 30 * time.Second
+
+// RemoteOptions parameterizes a RemoteNode beyond its base URL.
+type RemoteOptions struct {
+	// Client issues the HTTP requests; nil selects a client with a
+	// 30-second timeout (a dead worker must fail fast enough for the
+	// manager to reroute, so no-timeout default clients are deliberately
+	// not used).
+	Client *http.Client
+	// Token is the admin token presented on control-plane calls
+	// (SetTenantWeight's PUT /admin/tenants/); empty sends none.
+	Token string
+}
+
+// RemoteNode is an HTTP client for one worker frontend, implementing
+// Node, TenantNode, BatchNode, WeightNode, and StatsNode against the
+// worker's /invoke, /invoke-batch, /admin/tenants/{name}, and /stats
+// routes. A Manager routes to it exactly as it routes to an in-process
+// *core.Platform; transport failures surface as ErrRemote-wrapped
+// per-request errors, which is what trips the manager's wholesale-
+// failure reroute heuristic when a worker dies mid-batch.
+type RemoteNode struct {
+	base   string
+	token  string
+	client *http.Client
+
+	// ctlErrs counts control-plane calls (SetTenantWeight) that failed
+	// on the wire; the WeightNode interface has no error return, so the
+	// counter is the only trace.
+	ctlErrs atomic.Uint64
+}
+
+// NewRemoteNode builds a client for the worker frontend rooted at
+// baseURL (e.g. "http://10.0.0.7:8080").
+func NewRemoteNode(baseURL string, opts RemoteOptions) *RemoteNode {
+	c := opts.Client
+	if c == nil {
+		c = &http.Client{Timeout: defaultRemoteTimeout}
+	}
+	return &RemoteNode{
+		base:   strings.TrimRight(baseURL, "/"),
+		token:  opts.Token,
+		client: c,
+	}
+}
+
+// URL reports the worker base URL this node dials.
+func (rn *RemoteNode) URL() string { return rn.base }
+
+// ControlErrors reports how many control-plane fan-out calls failed on
+// the wire.
+func (rn *RemoteNode) ControlErrors() uint64 { return rn.ctlErrs.Load() }
+
+// do issues one request and returns the response body for 2xx statuses;
+// other statuses are decoded as the frontend's {"error": ...} body and
+// returned as an error (ErrRemote-wrapped only when the failure is
+// transport-shaped, i.e. not an application error the worker reported).
+func (rn *RemoteNode) do(method, path, tenant string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest(method, rn.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	if rn.token != "" {
+		req.Header.Set(adminTokenHeader, rn.token)
+	}
+	resp, err := rn.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading response: %v", ErrRemote, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			// The worker answered: this is an application-level
+			// rejection (unknown composition, draining, bad weight),
+			// not a transport failure.
+			return nil, errors.New(e.Error)
+		}
+		return nil, fmt.Errorf("%w: %s %s: status %d", ErrRemote, method, path, resp.StatusCode)
+	}
+	return payload, nil
+}
+
+// Invoke routes one invocation to the worker under the default tenant.
+func (rn *RemoteNode) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return rn.InvokeAs(core.DefaultTenant, name, inputs)
+}
+
+// InvokeAs routes one invocation to the worker under a tenant identity,
+// using the frontend's full-fidelity JSON invoke mode (every input set
+// travels; the full output-set map comes back).
+func (rn *RemoteNode) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	body, err := json.Marshal(wire.BatchRequest{Inputs: wire.FromSets(inputs)})
+	if err != nil {
+		return nil, fmt.Errorf("%w: encoding request: %v", ErrRemote, err)
+	}
+	payload, err := rn.do(http.MethodPost, "/invoke/"+url.PathEscape(name), tenant, body)
+	if err != nil {
+		return nil, err
+	}
+	var res wire.BatchResult
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("%w: decoding response: %v", ErrRemote, err)
+	}
+	if res.Error != "" {
+		return nil, errors.New(res.Error)
+	}
+	return wire.ToSets(res.Outputs), nil
+}
+
+// InvokeBatch routes a batch to the worker's /invoke-batch route.
+// Requests are grouped into maximal runs sharing one composition and
+// tenant (the manager always sends uniform chunks, so this is one POST
+// per call); each group fails or succeeds per request, and a transport
+// failure errors every request of its group — the all-failed signature
+// the manager's reroute heuristic keys on.
+func (rn *RemoteNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
+	results := make([]core.BatchResult, len(reqs))
+	for lo := 0; lo < len(reqs); {
+		hi := lo + 1
+		for hi < len(reqs) && reqs[hi].Composition == reqs[lo].Composition && reqs[hi].Tenant == reqs[lo].Tenant {
+			hi++
+		}
+		rn.invokeBatchGroup(reqs[lo:hi], results[lo:hi])
+		lo = hi
+	}
+	return results
+}
+
+// invokeBatchGroup drives one uniform (composition, tenant) run.
+func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.BatchResult) {
+	fail := func(err error) {
+		for i := range results {
+			results[i] = core.BatchResult{Err: err}
+		}
+	}
+	wireReqs := make([]wire.BatchRequest, len(reqs))
+	for i, r := range reqs {
+		wireReqs[i] = wire.BatchRequest{Inputs: wire.FromSets(r.Inputs)}
+	}
+	body, err := json.Marshal(wireReqs)
+	if err != nil {
+		fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
+		return
+	}
+	payload, err := rn.do(http.MethodPost, "/invoke-batch/"+url.PathEscape(reqs[0].Composition), reqs[0].Tenant, body)
+	if err != nil {
+		fail(err)
+		return
+	}
+	var wireRes []wire.BatchResult
+	if err := json.Unmarshal(payload, &wireRes); err != nil || len(wireRes) != len(reqs) {
+		fail(fmt.Errorf("%w: bad batch response (%d results for %d requests)", ErrRemote, len(wireRes), len(reqs)))
+		return
+	}
+	for i, r := range wireRes {
+		if r.Error != "" {
+			results[i] = core.BatchResult{Err: errors.New(r.Error)}
+			continue
+		}
+		results[i] = core.BatchResult{Outputs: wire.ToSets(r.Outputs)}
+	}
+}
+
+// SetTenantWeight fans one tenant-weight update to the worker's admin
+// surface. The WeightNode interface has no error return; wire failures
+// are counted in ControlErrors.
+func (rn *RemoteNode) SetTenantWeight(tenant string, weight int) {
+	body, err := json.Marshal(map[string]int{"weight": weight})
+	if err != nil {
+		rn.ctlErrs.Add(1)
+		return
+	}
+	if _, err := rn.do(http.MethodPut, "/admin/tenants/"+url.PathEscape(tenant), "", body); err != nil {
+		rn.ctlErrs.Add(1)
+	}
+}
+
+// NodeStats fetches the worker's gauge snapshot from GET /stats, the
+// remote StatsNode proxy that lets AggregateStats span machines.
+func (rn *RemoteNode) NodeStats() (core.Stats, error) {
+	payload, err := rn.do(http.MethodGet, "/stats", "", nil)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	var st core.Stats
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return core.Stats{}, fmt.Errorf("%w: decoding stats: %v", ErrRemote, err)
+	}
+	return st, nil
+}
+
+// Heartbeater is the worker-side membership loop: it joins a
+// coordinator's cluster surface (POST /cluster/join) and then proves
+// liveness every Interval (POST /cluster/heartbeat). Any beat failure —
+// the coordinator restarted and forgot the worker, the worker was
+// evicted after a network partition healed, a transient transport error
+// — triggers a re-join attempt, so membership converges without
+// operator intervention.
+type Heartbeater struct {
+	// Coordinator is the coordinator frontend's base URL.
+	Coordinator string
+	// Name is the worker name presented on join; the coordinator tracks
+	// and reports the worker under it.
+	Name string
+	// SelfURL is the URL the coordinator dials this worker back on.
+	SelfURL string
+	// Token is the admin token, when the coordinator requires one on
+	// its cluster surface.
+	Token string
+	// Interval is the beat period (default 1s). The coordinator evicts
+	// after its configured number of missed beats, so the two sides
+	// should agree on the interval.
+	Interval time.Duration
+	// Client issues the HTTP requests; nil selects a client whose
+	// timeout is the beat interval (a beat slower than the interval is
+	// as good as missed).
+	Client *http.Client
+
+	joins atomic.Uint64
+	beats atomic.Uint64
+}
+
+// Joins reports successful join registrations (1 on a healthy run;
+// more after coordinator restarts or evictions).
+func (h *Heartbeater) Joins() uint64 { return h.joins.Load() }
+
+// Beats reports successful heartbeats sent.
+func (h *Heartbeater) Beats() uint64 { return h.beats.Load() }
+
+func (h *Heartbeater) interval() time.Duration {
+	if h.Interval > 0 {
+		return h.Interval
+	}
+	return time.Second
+}
+
+func (h *Heartbeater) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return &http.Client{Timeout: h.interval()}
+}
+
+// post sends one cluster-surface request and fails on any non-2xx.
+func (h *Heartbeater) post(path string, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(h.Coordinator, "/")+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if h.Token != "" {
+		req.Header.Set(adminTokenHeader, h.Token)
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%w: POST %s: status %d", ErrRemote, path, resp.StatusCode)
+	}
+	return nil
+}
+
+// Join registers the worker with the coordinator once.
+func (h *Heartbeater) Join() error {
+	err := h.post("/cluster/join", wire.Join{Name: h.Name, URL: h.SelfURL})
+	if err == nil {
+		h.joins.Add(1)
+	}
+	return err
+}
+
+// Beat sends one heartbeat.
+func (h *Heartbeater) Beat() error {
+	err := h.post("/cluster/heartbeat", wire.Heartbeat{Name: h.Name})
+	if err == nil {
+		h.beats.Add(1)
+	}
+	return err
+}
+
+// Run joins the coordinator (retrying every interval until it answers)
+// and then beats every interval until ctx is cancelled. A failed beat
+// is followed by an immediate re-join attempt — the 404 a restarted or
+// evicting coordinator answers is indistinguishable from any other
+// failure at this level, and re-joining is idempotent.
+func (h *Heartbeater) Run(ctx context.Context) {
+	tick := time.NewTicker(h.interval())
+	defer tick.Stop()
+	for h.Join() != nil {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if h.Beat() != nil {
+				h.Join()
+			}
+		}
+	}
+}

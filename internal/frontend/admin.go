@@ -220,6 +220,13 @@ func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
+	// The tracker's view is a superset of the manager's: the same merge
+	// plus the heartbeat/eviction gauges, including workers evicted for
+	// missed heartbeats (reported, not silently dropped).
+	if s.tracker != nil {
+		writeJSON(w, s.tracker.AggregateStats())
+		return
+	}
 	if s.cluster == nil {
 		jsonError(w, http.StatusNotFound, "no cluster manager attached to this frontend")
 		return

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"dandelion"
 	"dandelion/internal/autoscale"
 	"dandelion/internal/cluster"
+	"dandelion/internal/wire"
 )
 
 // TenantHeader is the request header naming the tenant an invocation is
@@ -59,17 +61,31 @@ type Config struct {
 	// updates fan out to every registered worker, and GET /stats/cluster
 	// serves the manager's aggregated cluster-wide gauges.
 	Cluster *cluster.Manager
+	// Tracker attaches heartbeat-tracked remote membership (it implies
+	// Cluster, which may be left nil): the worker registration surface
+	// (POST /cluster/join, POST /cluster/heartbeat — see remote.go)
+	// comes alive, and GET /stats/cluster gains the heartbeat and
+	// eviction gauges.
+	Tracker *cluster.Tracker
+	// RouteViaCluster turns this frontend into a cluster ingress
+	// (coordinator mode): invocation routes dispatch through the
+	// attached cluster manager across the registered workers instead of
+	// into the local platform. Composition existence is then checked by
+	// the worker that receives each request, not locally.
+	RouteViaCluster bool
 }
 
 // server binds the platform, the admission plane, the control-plane
 // config, and the clock.
 type server struct {
-	p          *dandelion.Platform
-	adm        *autoscale.Admission
-	adminToken string
-	cluster    *cluster.Manager
-	now        func() time.Time
-	t0         time.Time
+	p            *dandelion.Platform
+	adm          *autoscale.Admission
+	adminToken   string
+	cluster      *cluster.Manager
+	tracker      *cluster.Tracker
+	routeCluster bool
+	now          func() time.Time
+	t0           time.Time
 }
 
 // New builds the frontend handler for a platform node with default
@@ -83,8 +99,15 @@ type server struct {
 //	POST /invoke/<composition>?input=<InputSet>[&output=<OutputSet>]
 //	     headers: X-Tenant (optional tenant identity)
 //	     body = single input item; response = first item of the
-//	     requested (or first non-empty) output set; unknown
-//	     compositions are rejected with 400 and a JSON error body
+//	     requested output set — or, with no output param, of the first
+//	     non-empty set in sorted set-name order (a deterministic pick;
+//	     map iteration order must never decide a response); unknown
+//	     compositions are rejected with 400 and a JSON error body.
+//	     With Content-Type: application/json the route speaks the
+//	     full-fidelity wire form instead: body = {"inputs": {...}}
+//	     (wire.BatchRequest — every input set and item travels, no
+//	     query params needed), response = {"outputs": {...}}. This is
+//	     the form cluster.RemoteNode proxies invocations through.
 //	POST /invoke-batch/<composition> body = JSON array of request
 //	     objects ({"inputs": {"<set>": [{"name","key","data"}]}}, data
 //	     base64); response = JSON array of {"outputs","error"} in
@@ -104,6 +127,11 @@ type server struct {
 //	     surface (tenant weights, engine counts, autoscale, admission
 //	     clamp, drain); requires Config.AdminToken — see admin.go and
 //	     docs/ADMIN.md
+//	POST /cluster/join               worker registration (remote
+//	     workers; requires Config.Tracker — see remote.go and
+//	     docs/CLUSTER.md)
+//	POST /cluster/heartbeat          worker liveness beat (404 for
+//	     unknown/evicted workers, telling them to re-join)
 //
 // Wrong methods answer 405 with an Allow header and a JSON error body.
 // While the node drains (POST /admin/drain), invocation routes answer
@@ -115,7 +143,18 @@ func New(p *dandelion.Platform) http.Handler {
 // NewWithConfig builds the frontend handler with explicit admission
 // settings.
 func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
-	s := &server{p: p, adm: cfg.Admission, adminToken: cfg.AdminToken, cluster: cfg.Cluster, now: cfg.Now}
+	s := &server{
+		p: p, adm: cfg.Admission, adminToken: cfg.AdminToken,
+		cluster: cfg.Cluster, tracker: cfg.Tracker,
+		routeCluster: cfg.RouteViaCluster, now: cfg.Now,
+	}
+	if s.tracker != nil && s.cluster == nil {
+		s.cluster = s.tracker.Manager()
+	}
+	if s.cluster == nil {
+		// Without a manager there is nothing to route across.
+		s.routeCluster = false
+	}
 	if s.adm == nil {
 		// The platform's own admission plane, so the control plane's
 		// SetAdmissionClamp reaches the batch route of this frontend.
@@ -135,6 +174,8 @@ func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
 	mux.HandleFunc("/admin/tenants/", s.adminAuth(s.handleAdminTenant))
 	mux.HandleFunc("/admin/engines", s.adminAuth(s.handleAdminEngines))
 	mux.HandleFunc("/admin/drain", s.adminAuth(method(http.MethodPost, s.handleAdminDrain)))
+	mux.HandleFunc("/cluster/join", s.clusterAuth(method(http.MethodPost, s.handleClusterJoin)))
+	mux.HandleFunc("/cluster/heartbeat", s.clusterAuth(method(http.MethodPost, s.handleClusterHeartbeat)))
 	return mux
 }
 
@@ -193,7 +234,14 @@ func (s *server) handleRegisterFunction(w http.ResponseWriter, r *http.Request) 
 		}
 	}
 	if v := r.Header.Get("X-Output-Sets"); v != "" {
-		fn.OutputSets = strings.Split(v, ",")
+		// Trim each name and drop empty segments: "a, b," must mean
+		// ["a", "b"], not ["a", " b", ""] — output sets are positional,
+		// so a phantom entry shifts every later mapping.
+		for _, name := range strings.Split(v, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				fn.OutputSets = append(fn.OutputSets, name)
+			}
+		}
 	}
 	if err := s.p.RegisterFunction(fn); err != nil {
 		jsonError(w, http.StatusBadRequest, err.Error())
@@ -216,14 +264,43 @@ func (s *server) handleRegisterComposition(w http.ResponseWriter, r *http.Reques
 	fmt.Fprintf(w, "registered compositions: %s\n", strings.Join(names, ", "))
 }
 
+// invokeAs dispatches one invocation where this frontend serves from:
+// the local platform, or — in coordinator mode — across the cluster.
+// The coordinator's own drain switch still gates admission either way.
+func (s *server) invokeAs(tenant, name string, inputs map[string][]dandelion.Item) (map[string][]dandelion.Item, error) {
+	if s.routeCluster {
+		if s.p.Draining() {
+			return nil, dandelion.ErrDraining
+		}
+		return s.cluster.InvokeAs(tenant, name, inputs)
+	}
+	return s.p.InvokeAs(tenant, name, inputs)
+}
+
+// knownComposition reports whether an invocation route should admit the
+// named composition. A coordinator routing via the cluster cannot know
+// the workers' registries, so existence is checked by whichever worker
+// receives the request.
+func (s *server) knownComposition(name string) bool {
+	return s.routeCluster || s.p.HasComposition(name)
+}
+
 func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/invoke/")
+	if name == "" {
+		jsonError(w, http.StatusBadRequest, "need /invoke/<composition>")
+		return
+	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		s.handleInvokeJSON(w, r, name)
+		return
+	}
 	input := r.URL.Query().Get("input")
-	if name == "" || input == "" {
+	if input == "" {
 		jsonError(w, http.StatusBadRequest, "need /invoke/<composition>?input=<InputSet>")
 		return
 	}
-	if !s.p.HasComposition(name) {
+	if !s.knownComposition(name) {
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
 		return
 	}
@@ -232,7 +309,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, err := s.p.InvokeAs(tenantOf(r), name, map[string][]dandelion.Item{
+	out, err := s.invokeAs(tenantOf(r), name, map[string][]dandelion.Item{
 		input: {{Name: "item0", Data: body}},
 	})
 	if err != nil {
@@ -256,8 +333,17 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		w.Write(items[0].Data)
 		return
 	}
-	for _, items := range out {
-		if len(items) > 0 {
+	// No output requested: pick the first non-empty set in sorted
+	// set-name order. Iterating the map directly would let Go's
+	// randomized iteration order decide the response — two identical
+	// requests could answer from different sets.
+	sets := make([]string, 0, len(out))
+	for set := range out {
+		sets = append(sets, set)
+	}
+	sort.Strings(sets)
+	for _, set := range sets {
+		if items := out[set]; len(items) > 0 {
 			w.Write(items[0].Data)
 			return
 		}
@@ -265,31 +351,65 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleInvokeJSON is the full-fidelity form of the invoke route, used
+// by cluster.RemoteNode: every input set travels in the body and the
+// whole output-set map comes back, so nothing is lost proxying an
+// InvokeAs across machines.
+func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name string) {
+	if !s.knownComposition(name) {
+		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
+		return
+	}
+	var req wire.BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad invoke body: "+err.Error())
+		return
+	}
+	out, err := s.invokeAs(tenantOf(r), name, wire.ToSets(req.Inputs))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, dandelion.ErrDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		jsonError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, wire.BatchResult{Outputs: wire.FromSets(out)})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.p.Stats())
 }
 
-// Wire types of the batch route, shared with clients of the protocol
-// (internal/loadgen). Item data travels base64-encoded (the
-// encoding/json default for []byte).
+// Wire types of the serving protocol, shared with clients
+// (internal/loadgen, cluster.RemoteNode). The definitions live in the
+// leaf package internal/wire so the cluster layer can speak them
+// without importing the frontend; the historical Wire* names are kept
+// as aliases. Item data travels base64-encoded (the encoding/json
+// default for []byte).
 
 // WireItem is one data item on the wire.
-type WireItem struct {
-	Name string `json:"name,omitempty"`
-	Key  string `json:"key,omitempty"`
-	Data []byte `json:"data"`
-}
+type WireItem = wire.Item
 
 // WireBatchRequest is one request of a POST /invoke-batch/ body.
-type WireBatchRequest struct {
-	Inputs map[string][]WireItem `json:"inputs"`
-}
+type WireBatchRequest = wire.BatchRequest
 
 // WireBatchResult is one slot of a batch response, in request order.
-type WireBatchResult struct {
-	Outputs map[string][]WireItem `json:"outputs,omitempty"`
-	Error   string                `json:"error,omitempty"`
+type WireBatchResult = wire.BatchResult
+
+// invokeBatchAs dispatches one uniform sub-batch where this frontend
+// serves from: the local platform, or — in coordinator mode — split
+// across the cluster's workers.
+func (s *server) invokeBatchAs(tenant, name string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
+	if s.routeCluster {
+		return s.cluster.InvokeBatchAs(tenant, name, inputs)
+	}
+	reqs := make([]dandelion.BatchRequest, len(inputs))
+	for i, in := range inputs {
+		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: in}
+	}
+	return s.p.InvokeBatch(reqs)
 }
 
 func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
@@ -298,12 +418,10 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "need /invoke-batch/<composition>")
 		return
 	}
-	var wireReqs []WireBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&wireReqs); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
-		return
-	}
-	if !s.p.HasComposition(name) {
+	// Cheap rejects before touching the body: a drained node or a
+	// misaddressed composition must not pay a full JSON decode of an
+	// arbitrarily large batch just to answer 4xx/503.
+	if !s.knownComposition(name) {
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
 		return
 	}
@@ -311,18 +429,15 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusServiceUnavailable, dandelion.ErrDraining.Error())
 		return
 	}
+	var wireReqs []WireBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&wireReqs); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
 	tenant := tenantOf(r)
-	reqs := make([]dandelion.BatchRequest, len(wireReqs))
+	inputs := make([]map[string][]dandelion.Item, len(wireReqs))
 	for i, wr := range wireReqs {
-		inputs := make(map[string][]dandelion.Item, len(wr.Inputs))
-		for set, its := range wr.Inputs {
-			items := make([]dandelion.Item, len(its))
-			for j, it := range its {
-				items[j] = dandelion.Item{Name: it.Name, Key: it.Key, Data: it.Data}
-			}
-			inputs[set] = items
-		}
-		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: inputs}
+		inputs[i] = wire.ToSets(wr.Inputs)
 	}
 
 	// Admit the batch: record demand, then drive it through the
@@ -333,23 +448,23 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	if admitTenant == "" {
 		admitTenant = dandelion.DefaultTenant
 	}
-	window := s.adm.Admit(admitTenant, len(reqs), s.clockSeconds())
-	results := make([]dandelion.BatchResult, 0, len(reqs))
-	for lo := 0; lo < len(reqs); {
+	window := s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
+	results := make([]dandelion.BatchResult, 0, len(inputs))
+	for lo := 0; lo < len(inputs); {
 		if window < 1 {
 			window = 1
 		}
 		hi := lo + window
-		if hi > len(reqs) {
-			hi = len(reqs)
+		if hi > len(inputs) {
+			hi = len(inputs)
 		}
-		results = append(results, s.p.InvokeBatch(reqs[lo:hi])...)
+		results = append(results, s.invokeBatchAs(tenant, name, inputs[lo:hi])...)
 		lo = hi
-		if lo < len(reqs) {
+		if lo < len(inputs) {
 			window = s.adm.Window(admitTenant, s.clockSeconds())
 		}
 	}
-	s.adm.Finish(admitTenant, len(reqs), s.clockSeconds())
+	s.adm.Finish(admitTenant, len(inputs), s.clockSeconds())
 
 	wireRes := make([]WireBatchResult, len(results))
 	for i, res := range results {
@@ -357,15 +472,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 			wireRes[i].Error = res.Err.Error()
 			continue
 		}
-		outs := make(map[string][]WireItem, len(res.Outputs))
-		for set, its := range res.Outputs {
-			items := make([]WireItem, len(its))
-			for j, it := range its {
-				items[j] = WireItem{Name: it.Name, Key: it.Key, Data: it.Data}
-			}
-			outs[set] = items
-		}
-		wireRes[i].Outputs = outs
+		wireRes[i].Outputs = wire.FromSets(res.Outputs)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(wireRes)

@@ -356,6 +356,22 @@ composition E(In) => Result {
 func TestBatchErrorPaths(t *testing.T) {
 	_, srv := newServer(t)
 
+	// Register E: the unknown-composition check runs before the body is
+	// decoded (cheap 4xx for misaddressed requests), so the malformed-
+	// body case below needs a real composition to reach the decoder.
+	code0, body0 := post(t, srv.URL+"/register/function/Echo",
+		map[string]string{"X-Output-Sets": "Copy"}, dvm.EchoProgram().Encode())
+	if code0 != 200 {
+		t.Fatalf("register function: %d %s", code0, body0)
+	}
+	code0, body0 = post(t, srv.URL+"/register/composition", nil, []byte(`
+composition E(In) => Result {
+    Echo(x = all In) => (Result = Copy);
+}`))
+	if code0 != 200 {
+		t.Fatalf("register composition: %d %s", code0, body0)
+	}
+
 	assertJSONError := func(code int, body string, wantCode int, wantSub string) {
 		t.Helper()
 		if code != wantCode {

@@ -1,0 +1,88 @@
+// The remote-worker registration surface: the coordinator-side HTTP
+// face of cluster membership (docs/CLUSTER.md). A worker process
+// started with `dandelion -join <coordinator-url>` announces itself
+// here (POST /cluster/join) and then proves liveness every heartbeat
+// interval (POST /cluster/heartbeat); the attached cluster.Tracker
+// registers a cluster.RemoteNode for it in the manager, sweeps for
+// missed beats, and evicts the silent. Both routes require
+// Config.Tracker; they answer 404 otherwise. When an admin token is
+// configured the routes demand it with the same scheme as /admin —
+// membership is control-plane surface — and the coordinator presents
+// the same token back to workers on fan-out calls, so a fleet shares
+// one token.
+package frontend
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/url"
+
+	"dandelion/internal/cluster"
+	"dandelion/internal/wire"
+)
+
+// clusterAuth gates the worker-registration surface: token-checked like
+// /admin when an admin token is configured, open when none is (a
+// private coordinator — unlike /admin, membership must work on
+// tokenless single-operator deployments).
+func (s *server) clusterAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.adminToken == "" {
+			h(w, r)
+			return
+		}
+		s.adminAuth(h)(w, r)
+	}
+}
+
+func (s *server) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		jsonError(w, http.StatusNotFound, "no cluster tracker attached to this frontend")
+		return
+	}
+	var join wire.Join
+	if err := json.NewDecoder(r.Body).Decode(&join); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad join body: "+err.Error())
+		return
+	}
+	if join.Name == "" {
+		jsonError(w, http.StatusBadRequest, "join requires a worker name")
+		return
+	}
+	u, err := url.Parse(join.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		jsonError(w, http.StatusBadRequest, "join requires an http(s) worker url")
+		return
+	}
+	node := cluster.NewRemoteNode(join.URL, cluster.RemoteOptions{Token: s.adminToken})
+	if err := s.tracker.Join(join.Name, node); err != nil {
+		jsonError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, wire.JoinReply{Workers: len(s.tracker.Manager().Workers())})
+}
+
+func (s *server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if s.tracker == nil {
+		jsonError(w, http.StatusNotFound, "no cluster tracker attached to this frontend")
+		return
+	}
+	var beat wire.Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&beat); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad heartbeat body: "+err.Error())
+		return
+	}
+	if err := s.tracker.Heartbeat(beat.Name); err != nil {
+		// Unknown or evicted: 404 tells the worker's Heartbeater to
+		// re-join, the membership convergence path after coordinator
+		// restarts and healed partitions.
+		code := http.StatusInternalServerError
+		if errors.Is(err, cluster.ErrNoSuchNode) {
+			code = http.StatusNotFound
+		}
+		jsonError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}

@@ -35,6 +35,11 @@ import (
 type Config struct {
 	// BaseURL is the frontend root, e.g. an httptest.Server URL.
 	BaseURL string
+	// BaseURLs, when set, drives a multi-process cluster: each request
+	// round trip targets one of these frontend roots in rotation
+	// (deterministically, by client and sequence number). BaseURL may
+	// then be left empty. One entry behaves exactly like BaseURL.
+	BaseURLs []string
 	// Client issues the HTTP requests; nil selects http.DefaultClient.
 	Client *http.Client
 	// Composition is the registered composition to invoke.
@@ -93,8 +98,8 @@ func (r Report) String() string {
 // Run executes the configured closed loop and reports latency and
 // throughput.
 func Run(cfg Config) (Report, error) {
-	if cfg.BaseURL == "" || cfg.Composition == "" || cfg.InputSet == "" {
-		return Report{}, errors.New("loadgen: BaseURL, Composition, and InputSet are required")
+	if (cfg.BaseURL == "" && len(cfg.BaseURLs) == 0) || cfg.Composition == "" || cfg.InputSet == "" {
+		return Report{}, errors.New("loadgen: BaseURL (or BaseURLs), Composition, and InputSet are required")
 	}
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
@@ -172,6 +177,17 @@ func doRequest(cfg Config, client, seq int) int {
 	return doBatch(cfg, client, seq)
 }
 
+// targetURL picks the frontend a round trip goes to: BaseURL alone
+// serves everything; with BaseURLs set, requests rotate across the
+// frontends deterministically (closed-loop clients and open-loop
+// arrivals both spread, since the open loop advances seq).
+func (cfg Config) targetURL(client, seq int) string {
+	if len(cfg.BaseURLs) == 0 {
+		return cfg.BaseURL
+	}
+	return cfg.BaseURLs[(client+seq)%len(cfg.BaseURLs)]
+}
+
 // post issues one POST with the tenant header applied.
 func post(cfg Config, url, contentType string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
@@ -186,7 +202,7 @@ func post(cfg Config, url, contentType string, body []byte) (*http.Response, err
 }
 
 func doSingle(cfg Config, client, seq int) int {
-	url := cfg.BaseURL + "/invoke/" + cfg.Composition + "?input=" + cfg.InputSet
+	url := cfg.targetURL(client, seq) + "/invoke/" + cfg.Composition + "?input=" + cfg.InputSet
 	if cfg.OutputSet != "" {
 		url += "&output=" + cfg.OutputSet
 	}
@@ -216,7 +232,7 @@ func doBatch(cfg Config, client, seq int) int {
 	if err != nil {
 		return cfg.BatchSize
 	}
-	resp, err := post(cfg, cfg.BaseURL+"/invoke-batch/"+cfg.Composition,
+	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
 		"application/json", body)
 	if err != nil {
 		return cfg.BatchSize
@@ -247,7 +263,8 @@ func doBatch(cfg Config, client, seq int) int {
 }
 
 // firstItem extracts the first item of the named output set, or of the
-// first non-empty set when name is empty — mirroring /invoke.
+// first non-empty set in sorted set-name order when name is empty —
+// mirroring /invoke's deterministic pick.
 func firstItem(outputs map[string][]frontend.WireItem, name string) []byte {
 	if name != "" {
 		if its := outputs[name]; len(its) > 0 {
@@ -255,8 +272,13 @@ func firstItem(outputs map[string][]frontend.WireItem, name string) []byte {
 		}
 		return nil
 	}
-	for _, its := range outputs {
-		if len(its) > 0 {
+	sets := make([]string, 0, len(outputs))
+	for set := range outputs {
+		sets = append(sets, set)
+	}
+	sort.Strings(sets)
+	for _, set := range sets {
+		if its := outputs[set]; len(its) > 0 {
 			return its[0].Data
 		}
 	}

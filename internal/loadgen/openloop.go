@@ -23,6 +23,9 @@ import (
 type OpenConfig struct {
 	// BaseURL is the frontend root, e.g. an httptest.Server URL.
 	BaseURL string
+	// BaseURLs, when set, spreads arrivals across a multi-process
+	// cluster of frontends in rotation; BaseURL may then be left empty.
+	BaseURLs []string
 	// Client issues the HTTP requests; nil selects http.DefaultClient.
 	Client *http.Client
 	// Composition is the registered composition to invoke.
@@ -87,8 +90,8 @@ func (r OpenReport) String() string {
 // RunOpenLoop executes the configured fixed-rate arrival schedule and
 // reports queueing delay and service latency separately.
 func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
-	if cfg.BaseURL == "" || cfg.Composition == "" || cfg.InputSet == "" {
-		return OpenReport{}, errors.New("loadgen: BaseURL, Composition, and InputSet are required")
+	if (cfg.BaseURL == "" && len(cfg.BaseURLs) == 0) || cfg.Composition == "" || cfg.InputSet == "" {
+		return OpenReport{}, errors.New("loadgen: BaseURL (or BaseURLs), Composition, and InputSet are required")
 	}
 	if cfg.Rate <= 0 {
 		return OpenReport{}, errors.New("loadgen: open loop requires Rate > 0")
@@ -114,6 +117,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 	// actual HTTP round trips; client index 0 carries the open loop.
 	reqCfg := Config{
 		BaseURL:     cfg.BaseURL,
+		BaseURLs:    cfg.BaseURLs,
 		Client:      cfg.Client,
 		Composition: cfg.Composition,
 		InputSet:    cfg.InputSet,

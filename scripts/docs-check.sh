@@ -47,6 +47,16 @@ for f in $(grep -ho '`-[a-z][a-z0-9-]*`' $docs | tr -d '`' | sort -u); do
   fi
 done
 
+# Rule 4: the reverse of rule 3 — every CLI flag cmd/dandelion declares
+# must be documented: its backticked name has to appear in README.md or
+# docs/. Catches flags added without a README table row.
+for name in $(grep -rho 'flag\.[A-Za-z]*("[a-z][a-z0-9-]*"' cmd/dandelion/ | sed 's/.*("\([^"]*\)".*/\1/' | sort -u); do
+  if ! grep -q -- "\`-$name\`" $docs; then
+    echo "docs-check: flag -$name declared in cmd/dandelion but not documented in README.md or docs/" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-check: OK"
 fi
