@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke bench-baseline e2e-cluster docs-check
+.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
-# catches dispatch-path regressions that compile fine), keep the
+# catches dispatch-path regressions that compile fine), keep the binary
+# wire codec honest against malformed inputs (fuzz-smoke), keep the
 # multi-process cluster path alive (e2e-cluster), and keep the docs
 # honest (docs-check catches references to removed symbols).
-ci: build vet race bench-smoke e2e-cluster docs-check
+ci: build vet race bench-smoke fuzz-smoke e2e-cluster docs-check
 
 build:
 	$(GO) build ./...
@@ -27,17 +28,24 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' -benchmem .
 
 # bench-smoke is a short single-iteration run of the batched dispatch
-# benchmark: not a performance measurement, just proof the hot path
-# still executes end to end (in both data-plane modes — the batch and
-# batch-zerocopy sub-benchmarks).
+# and HTTP serving benchmarks: not a performance measurement, just
+# proof the hot paths still execute end to end — both data-plane modes
+# (batch, batch-zerocopy) and both wire framings (json, binary).
 bench-smoke:
-	$(GO) test -run XXX -bench BenchmarkInvokeBatch -benchtime 1x -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkServingHTTP' -benchtime 1x -benchmem .
 
-# bench-baseline snapshots the invoke hot-path numbers (inv/s, allocs/op
-# for the single, batch, and batch+zerocopy paths, plus the sharded-vs-
-# mutex counter contention probe) into BENCH_5.json — alongside the
-# committed PR-4 baseline BENCH_4.json — giving future PRs a perf
-# trajectory to regress against (see scripts/bench-baseline.sh).
+# fuzz-smoke runs the binary wire codec fuzzer briefly: long enough to
+# replay the corpus and probe a few thousand mutations of the framing
+# grammar, short enough for CI (see internal/wire FuzzWireRoundTrip).
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/wire/
+
+# bench-baseline snapshots the serving-path numbers (inv/s and allocs/op
+# for the single, batch, and batch+zerocopy dispatch paths, wire MB/s
+# for the JSON-vs-binary HTTP framings, plus the sharded-vs-mutex
+# counter contention probe) into BENCH_7.json — alongside the committed
+# PR-4/PR-5 baselines — giving future PRs a perf trajectory to regress
+# against (see scripts/bench-baseline.sh).
 bench-baseline:
 	sh scripts/bench-baseline.sh
 

@@ -7,7 +7,9 @@
 package dandelion_test
 
 import (
+	"bytes"
 	"fmt"
+	"net/http/httptest"
 	"strconv"
 	"sync"
 	"testing"
@@ -16,7 +18,9 @@ import (
 	"dandelion"
 	"dandelion/internal/dvm"
 	"dandelion/internal/experiments"
+	"dandelion/internal/frontend"
 	"dandelion/internal/isolation"
+	"dandelion/internal/loadgen"
 	"dandelion/internal/memctx"
 	"dandelion/internal/ssb"
 	"dandelion/internal/stats"
@@ -392,6 +396,78 @@ composition I(In) => Result {
 		}
 		b.ReportMetric(float64(batch*b.N)/b.Elapsed().Seconds(), "inv/s")
 	})
+}
+
+// BenchmarkServingHTTP measures the serving path end to end at the
+// HTTP level: the closed-loop load generator drives /invoke-batch/ on
+// an in-process httptest frontend over real sockets, with an identity
+// function so request framing — not compute — dominates. The grid
+// crosses the two wire framings (JSON+base64 vs the length-prefixed
+// binary form, docs/WIRE.md) with small and multi-KiB payloads; each
+// sub-benchmark reports invocations/sec and wire MB/s (ISSUE 7
+// acceptance: binary >= 2x JSON inv/s on the multi-KiB shape, recorded
+// in BENCH_7.json).
+func BenchmarkServingHTTP(b *testing.B) {
+	newSrv := func(b *testing.B) *httptest.Server {
+		p, err := dandelion.New(dandelion.Options{ComputeEngines: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Shutdown)
+		if err := p.RegisterFunction(dandelion.ComputeFunc{Name: "Id", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+			return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RegisterCompositionText(`
+composition I(In) => Result {
+    Id(x = all In) => (Result = Out);
+}`); err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(frontend.New(p))
+		b.Cleanup(srv.Close)
+		return srv
+	}
+	framings := []struct {
+		name   string
+		binary bool
+	}{{"json", false}, {"binary", true}}
+	sizes := []struct {
+		name  string
+		bytes int
+	}{{"small", 64}, {"8KiB", 8 << 10}}
+	for _, fr := range framings {
+		for _, sz := range sizes {
+			b.Run(fr.name+"/"+sz.name, func(b *testing.B) {
+				srv := newSrv(b)
+				payload := bytes.Repeat([]byte("d"), sz.bytes)
+				cfg := loadgen.Config{
+					BaseURL:     srv.URL,
+					Client:      srv.Client(),
+					Composition: "I",
+					InputSet:    "In",
+					OutputSet:   "Result",
+					Clients:     4,
+					Requests:    b.N,
+					BatchSize:   16,
+					Binary:      fr.binary,
+					Payload:     func(client, seq, i int) []byte { return payload },
+				}
+				b.ResetTimer()
+				rep, err := loadgen.Run(cfg)
+				b.StopTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Errors != 0 {
+					b.Fatalf("%d/%d invocations failed", rep.Errors, rep.Invocations)
+				}
+				b.ReportMetric(rep.Throughput, "inv/s")
+				b.ReportMetric(rep.BytesPerSec/1e6, "wire_MB/s")
+			})
+		}
+	}
 }
 
 // BenchmarkStatsContention isolates the hot-path bookkeeping pattern of

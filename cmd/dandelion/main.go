@@ -61,6 +61,7 @@ func main() {
 	autoscale := flag.Bool("autoscale", false, "grow/shrink the compute-engine pool with load (elasticity controller)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "compute-pool ceiling under -autoscale (0 = 4x initial)")
 	adminToken := flag.String("admin-token", "", "bearer token enabling the /admin control-plane routes (empty disables them)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "per-request body cap on the invocation and registration routes; oversized requests get 413 (0 = 64 MiB default)")
 	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: accept remote worker joins on /cluster/join and route invocations across the fleet")
 	join := flag.String("join", "", "coordinator URL to join as a remote worker (self-registers, heartbeats, re-registers after coordinator restarts)")
 	workerName := flag.String("name", "", "worker name presented to the coordinator under -join (default: the listen address)")
@@ -89,7 +90,7 @@ func main() {
 	}
 	defer p.Shutdown()
 
-	cfg := frontend.Config{AdminToken: *adminToken}
+	cfg := frontend.Config{AdminToken: *adminToken, MaxBodyBytes: *maxBodyBytes}
 	if *coordinator {
 		// Coordinator mode: this frontend is the cluster ingress.
 		// Workers join over /cluster/join, prove liveness over

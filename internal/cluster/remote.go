@@ -1,8 +1,10 @@
 // Remote worker transport: the HTTP client side of the cluster layer.
 // RemoteNode makes a worker running behind internal/frontend look like
 // any other Node to the Manager — invocations, batches, tenant-weight
-// fan-out, and stats aggregation all travel the frontend's existing
-// JSON wire protocol (internal/wire) — and Heartbeater is the loop a
+// fan-out, and stats aggregation travel the frontend's wire protocol
+// (internal/wire): batches in the length-prefixed binary framing once
+// the worker proves it speaks it, JSON against binary-unaware workers
+// (see docs/WIRE.md for the negotiation) — and Heartbeater is the loop a
 // worker process runs to register with a coordinator and keep proving
 // liveness. Together with the Tracker (heartbeat.go) they turn the
 // in-process federation into a real multi-process deployment: N worker
@@ -20,6 +22,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -68,11 +71,40 @@ type RemoteNode struct {
 	token  string
 	client *http.Client
 
+	// wireMode latches the negotiated batch framing: modeUnknown until
+	// the first batch probes (JSON body, Accept offering the binary
+	// type), then modeBinary against a frame-speaking worker or
+	// modeJSON against a binary-unaware one. Probing this way means the
+	// fallback costs nothing: an old worker never sees a body it would
+	// reject, so there is no failed request to recover from.
+	wireMode atomic.Int32
+
 	// ctlErrs counts control-plane calls (SetTenantWeight) that failed
 	// on the wire; the WeightNode interface has no error return, so the
 	// counter is the only trace.
 	ctlErrs atomic.Uint64
 }
+
+// Wire-mode states of the batch-framing negotiation.
+const (
+	modeUnknown int32 = iota
+	modeBinary
+	modeJSON
+)
+
+// WireMode reports the negotiated batch framing: "probing" before the
+// first batch, then "binary" or "json".
+func (rn *RemoteNode) WireMode() string {
+	switch rn.wireMode.Load() {
+	case modeBinary:
+		return "binary"
+	case modeJSON:
+		return "json"
+	}
+	return "probing"
+}
+
+var remoteBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // NewRemoteNode builds a client for the worker frontend rooted at
 // baseURL (e.g. "http://10.0.0.7:8080").
@@ -135,6 +167,42 @@ func (rn *RemoteNode) do(method, path, tenant string, body []byte) ([]byte, erro
 	return payload, nil
 }
 
+// doStream issues one request with explicit framing headers and hands
+// back the open response for streaming decode (the caller closes it).
+// Non-2xx statuses are drained and mapped exactly as in do.
+func (rn *RemoteNode) doStream(method, path, tenant string, body io.Reader, contentType, accept string) (*http.Response, error) {
+	req, err := http.NewRequest(method, rn.base+path, body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	if rn.token != "" {
+		req.Header.Set(adminTokenHeader, rn.token)
+	}
+	resp, err := rn.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		payload, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			return nil, errors.New(e.Error)
+		}
+		return nil, fmt.Errorf("%w: %s %s: status %d", ErrRemote, method, path, resp.StatusCode)
+	}
+	return resp, nil
+}
+
 // Invoke routes one invocation to the worker under the default tenant.
 func (rn *RemoteNode) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	return rn.InvokeAs(core.DefaultTenant, name, inputs)
@@ -181,25 +249,109 @@ func (rn *RemoteNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
 	return results
 }
 
-// invokeBatchGroup drives one uniform (composition, tenant) run.
+// invokeBatchGroup drives one uniform (composition, tenant) run in the
+// negotiated framing: binary frames once the worker has proven it
+// speaks them, JSON otherwise — and, while the mode is still unknown,
+// a JSON body whose Accept header offers the binary type, so the
+// worker's response Content-Type settles the mode without ever sending
+// an old worker a body it would reject.
 func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.BatchResult) {
 	fail := func(err error) {
 		for i := range results {
 			results[i] = core.BatchResult{Err: err}
 		}
 	}
-	wireReqs := make([]wire.BatchRequest, len(reqs))
-	for i, r := range reqs {
-		wireReqs[i] = wire.BatchRequest{Inputs: wire.FromSets(r.Inputs)}
+	path := "/invoke-batch/" + url.PathEscape(reqs[0].Composition)
+	mode := rn.wireMode.Load()
+
+	buf := remoteBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		remoteBufPool.Put(buf)
+	}()
+	var contentType, accept string
+	if mode == modeBinary {
+		enc := wire.NewEncoder(buf)
+		for _, r := range reqs {
+			if err := enc.EncodeRequest(r.Inputs); err != nil {
+				enc.Release()
+				fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
+				return
+			}
+		}
+		err := enc.EncodeEnd()
+		enc.Release()
+		if err != nil {
+			fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
+			return
+		}
+		contentType = wire.ContentTypeBinary
+	} else {
+		wireReqs := make([]wire.BatchRequest, len(reqs))
+		for i, r := range reqs {
+			wireReqs[i] = wire.BatchRequest{Inputs: wire.FromSets(r.Inputs)}
+		}
+		if err := json.NewEncoder(buf).Encode(wireReqs); err != nil {
+			fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
+			return
+		}
+		contentType = wire.ContentTypeJSON
+		if mode == modeUnknown {
+			accept = wire.ContentTypeBinary
+		}
 	}
-	body, err := json.Marshal(wireReqs)
-	if err != nil {
-		fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
-		return
-	}
-	payload, err := rn.do(http.MethodPost, "/invoke-batch/"+url.PathEscape(reqs[0].Composition), reqs[0].Tenant, body)
+
+	resp, err := rn.doStream(http.MethodPost, path, reqs[0].Tenant, buf, contentType, accept)
 	if err != nil {
 		fail(err)
+		return
+	}
+	defer resp.Body.Close()
+
+	binaryResp := strings.HasPrefix(resp.Header.Get("Content-Type"), wire.ContentTypeBinary)
+	if mode == modeUnknown {
+		// The probe's answer settles the mode for every later batch.
+		if binaryResp {
+			rn.wireMode.CompareAndSwap(modeUnknown, modeBinary)
+		} else {
+			rn.wireMode.CompareAndSwap(modeUnknown, modeJSON)
+		}
+	}
+
+	if binaryResp {
+		// Never Recycle here: decoded outputs escape upward through the
+		// manager, so their buffers must outlive the decoder (they are
+		// simply left to the garbage collector).
+		dec := wire.NewDecoder(resp.Body)
+		defer dec.Release()
+		n := 0
+		for {
+			outputs, errMsg, err := dec.DecodeResult()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(fmt.Errorf("%w: decoding batch response: %v", ErrRemote, err))
+				return
+			}
+			if n < len(results) {
+				if errMsg != "" {
+					results[n] = core.BatchResult{Err: errors.New(errMsg)}
+				} else {
+					results[n] = core.BatchResult{Outputs: outputs}
+				}
+			}
+			n++
+		}
+		if n != len(reqs) {
+			fail(fmt.Errorf("%w: bad batch response (%d results for %d requests)", ErrRemote, n, len(reqs)))
+		}
+		return
+	}
+
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(fmt.Errorf("%w: reading response: %v", ErrRemote, err))
 		return
 	}
 	var wireRes []wire.BatchResult

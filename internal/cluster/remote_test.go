@@ -6,7 +6,10 @@ package cluster_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -14,8 +17,7 @@ import (
 	"dandelion/internal/cluster"
 	"dandelion/internal/dvm"
 	"dandelion/internal/frontend"
-
-	"net/http/httptest"
+	"dandelion/internal/wire"
 )
 
 // newWorker spins one worker node with its frontend and the echo
@@ -215,5 +217,80 @@ func TestHeartbeaterJoinsAndRejoins(t *testing.T) {
 	waitFor("eviction record cleared", func() bool { return len(tr.AggregateStats().Evicted) == 0 })
 	if hb.Joins() < 2 {
 		t.Fatalf("Joins = %d, want >= 2", hb.Joins())
+	}
+}
+
+// TestRemoteNodeBinaryNegotiation pins the framing handshake: against
+// a frame-speaking frontend the first batch probes with a JSON body
+// (Accept offering the binary type), the framed answer latches binary
+// mode, and later batches travel binary end to end.
+func TestRemoteNodeBinaryNegotiation(t *testing.T) {
+	_, srv := newWorker(t, "")
+	rn := cluster.NewRemoteNode(srv.URL, cluster.RemoteOptions{})
+	if got := rn.WireMode(); got != "probing" {
+		t.Fatalf("mode before first batch = %q, want probing", got)
+	}
+
+	mkBatch := func(payload string) []dandelion.BatchRequest {
+		return []dandelion.BatchRequest{{
+			Composition: "E",
+			Inputs:      map[string][]dandelion.Item{"In": {{Name: "x", Data: []byte(payload)}}},
+		}}
+	}
+	res := rn.InvokeBatch(mkBatch("probe"))
+	if res[0].Err != nil {
+		t.Fatalf("probe batch: %v", res[0].Err)
+	}
+	if got := string(res[0].Outputs["Result"][0].Data); got != "probe" {
+		t.Fatalf("probe echoed %q", got)
+	}
+	if got := rn.WireMode(); got != "binary" {
+		t.Fatalf("mode after probe = %q, want binary", got)
+	}
+
+	// Second batch travels the binary framing; results still decode.
+	res = rn.InvokeBatch(mkBatch("framed"))
+	if res[0].Err != nil {
+		t.Fatalf("binary batch: %v", res[0].Err)
+	}
+	if got := string(res[0].Outputs["Result"][0].Data); got != "framed" {
+		t.Fatalf("binary batch echoed %q", got)
+	}
+}
+
+// TestRemoteNodeJSONFallback pins the downgrade path: a binary-unaware
+// worker (a stub that only speaks the JSON protocol and ignores Accept)
+// latches JSON mode, and every batch — including the probe — succeeds.
+func TestRemoteNodeJSONFallback(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var reqs []wire.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&reqs); err != nil {
+			http.Error(w, `{"error":"bad batch body"}`, http.StatusBadRequest)
+			return
+		}
+		res := make([]wire.BatchResult, len(reqs))
+		for i, req := range reqs {
+			res[i].Outputs = req.Inputs // plain echo
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	}))
+	t.Cleanup(stub.Close)
+
+	rn := cluster.NewRemoteNode(stub.URL, cluster.RemoteOptions{})
+	for i := 0; i < 2; i++ {
+		res := rn.InvokeBatch([]dandelion.BatchRequest{{
+			Composition: "E",
+			Inputs:      map[string][]dandelion.Item{"In": {{Name: "x", Data: []byte("legacy")}}},
+		}})
+		if res[0].Err != nil {
+			t.Fatalf("batch %d against JSON-only worker: %v", i, res[0].Err)
+		}
+		if got := string(res[0].Outputs["In"][0].Data); got != "legacy" {
+			t.Fatalf("batch %d echoed %q", i, got)
+		}
+	}
+	if got := rn.WireMode(); got != "json" {
+		t.Fatalf("mode after JSON-only answers = %q, want json", got)
 	}
 }

@@ -404,9 +404,9 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 		seg := items[lo:hi]
 		wg.Add(1)
 		task := sched.Task{
-			Do: func() {
+			DoSharded: func(shard int) {
 				defer wg.Done()
-				p.runComputeChunk(v.fn, prepared, seg)
+				p.runComputeChunk(v.fn, prepared, seg, shard)
 			},
 			OnReject: func(err error) {
 				for i := range seg {
@@ -485,9 +485,9 @@ func (p *Platform) schedAwareChunks(tenant string, items int) int {
 // to the dispatcher) before the next instance Resets it, and the
 // payloads are independent heap buffers, not region-backed, so neither
 // Reset nor a later pooled reuse can invalidate them.
-func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem) {
+func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem, shard int) {
 	ctx, reused := memctx.NewPooled(funcMemBytes(f))
-	sh := p.ctrs.shard()
+	sh := p.ctrs.shardAt(shard)
 	if reused {
 		sh.ctxReused.Add(1)
 	} else {
@@ -497,7 +497,7 @@ func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg
 		if i > 0 {
 			ctx.Reset()
 		}
-		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst)
+		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst, sh)
 	}
 	memctx.Recycle(ctx)
 }

@@ -506,7 +506,7 @@ func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, 
 		wg.Add(1)
 		run := func() {
 			defer wg.Done()
-			outs, err := p.runInstance(tenant, v, st, inst, depth)
+			outs, err := p.runInstance(tenant, v, st, inst, depth, nil)
 			results[idx], errs[idx] = outs, err
 		}
 		reject := func(err error) {
@@ -519,7 +519,15 @@ func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, 
 				reject(err)
 			}
 		case v.fn != nil:
-			if err := p.computeSched.Submit(tenant, sched.Task{Do: run, OnReject: reject}); err != nil {
+			// Compute tasks run on an engine with a stable shard index;
+			// hand it through so counter ticks hit a fixed shard instead
+			// of re-deriving one per call.
+			runOn := func(shard int) {
+				defer wg.Done()
+				outs, err := p.runInstance(tenant, v, st, inst, depth, p.ctrs.shardAt(shard))
+				results[idx], errs[idx] = outs, err
+			}
+			if err := p.computeSched.Submit(tenant, sched.Task{DoSharded: runOn, OnReject: reject}); err != nil {
 				reject(err)
 			}
 		default:
@@ -610,13 +618,15 @@ func expandInstances(args []graph.Arg, items [][]memctx.Item) ([]instance, error
 
 // runInstance executes one instance of a vertex. It is called on an
 // engine worker (compute or communication) or, for nested compositions,
-// on a dispatcher goroutine.
-func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst instance, depth int) ([]memctx.Set, error) {
+// on a dispatcher goroutine. sh, when non-nil, is the engine's stable
+// counter shard; nil callers (comm engines, nested compositions) let
+// the compute path derive one.
+func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst instance, depth int, sh *hotShard) ([]memctx.Set, error) {
 	switch {
 	case v.comm != nil:
 		return v.comm.Invoke(inst)
 	case v.fn != nil:
-		return p.runCompute(v.fn, inst)
+		return p.runCompute(v.fn, inst, sh)
 	default:
 		childInputs := make(map[string][]memctx.Item, len(inst))
 		for _, s := range inst {
@@ -645,15 +655,17 @@ func funcMemBytes(f *registeredFunc) int {
 // runCompute prepares an isolated memory context (recycled through the
 // memctx pool), executes the function under the configured backend,
 // harvests outputs, and recycles the context.
-func (p *Platform) runCompute(f *registeredFunc, inst instance) ([]memctx.Set, error) {
+func (p *Platform) runCompute(f *registeredFunc, inst instance, sh *hotShard) ([]memctx.Set, error) {
 	ctx, reused := memctx.NewPooled(funcMemBytes(f))
-	sh := p.ctrs.shard()
+	if sh == nil {
+		sh = p.ctrs.shard()
+	}
 	if reused {
 		sh.ctxReused.Add(1)
 	} else {
 		sh.ctxFresh.Add(1)
 	}
-	outs, err := p.runComputeIn(ctx, f, f.prepared, inst)
+	outs, err := p.runComputeIn(ctx, f, f.prepared, inst, sh)
 	// Safe to recycle in both data-plane modes: harvested outputs were
 	// moved out of (or cloned by) the context, and their payloads are
 	// independent heap buffers, never region-backed.
@@ -679,8 +691,7 @@ func (p *Platform) runCompute(f *registeredFunc, inst instance) ([]memctx.Set, e
 // handed off (AdoptOutputs + TakeOutputs), so the dispatcher — and
 // through it the consuming statement's context, also across chunk
 // boundaries within one batch — receives the producer's buffers.
-func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance) (outs []memctx.Set, err error) {
-	sh := p.ctrs.shard()
+func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance, sh *hotShard) (outs []memctx.Set, err error) {
 	memBytes := funcMemBytes(f)
 	for _, s := range inst {
 		if p.opts.ZeroCopy {

@@ -43,8 +43,15 @@ func (k Kind) String() string {
 // batch store before Do returns, so the engine layer never copies or
 // owns payload data.
 type Task struct {
-	// Do performs the work. It must not be nil.
+	// Do performs the work. Exactly one of Do and DoSharded must be
+	// non-nil.
 	Do func()
+	// DoSharded, when set, is invoked instead of Do and receives the
+	// executing engine's stable shard index (its queue-shard slot).
+	// Per-engine sharded state — e.g. the dispatcher's hot counters —
+	// can index by it directly instead of re-deriving a shard from the
+	// goroutine on every task.
+	DoSharded func(shard int)
 }
 
 // ErrQueueClosed is returned by Push after Close.
@@ -155,7 +162,7 @@ func (p *Pool) run(w *worker) {
 				return
 			}
 			// Run to completion on this engine; nothing else runs here.
-			p.execute(t)
+			p.execute(t, shard.id)
 		}
 	}
 	// Communication: cooperative green thread per request, bounded by
@@ -179,18 +186,21 @@ func (p *Pool) run(w *worker) {
 				<-sem
 				p.wg.Done()
 			}()
-			p.execute(t)
+			p.execute(t, shard.id)
 		}()
 	}
 }
 
-func (p *Pool) execute(t Task) {
+func (p *Pool) execute(t Task, shard int) {
 	p.inflight.Add(1)
 	defer func() {
 		p.inflight.Add(-1)
 		p.completed.Add(1)
 	}()
-	if t.Do != nil {
+	switch {
+	case t.DoSharded != nil:
+		t.DoSharded(shard)
+	case t.Do != nil:
 		t.Do()
 	}
 }

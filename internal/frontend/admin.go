@@ -26,11 +26,13 @@
 package frontend
 
 import (
+	"bytes"
 	"crypto/subtle"
 	"encoding/json"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // AdminTokenHeader is the alternative to the Authorization bearer
@@ -63,6 +65,30 @@ func (s *server) adminAuth(h http.HandlerFunc) http.HandlerFunc {
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(v)
+}
+
+var statsBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSONBuffered serializes v fully before touching the response:
+// a snapshot that fails mid-encode answers 500 instead of leaking a
+// truncated body under an already-committed 200, and Content-Length
+// lets clients detect a cut transfer. The stats routes use this —
+// their values aggregate live gauges (including remote workers'), so
+// mid-encode failure is a real possibility there, and their bodies are
+// small enough that buffering costs nothing.
+func writeJSONBuffered(w http.ResponseWriter, v any) {
+	buf := statsBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		statsBufPool.Put(buf)
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		jsonError(w, http.StatusInternalServerError, "encoding stats: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 // adminTenantView is the wire shape of one tenant's control-plane state.
@@ -224,12 +250,12 @@ func (s *server) handleClusterStats(w http.ResponseWriter, r *http.Request) {
 	// plus the heartbeat/eviction gauges, including workers evicted for
 	// missed heartbeats (reported, not silently dropped).
 	if s.tracker != nil {
-		writeJSON(w, s.tracker.AggregateStats())
+		writeJSONBuffered(w, s.tracker.AggregateStats())
 		return
 	}
 	if s.cluster == nil {
 		jsonError(w, http.StatusNotFound, "no cluster manager attached to this frontend")
 		return
 	}
-	writeJSON(w, s.cluster.AggregateStats())
+	writeJSONBuffered(w, s.cluster.AggregateStats())
 }

@@ -73,7 +73,17 @@ type Config struct {
 	// into the local platform. Composition existence is then checked by
 	// the worker that receives each request, not locally.
 	RouteViaCluster bool
+	// MaxBodyBytes caps request bodies on the invocation and
+	// registration routes (http.MaxBytesReader; overflow answers 413
+	// with a JSON error body). Zero selects DefaultMaxBodyBytes.
+	MaxBodyBytes int64
 }
+
+// DefaultMaxBodyBytes is the default request-body cap of the
+// invocation and registration routes (64 MiB) — generous for batch
+// bodies, but finite: without one, a single request could buffer
+// unbounded memory through io.ReadAll before any admission check runs.
+const DefaultMaxBodyBytes int64 = 64 << 20
 
 // server binds the platform, the admission plane, the control-plane
 // config, and the clock.
@@ -84,6 +94,7 @@ type server struct {
 	cluster      *cluster.Manager
 	tracker      *cluster.Tracker
 	routeCluster bool
+	maxBody      int64
 	now          func() time.Time
 	t0           time.Time
 }
@@ -117,7 +128,15 @@ type server struct {
 //	     by internal/autoscale) before Platform.InvokeBatch — client
 //	     framing is advisory, not trusted. Malformed JSON and unknown
 //	     compositions are rejected with 400 and a JSON error body
-//	     {"error": "..."}.
+//	     {"error": "..."}. With Content-Type:
+//	     application/x-dandelion-frame the route instead speaks the
+//	     length-prefixed binary framing (docs/WIRE.md): request records
+//	     are decoded and executed in admission-window-sized sub-batches
+//	     while the body is still uploading, and each sub-batch's result
+//	     frames are flushed before the next window is read. A JSON
+//	     request whose Accept header offers the binary type gets a
+//	     framed response — the upgrade probe clients use to discover a
+//	     frame-speaking server.
 //	GET  /stats                      JSON platform gauges, including
 //	     the per-tenant scheduling gauges (queued, running, completed,
 //	     dispatch-wait avg/p99/max) under "Tenants"
@@ -147,6 +166,10 @@ func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
 		p: p, adm: cfg.Admission, adminToken: cfg.AdminToken,
 		cluster: cfg.Cluster, tracker: cfg.Tracker,
 		routeCluster: cfg.RouteViaCluster, now: cfg.Now,
+		maxBody: cfg.MaxBodyBytes,
+	}
+	if s.maxBody <= 0 {
+		s.maxBody = DefaultMaxBodyBytes
 	}
 	if s.tracker != nil && s.cluster == nil {
 		s.cluster = s.tracker.Manager()
@@ -165,10 +188,10 @@ func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
 	}
 	s.t0 = s.now()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/register/function/", method(http.MethodPost, s.handleRegisterFunction))
-	mux.HandleFunc("/register/composition", method(http.MethodPost, s.handleRegisterComposition))
-	mux.HandleFunc("/invoke/", method(http.MethodPost, s.handleInvoke))
-	mux.HandleFunc("/invoke-batch/", method(http.MethodPost, s.handleInvokeBatch))
+	mux.HandleFunc("/register/function/", method(http.MethodPost, s.limitBody(s.handleRegisterFunction)))
+	mux.HandleFunc("/register/composition", method(http.MethodPost, s.limitBody(s.handleRegisterComposition)))
+	mux.HandleFunc("/invoke/", method(http.MethodPost, s.limitBody(s.handleInvoke)))
+	mux.HandleFunc("/invoke-batch/", method(http.MethodPost, s.limitBody(s.handleInvokeBatch)))
 	mux.HandleFunc("/stats", method(http.MethodGet, s.handleStats))
 	mux.HandleFunc("/stats/cluster", method(http.MethodGet, s.handleClusterStats))
 	mux.HandleFunc("/admin/tenants/", s.adminAuth(s.handleAdminTenant))
@@ -196,6 +219,28 @@ func jsonError(w http.ResponseWriter, code int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
+// limitBody caps a route's request body (Config.MaxBodyBytes).
+// Handlers surface the overflow through bodyError, which maps it to a
+// 413 JSON error.
+func (s *server) limitBody(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+		h(w, r)
+	}
+}
+
+// bodyError maps a request-body read/decode failure to its status:
+// 413 when the body hit the MaxBytesReader cap, 400 otherwise.
+func bodyError(w http.ResponseWriter, context string, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	jsonError(w, http.StatusBadRequest, context+err.Error())
+}
+
 // method guards a handler to one HTTP method, answering a consistent
 // 405 (with Allow header) otherwise.
 func method(want string, h http.HandlerFunc) http.HandlerFunc {
@@ -217,7 +262,7 @@ func (s *server) handleRegisterFunction(w http.ResponseWriter, r *http.Request) 
 	}
 	binary, err := io.ReadAll(r.Body)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err.Error())
+		bodyError(w, "", err)
 		return
 	}
 	fn := dandelion.ComputeFunc{Name: name, Binary: binary}
@@ -253,7 +298,7 @@ func (s *server) handleRegisterFunction(w http.ResponseWriter, r *http.Request) 
 func (s *server) handleRegisterComposition(w http.ResponseWriter, r *http.Request) {
 	src, err := io.ReadAll(r.Body)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err.Error())
+		bodyError(w, "", err)
 		return
 	}
 	names, err := s.p.RegisterCompositionText(string(src))
@@ -306,7 +351,7 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err.Error())
+		bodyError(w, "", err)
 		return
 	}
 	out, err := s.invokeAs(tenantOf(r), name, map[string][]dandelion.Item{
@@ -362,7 +407,7 @@ func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name s
 	}
 	var req wire.BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad invoke body: "+err.Error())
+		bodyError(w, "bad invoke body: ", err)
 		return
 	}
 	out, err := s.invokeAs(tenantOf(r), name, wire.ToSets(req.Inputs))
@@ -378,8 +423,7 @@ func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name s
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.p.Stats())
+	writeJSONBuffered(w, s.p.Stats())
 }
 
 // Wire types of the serving protocol, shared with clients
@@ -412,6 +456,22 @@ func (s *server) invokeBatchAs(tenant, name string, inputs []map[string][]dandel
 	return s.p.InvokeBatch(reqs)
 }
 
+// admitName maps a request tenant onto the admission plane's key
+// space, where the empty tenant is spelled out.
+func admitName(tenant string) string {
+	if tenant == "" {
+		return dandelion.DefaultTenant
+	}
+	return tenant
+}
+
+// acceptsBinary reports whether the client offered the binary framing
+// for the response — the upgrade probe a JSON request uses to discover
+// a frame-speaking server (see docs/WIRE.md).
+func acceptsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentTypeBinary)
+}
+
 func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	name := strings.TrimPrefix(r.URL.Path, "/invoke-batch/")
 	if name == "" {
@@ -419,7 +479,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Cheap rejects before touching the body: a drained node or a
-	// misaddressed composition must not pay a full JSON decode of an
+	// misaddressed composition must not pay a full body decode of an
 	// arbitrarily large batch just to answer 4xx/503.
 	if !s.knownComposition(name) {
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
@@ -429,9 +489,13 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusServiceUnavailable, dandelion.ErrDraining.Error())
 		return
 	}
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentTypeBinary) {
+		s.handleInvokeBatchBinary(w, r, name)
+		return
+	}
 	var wireReqs []WireBatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&wireReqs); err != nil {
-		jsonError(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		bodyError(w, "bad batch body: ", err)
 		return
 	}
 	tenant := tenantOf(r)
@@ -444,10 +508,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	// platform in admission-window-sized sub-batches. The window is
 	// re-read between sub-batches so a sustained burst widens it while
 	// it is still being drained.
-	admitTenant := tenant
-	if admitTenant == "" {
-		admitTenant = dandelion.DefaultTenant
-	}
+	admitTenant := admitName(tenant)
 	window := s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
 	results := make([]dandelion.BatchResult, 0, len(inputs))
 	for lo := 0; lo < len(inputs); {
@@ -466,6 +527,24 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.adm.Finish(admitTenant, len(inputs), s.clockSeconds())
 
+	// A JSON request whose Accept offers the binary framing gets a
+	// framed response: that asymmetry is the negotiation probe —
+	// clients discover a frame-speaking server without ever sending a
+	// body an old server would reject.
+	if acceptsBinary(r) {
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		enc := wire.NewEncoder(w)
+		defer enc.Release()
+		for _, res := range results {
+			if res.Err != nil {
+				enc.EncodeError(res.Err.Error())
+			} else {
+				enc.EncodeResult(res.Outputs)
+			}
+		}
+		enc.EncodeEnd()
+		return
+	}
 	wireRes := make([]WireBatchResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -476,4 +555,84 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(wireRes)
+}
+
+// handleInvokeBatchBinary is the streaming form of the batch route
+// (Content-Type: application/x-dandelion-frame). Request records are
+// decoded incrementally and executed in admission-window-sized
+// sub-batches while the body is still uploading; each sub-batch's
+// result frames are written and flushed before the next window is
+// read, so a slow uploader observes its first results mid-upload.
+// Decoder buffers are recycled per sub-batch — results are encoded
+// before the recycle, which keeps the zero-copy data plane (outputs
+// aliasing request payloads) inside the buffers' lifetime.
+func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request, name string) {
+	tenant := tenantOf(r)
+	admitTenant := admitName(tenant)
+	dec := wire.NewDecoder(r.Body)
+	defer dec.Release()
+
+	// Decode the first record before committing a status: a stream
+	// malformed from the start still gets a clean 400.
+	first, err := dec.DecodeRequest()
+	if err != nil && err != io.EOF {
+		bodyError(w, "bad batch body: ", err)
+		return
+	}
+	// Go's HTTP/1 server closes the request body once the response
+	// starts; full duplex keeps it readable so results can stream out
+	// while later records stream in (a no-op error on writers that
+	// don't support or need it, e.g. HTTP/2 and test recorders).
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", wire.ContentTypeBinary)
+	enc := wire.NewEncoder(w)
+	defer enc.Release()
+
+	inputs := make([]map[string][]dandelion.Item, 0, 16)
+	if err != io.EOF {
+		inputs = append(inputs, first)
+	}
+	for {
+		// Fill up to the current admission window, then execute; the
+		// window is re-read per sub-batch so a sustained burst widens
+		// it while the body is still streaming in.
+		window := s.adm.Window(admitTenant, s.clockSeconds())
+		if window < 1 {
+			window = 1
+		}
+		var streamErr error
+		for len(inputs) < window {
+			sets, derr := dec.DecodeRequest()
+			if derr != nil {
+				streamErr = derr
+				break
+			}
+			inputs = append(inputs, sets)
+		}
+		if len(inputs) > 0 {
+			s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
+			for _, res := range s.invokeBatchAs(tenant, name, inputs) {
+				if res.Err != nil {
+					enc.EncodeError(res.Err.Error())
+				} else {
+					enc.EncodeResult(res.Outputs)
+				}
+			}
+			rc.Flush()
+			s.adm.Finish(admitTenant, len(inputs), s.clockSeconds())
+			inputs = inputs[:0]
+			dec.Recycle()
+		}
+		if streamErr == io.EOF {
+			break
+		}
+		if streamErr != nil {
+			// Corruption after results were already written: the status
+			// is committed, so the only honest signal left is a
+			// truncated response — return without FrameEnd.
+			return
+		}
+	}
+	enc.EncodeEnd()
 }

@@ -29,6 +29,8 @@ import (
 	"time"
 
 	"dandelion/internal/frontend"
+	"dandelion/internal/memctx"
+	"dandelion/internal/wire"
 )
 
 // Config parameterizes one load-generation run.
@@ -60,6 +62,11 @@ type Config struct {
 	// BatchSize is the number of invocations per request: 1 uses
 	// POST /invoke/, larger values use POST /invoke-batch/ (default 1).
 	BatchSize int
+	// Binary frames batch requests in the length-prefixed binary wire
+	// form (Content-Type: application/x-dandelion-frame, docs/WIRE.md)
+	// instead of JSON — the serialization the serving benchmark
+	// compares against. Single-invoke requests are unaffected.
+	Binary bool
 	// Payload produces the input bytes for invocation index i of
 	// request seq of a client; nil selects a small deterministic
 	// default.
@@ -83,6 +90,11 @@ type Report struct {
 	Duration time.Duration
 	// Throughput is successful invocations per second.
 	Throughput float64
+	// BytesOut and BytesIn are the request and response payload bytes
+	// moved; BytesPerSec is their sum over the run duration — the wire
+	// bandwidth the serialization choice actually achieved.
+	BytesOut, BytesIn int64
+	BytesPerSec       float64
 	// P50, P95, P99, Max are request-latency percentiles.
 	P50, P95, P99, Max time.Duration
 }
@@ -90,9 +102,9 @@ type Report struct {
 // String renders the report as the one-line summary the harnesses log.
 func (r Report) String() string {
 	return fmt.Sprintf(
-		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, p50=%v p95=%v p99=%v max=%v",
+		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, %.1f MB/s, p50=%v p95=%v p99=%v max=%v",
 		r.Requests, r.Invocations, r.Errors, r.Duration.Round(time.Millisecond),
-		r.Throughput, r.P50, r.P95, r.P99, r.Max)
+		r.Throughput, r.BytesPerSec/1e6, r.P50, r.P95, r.P99, r.Max)
 }
 
 // Run executes the configured closed loop and reports latency and
@@ -122,6 +134,8 @@ func Run(cfg Config) (Report, error) {
 	type clientResult struct {
 		latencies []time.Duration
 		errs      int
+		bytesOut  int64
+		bytesIn   int64
 	}
 	results := make([]clientResult, cfg.Clients)
 
@@ -136,9 +150,11 @@ func Run(cfg Config) (Report, error) {
 			res.latencies = make([]time.Duration, 0, cfg.Requests)
 			for seq := 0; seq < cfg.Requests; seq++ {
 				t0 := time.Now()
-				errs := doRequest(cfg, c, seq)
+				st := doRequest(cfg, c, seq)
 				res.latencies = append(res.latencies, time.Since(t0))
-				res.errs += errs
+				res.errs += st.errs
+				res.bytesOut += st.bytesOut
+				res.bytesIn += st.bytesIn
 			}
 		}()
 	}
@@ -154,6 +170,8 @@ func Run(cfg Config) (Report, error) {
 	for _, res := range results {
 		all = append(all, res.latencies...)
 		rep.Errors += res.errs
+		rep.BytesOut += res.bytesOut
+		rep.BytesIn += res.bytesIn
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	rep.P50 = percentile(all, 0.50)
@@ -164,15 +182,29 @@ func Run(cfg Config) (Report, error) {
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
+		rep.BytesPerSec = float64(rep.BytesOut+rep.BytesIn) / secs
 	}
 	return rep, nil
 }
 
-// doRequest issues one closed-loop request and returns how many of its
-// invocations failed.
-func doRequest(cfg Config, client, seq int) int {
+// reqStats is what one round trip reports upward: failed invocations,
+// payload bytes moved in each direction, and the wire overhead — the
+// time spent encoding the request and decoding the response, as
+// opposed to waiting on the server.
+type reqStats struct {
+	errs     int
+	bytesOut int64
+	bytesIn  int64
+	wire     time.Duration
+}
+
+// doRequest issues one closed-loop request and reports its stats.
+func doRequest(cfg Config, client, seq int) reqStats {
 	if cfg.BatchSize == 1 {
 		return doSingle(cfg, client, seq)
+	}
+	if cfg.Binary {
+		return doBatchBinary(cfg, client, seq)
 	}
 	return doBatch(cfg, client, seq)
 }
@@ -201,27 +233,41 @@ func post(cfg Config, url, contentType string, body []byte) (*http.Response, err
 	return cfg.Client.Do(req)
 }
 
-func doSingle(cfg Config, client, seq int) int {
+func doSingle(cfg Config, client, seq int) reqStats {
 	url := cfg.targetURL(client, seq) + "/invoke/" + cfg.Composition + "?input=" + cfg.InputSet
 	if cfg.OutputSet != "" {
 		url += "&output=" + cfg.OutputSet
 	}
-	resp, err := post(cfg, url, "application/octet-stream", cfg.Payload(client, seq, 0))
+	payload := cfg.Payload(client, seq, 0)
+	st := reqStats{bytesOut: int64(len(payload))}
+	resp, err := post(cfg, url, "application/octet-stream", payload)
 	if err != nil {
-		return 1
+		st.errs = 1
+		return st
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	st.bytesIn = int64(len(body))
 	if err != nil || resp.StatusCode != http.StatusOK {
-		return 1
+		st.errs = 1
+		return st
 	}
 	if cfg.Validate != nil && cfg.Validate(client, seq, 0, body) != nil {
-		return 1
+		st.errs = 1
 	}
-	return 0
+	return st
 }
 
-func doBatch(cfg Config, client, seq int) int {
+// readBody drains the response into one buffer so decode time can be
+// measured apart from the network read, and the byte count is exact.
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func doBatch(cfg Config, client, seq int) reqStats {
+	var st reqStats
+	t0 := time.Now()
 	reqs := make([]frontend.WireBatchRequest, cfg.BatchSize)
 	for i := range reqs {
 		reqs[i] = frontend.WireBatchRequest{Inputs: map[string][]frontend.WireItem{
@@ -229,43 +275,142 @@ func doBatch(cfg Config, client, seq int) int {
 		}}
 	}
 	body, err := json.Marshal(reqs)
+	st.wire = time.Since(t0)
 	if err != nil {
-		return cfg.BatchSize
+		st.errs = cfg.BatchSize
+		return st
 	}
+	st.bytesOut = int64(len(body))
 	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
 		"application/json", body)
 	if err != nil {
-		return cfg.BatchSize
+		st.errs = cfg.BatchSize
+		return st
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
-		return cfg.BatchSize
+	raw, err := readBody(resp)
+	st.bytesIn = int64(len(raw))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		st.errs = cfg.BatchSize
+		return st
 	}
+	t1 := time.Now()
 	var results []frontend.WireBatchResult
-	if err := json.NewDecoder(resp.Body).Decode(&results); err != nil || len(results) != cfg.BatchSize {
-		return cfg.BatchSize
+	err = json.Unmarshal(raw, &results)
+	st.wire += time.Since(t1)
+	if err != nil || len(results) != cfg.BatchSize {
+		st.errs = cfg.BatchSize
+		return st
 	}
-	errs := 0
 	for i, res := range results {
 		if res.Error != "" {
-			errs++
+			st.errs++
 			continue
 		}
 		if cfg.Validate != nil {
 			payload := firstItem(res.Outputs, cfg.OutputSet)
 			if cfg.Validate(client, seq, i, payload) != nil {
-				errs++
+				st.errs++
 			}
 		}
 	}
-	return errs
+	return st
+}
+
+// doBatchBinary is doBatch in the length-prefixed binary framing: no
+// base64, no JSON reflection, pooled frame buffers on both sides.
+func doBatchBinary(cfg Config, client, seq int) reqStats {
+	var st reqStats
+	t0 := time.Now()
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	for i := 0; i < cfg.BatchSize; i++ {
+		if err := enc.EncodeRequest(map[string][]memctx.Item{
+			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
+		}); err != nil {
+			enc.Release()
+			st.errs = cfg.BatchSize
+			return st
+		}
+	}
+	err := enc.EncodeEnd()
+	enc.Release()
+	st.wire = time.Since(t0)
+	if err != nil {
+		st.errs = cfg.BatchSize
+		return st
+	}
+	st.bytesOut = int64(buf.Len())
+	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
+		wire.ContentTypeBinary, buf.Bytes())
+	if err != nil {
+		st.errs = cfg.BatchSize
+		return st
+	}
+	raw, err := readBody(resp)
+	st.bytesIn = int64(len(raw))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		st.errs = cfg.BatchSize
+		return st
+	}
+	t1 := time.Now()
+	dec := wire.NewDecoder(bytes.NewReader(raw))
+	n := 0
+	for ; ; n++ {
+		outputs, errMsg, derr := dec.DecodeResult()
+		if derr != nil {
+			if derr != io.EOF {
+				n = -1 // malformed stream: fail the whole batch below
+			}
+			break
+		}
+		if n >= cfg.BatchSize {
+			continue
+		}
+		if errMsg != "" {
+			st.errs++
+			continue
+		}
+		if cfg.Validate != nil {
+			if cfg.Validate(client, seq, n, firstItemSets(outputs, cfg.OutputSet)) != nil {
+				st.errs++
+			}
+		}
+	}
+	dec.Recycle()
+	dec.Release()
+	st.wire += time.Since(t1)
+	if n != cfg.BatchSize {
+		st.errs = cfg.BatchSize
+	}
+	return st
 }
 
 // firstItem extracts the first item of the named output set, or of the
 // first non-empty set in sorted set-name order when name is empty —
 // mirroring /invoke's deterministic pick.
 func firstItem(outputs map[string][]frontend.WireItem, name string) []byte {
+	if name != "" {
+		if its := outputs[name]; len(its) > 0 {
+			return its[0].Data
+		}
+		return nil
+	}
+	sets := make([]string, 0, len(outputs))
+	for set := range outputs {
+		sets = append(sets, set)
+	}
+	sort.Strings(sets)
+	for _, set := range sets {
+		if its := outputs[set]; len(its) > 0 {
+			return its[0].Data
+		}
+	}
+	return nil
+}
+
+// firstItemSets is firstItem for the binary framing's platform-shaped
+// output maps.
+func firstItemSets(outputs map[string][]memctx.Item, name string) []byte {
 	if name != "" {
 		if its := outputs[name]; len(its) > 0 {
 			return its[0].Data

@@ -438,3 +438,77 @@ composition S(In) => Result {
 		t.Fatalf("step-tenant missing from tenant gauges: %+v", st.Tenants)
 	}
 }
+
+// TestRunBatchModeBinary drives the closed loop over the binary wire
+// framing: results validate exactly as in JSON mode, byte accounting
+// is populated, and the platform sees the same invocation count.
+func TestRunBatchModeBinary(t *testing.T) {
+	p, srv := newEchoServer(t)
+	rep, err := Run(Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "U",
+		InputSet:    "In",
+		OutputSet:   "Result",
+		Clients:     3,
+		Requests:    5,
+		BatchSize:   8,
+		Binary:      true,
+		Validate: func(client, seq, i int, body []byte) error {
+			if string(body) != string(wantPayload(client, seq, i)) {
+				return fmt.Errorf("got %q", body)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 15 || rep.Invocations != 120 {
+		t.Fatalf("requests/invocations = %d/%d, want 15/120", rep.Requests, rep.Invocations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d: %s", rep.Errors, rep)
+	}
+	if rep.BytesOut <= 0 || rep.BytesIn <= 0 || rep.BytesPerSec <= 0 {
+		t.Fatalf("byte accounting missing: out=%d in=%d rate=%v", rep.BytesOut, rep.BytesIn, rep.BytesPerSec)
+	}
+	if st := p.Stats(); st.Invocations != 120 {
+		t.Fatalf("platform saw %d invocations, want 120", st.Invocations)
+	}
+}
+
+// TestRunOpenLoopWireSplit pins the wire-overhead split: batch-mode
+// open-loop runs report Wire* percentiles bounded by service latency,
+// and byte rates, in both framings.
+func TestRunOpenLoopWireSplit(t *testing.T) {
+	_, srv := newEchoServer(t)
+	for _, binary := range []bool{false, true} {
+		rep, err := RunOpenLoop(OpenConfig{
+			BaseURL:     srv.URL,
+			Client:      srv.Client(),
+			Composition: "U",
+			InputSet:    "In",
+			OutputSet:   "Result",
+			Rate:        500,
+			Requests:    40,
+			BatchSize:   4,
+			Binary:      binary,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("binary=%v: errors = %d: %s", binary, rep.Errors, rep)
+		}
+		if rep.WireMax <= 0 {
+			t.Fatalf("binary=%v: wire overhead not measured: %s", binary, rep)
+		}
+		if rep.WireP50 > rep.ServiceP50 {
+			t.Fatalf("binary=%v: wire p50 %v exceeds service p50 %v", binary, rep.WireP50, rep.ServiceP50)
+		}
+		if rep.BytesPerSec <= 0 {
+			t.Fatalf("binary=%v: no byte rate: %s", binary, rep)
+		}
+	}
+}

@@ -44,6 +44,9 @@ type OpenConfig struct {
 	// BatchSize is the number of invocations per arrival: 1 uses
 	// POST /invoke/, larger values POST /invoke-batch/ (default 1).
 	BatchSize int
+	// Binary frames batch arrivals in the binary wire form (see
+	// Config.Binary).
+	Binary bool
 	// MaxInFlight caps concurrently outstanding requests; an arrival
 	// without a free slot waits (accruing queueing delay) but later
 	// arrivals keep their original schedule (default 256).
@@ -71,20 +74,31 @@ type OpenReport struct {
 	Throughput float64
 	// OfferedRate echoes the configured arrival rate.
 	OfferedRate float64
+	// BytesOut and BytesIn are the payload bytes moved; BytesPerSec is
+	// their sum over the run duration.
+	BytesOut, BytesIn int64
+	BytesPerSec       float64
 	// Queue* summarize queueing delay: scheduled arrival → send.
 	QueueP50, QueueP95, QueueP99, QueueMax time.Duration
 	// Service* summarize service latency: send → response.
 	ServiceP50, ServiceP95, ServiceP99, ServiceMax time.Duration
+	// Wire* summarize per-request wire overhead — the slice of service
+	// latency spent encoding the request and decoding the response
+	// rather than waiting on the server. The split is what makes a
+	// serialization win visible at the harness level: a framing change
+	// moves Wire* without touching the server-side remainder.
+	WireP50, WireP99, WireMax time.Duration
 }
 
 // String renders the report as a one-line summary with the queueing /
-// service split spelled out.
+// service / wire split spelled out.
 func (r OpenReport) String() string {
 	return fmt.Sprintf(
-		"loadgen open-loop: %d reqs (%d invocations, %d errors) at %.0f/s in %v — %.0f inv/s, queue p50=%v p99=%v max=%v, service p50=%v p99=%v max=%v",
+		"loadgen open-loop: %d reqs (%d invocations, %d errors) at %.0f/s in %v — %.0f inv/s, %.1f MB/s, queue p50=%v p99=%v max=%v, service p50=%v p99=%v max=%v, wire p50=%v p99=%v max=%v",
 		r.Requests, r.Invocations, r.Errors, r.OfferedRate, r.Duration.Round(time.Millisecond),
-		r.Throughput, r.QueueP50, r.QueueP99, r.QueueMax,
-		r.ServiceP50, r.ServiceP99, r.ServiceMax)
+		r.Throughput, r.BytesPerSec/1e6, r.QueueP50, r.QueueP99, r.QueueMax,
+		r.ServiceP50, r.ServiceP99, r.ServiceMax,
+		r.WireP50, r.WireP99, r.WireMax)
 }
 
 // RunOpenLoop executes the configured fixed-rate arrival schedule and
@@ -124,6 +138,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 		OutputSet:   cfg.OutputSet,
 		Tenant:      cfg.Tenant,
 		BatchSize:   cfg.BatchSize,
+		Binary:      cfg.Binary,
 		Payload:     func(_, seq, i int) []byte { return cfg.Payload(seq, i) },
 	}
 	if cfg.Validate != nil {
@@ -132,7 +147,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 
 	queueing := make([]time.Duration, cfg.Requests)
 	service := make([]time.Duration, cfg.Requests)
-	errCounts := make([]int, cfg.Requests)
+	stats := make([]reqStats, cfg.Requests)
 	slots := make(chan struct{}, cfg.MaxInFlight)
 
 	t0 := time.Now()
@@ -153,7 +168,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 				<-slots
 				wg.Done()
 			}()
-			errCounts[seq] = doRequest(reqCfg, 0, seq)
+			stats[seq] = doRequest(reqCfg, 0, seq)
 			service[seq] = time.Since(send)
 		}(seq, send)
 	}
@@ -166,17 +181,25 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 		Duration:    elapsed,
 		OfferedRate: cfg.Rate,
 	}
-	for _, e := range errCounts {
-		rep.Errors += e
+	wireTimes := make([]time.Duration, cfg.Requests)
+	for i, st := range stats {
+		rep.Errors += st.errs
+		rep.BytesOut += st.bytesOut
+		rep.BytesIn += st.bytesIn
+		wireTimes[i] = st.wire
 	}
 	sortDurations(queueing)
 	sortDurations(service)
+	sortDurations(wireTimes)
 	rep.QueueP50, rep.QueueP95, rep.QueueP99 = percentile(queueing, 0.50), percentile(queueing, 0.95), percentile(queueing, 0.99)
 	rep.QueueMax = queueing[len(queueing)-1]
 	rep.ServiceP50, rep.ServiceP95, rep.ServiceP99 = percentile(service, 0.50), percentile(service, 0.95), percentile(service, 0.99)
 	rep.ServiceMax = service[len(service)-1]
+	rep.WireP50, rep.WireP99 = percentile(wireTimes, 0.50), percentile(wireTimes, 0.99)
+	rep.WireMax = wireTimes[len(wireTimes)-1]
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
+		rep.BytesPerSec = float64(rep.BytesOut+rep.BytesIn) / secs
 	}
 	return rep, nil
 }

@@ -47,8 +47,12 @@ const waitRingSize = 512
 
 // Task is one unit of work submitted on behalf of a tenant.
 type Task struct {
-	// Do performs the work; it must not be nil.
+	// Do performs the work; exactly one of Do and DoSharded must be
+	// non-nil.
 	Do func()
+	// DoSharded, when set, is preferred over Do and receives the
+	// executing engine's stable shard index (see engine.Task.DoSharded).
+	DoSharded func(shard int)
 	// OnReject, when non-nil, is called instead of Do if the task is
 	// dropped after admission because the scheduler or the underlying
 	// engine queue closed. It may run under scheduler locks and must not
@@ -299,13 +303,22 @@ func (s *Scheduler) dispatchLocked(tq *tenantQueue) {
 	tq.running++
 	tq.dispatched++
 	name := tq.name
-	do := e.task.Do
-	err := s.q.Push(engine.Task{Do: func() {
-		defer s.taskDone(name)
-		if do != nil {
-			do()
+	var wrapped engine.Task
+	if doSharded := e.task.DoSharded; doSharded != nil {
+		wrapped.DoSharded = func(shard int) {
+			defer s.taskDone(name)
+			doSharded(shard)
 		}
-	}})
+	} else {
+		do := e.task.Do
+		wrapped.Do = func() {
+			defer s.taskDone(name)
+			if do != nil {
+				do()
+			}
+		}
+	}
+	err := s.q.Push(wrapped)
 	if err != nil {
 		s.inflight--
 		tq.running--

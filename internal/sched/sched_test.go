@@ -396,3 +396,49 @@ func TestShareAfterTenantsDrain(t *testing.T) {
 		t.Fatalf("Share(a) after drain = %v, want 1", sh)
 	}
 }
+
+// TestDoShardedDispatch checks that sharded tasks flow through DRR
+// dispatch with the window accounting intact: the wrapper must hand the
+// engine's shard index to the closure and still free the window slot on
+// completion so the backlog keeps draining.
+func TestDoShardedDispatch(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	s := New(q, Config{Window: 1})
+
+	var shards []int
+	var mu sync.Mutex
+	for i := 0; i < 8; i++ {
+		if err := s.Submit("t", Task{DoSharded: func(shard int) {
+			mu.Lock()
+			shards = append(shards, shard)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain executing each task with a distinct engine shard ID. With a
+	// window of 1, each completion must re-pump the next dispatch.
+	ran := 0
+	for ran < 8 {
+		tk, ok := q.TryPop()
+		if !ok {
+			break
+		}
+		if tk.DoSharded == nil {
+			t.Fatalf("dispatched task %d lost its DoSharded wrapper", ran)
+		}
+		tk.DoSharded(ran)
+		ran++
+	}
+	if ran != 8 {
+		t.Fatalf("executed %d tasks, want 8 (window slot not freed?)", ran)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, sh := range shards {
+		if sh != i {
+			t.Fatalf("task %d saw shard %d, want %d (%v)", i, sh, i, shards)
+		}
+	}
+}

@@ -1,0 +1,605 @@
+// Binary framing for the data plane. The JSON shapes in wire.go stay
+// the compatibility default, but every byte they carry pays
+// encoding/json marshal/unmarshal plus the 4/3 base64 inflation of
+// []byte payloads — the serialization tax that, with remote workers,
+// the coordinator→worker hop pays twice per chunk. The length-prefixed
+// binary form here removes both: payloads travel raw, framing is
+// uvarint-prefixed, and both ends reuse pooled buffers so the wire
+// path itself allocates (almost) nothing per request.
+//
+// # Frame grammar
+//
+// A stream opens with a two-byte header and then carries records until
+// FrameEnd or EOF:
+//
+//	stream  := Magic Version record*
+//	record  := FrameRequest sets          one batch request
+//	         | FrameResult  sets          one successful result slot
+//	         | FrameError   string        one failed result slot
+//	         | FrameEnd                   clean end of stream
+//	sets    := nsets:uvarint set*
+//	set     := name:string nitems:uvarint item*
+//	item    := name:string key:string data:bytes
+//	string  := len:uvarint utf8-bytes
+//	bytes   := len:uvarint raw-bytes
+//
+// A request stream is FrameRequest records closed by FrameEnd; a
+// response stream is FrameResult/FrameError records (one per request,
+// in request order) closed by FrameEnd. The Version byte exists for
+// evolution: a decoder rejects versions it does not know, so a future
+// revision can change the record grammar behind a version bump without
+// ambiguity.
+//
+// # Streaming and memory discipline
+//
+// Encoder and Decoder are streaming: each record is encoded or decoded
+// independently, so a server can decode requests incrementally and
+// start executing while the body is still uploading, and flush result
+// records per sub-batch. Decoded payloads are sliced out of pooled
+// read buffers — they stay valid until the decoder's next Recycle
+// call, which returns the buffers to the pool. Callers that hand
+// decoded data a longer lifetime (e.g. a cluster client returning
+// results upward) simply never Recycle; the buffers are then ordinary
+// garbage-collected memory.
+//
+// Length prefixes are adversarial input: every declared length is
+// checked against the decoder's frame limit, and large payloads are
+// read in bounded steps so a prefix claiming gigabytes backed by a
+// ten-byte stream errors after a small, capped allocation instead of
+// reserving the claimed size up front.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"dandelion/internal/memctx"
+)
+
+// ContentTypeBinary is the negotiated Content-Type of the binary
+// framing. Clients send it on request bodies they frame in binary, and
+// may offer it in Accept on a JSON request to probe whether the server
+// speaks the frame form (the server answers in kind when it does).
+// ContentTypeJSON is the compatibility default.
+const (
+	ContentTypeBinary = "application/x-dandelion-frame"
+	ContentTypeJSON   = "application/json"
+)
+
+// Magic and Version open every binary stream. Version is the evolution
+// hook: decoders reject unknown versions, so the grammar can change
+// behind a bump.
+const (
+	Magic   byte = 0xD4
+	Version byte = 0x01
+)
+
+// Frame type bytes, one per record kind. Every constant here is
+// documented in docs/WIRE.md (enforced by scripts/docs-check.sh).
+const (
+	// FrameRequest carries one batch request (its input sets).
+	FrameRequest byte = 'Q'
+	// FrameResult carries one successful result slot (its output sets).
+	FrameResult byte = 'R'
+	// FrameError carries one failed result slot (its error message).
+	FrameError byte = 'E'
+	// FrameEnd closes a stream cleanly; a stream that stops without it
+	// was truncated.
+	FrameEnd byte = '.'
+)
+
+// ErrFrame wraps every malformed-stream condition a Decoder reports:
+// bad magic or version, unknown frame types, truncated records, and
+// length prefixes exceeding the frame limit.
+var ErrFrame = errors.New("wire: malformed frame")
+
+// DefaultMaxFrameBytes bounds the total declared payload of one record
+// (64 MiB); Decoder.SetMaxFrameBytes overrides per decoder.
+const DefaultMaxFrameBytes = 64 << 20
+
+// maxItemsPrealloc caps how many item slots a declared count may
+// reserve before any data has been read: a count is as adversarial as
+// a length, so capacity beyond this is earned by actually arriving.
+const maxItemsPrealloc = 4096
+
+// chunkSize is the pooled read-buffer granularity payloads are sliced
+// from; payloads larger than a chunk get dedicated buffers (grown in
+// readStep-bounded increments) that bypass the pool.
+const chunkSize = 256 << 10
+
+// readStep bounds each growth increment when reading a payload larger
+// than a chunk, so a lying length prefix can only ever cost one step
+// of over-allocation.
+const readStep = 256 << 10
+
+var (
+	chunkPool = sync.Pool{New: func() any {
+		b := make([]byte, chunkSize)
+		return &b
+	}}
+	readerPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 32<<10) }}
+	encBufPool  = sync.Pool{New: func() any { return new([]byte) }}
+	itemSlabLen = 512
+	itemPool    = sync.Pool{New: func() any {
+		s := make([]memctx.Item, itemSlabLen)
+		return &s
+	}}
+)
+
+// Encoder writes binary frames to w. Records are staged in one pooled
+// scratch buffer and written with a single Write each, so encoding a
+// record costs no allocations in steady state. Encoders are not safe
+// for concurrent use. Call Release when done to return the scratch
+// buffer to the pool.
+type Encoder struct {
+	w           io.Writer
+	buf         []byte
+	names       []string
+	wroteHeader bool
+}
+
+// NewEncoder returns an encoder framing onto w. The stream header is
+// written lazily, before the first record.
+func NewEncoder(w io.Writer) *Encoder {
+	bp := encBufPool.Get().(*[]byte)
+	return &Encoder{w: w, buf: (*bp)[:0]}
+}
+
+// Release returns the encoder's scratch buffer to the pool. The
+// encoder must not be used afterwards.
+func (e *Encoder) Release() {
+	if e.buf != nil {
+		buf := e.buf[:0]
+		e.buf = nil
+		encBufPool.Put(&buf)
+	}
+}
+
+// flush writes the staged record and retains the scratch capacity.
+func (e *Encoder) flush() error {
+	_, err := e.w.Write(e.buf)
+	e.buf = e.buf[:0]
+	return err
+}
+
+func (e *Encoder) header() {
+	if !e.wroteHeader {
+		e.buf = append(e.buf, Magic, Version)
+		e.wroteHeader = true
+	}
+}
+
+func (e *Encoder) putUvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+func (e *Encoder) putString(s string) {
+	e.putUvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *Encoder) putBytes(b []byte) {
+	e.putUvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// putSets stages a set map. Set names are emitted in sorted order so
+// identical maps encode to identical bytes (map iteration order must
+// never decide wire bytes).
+func (e *Encoder) putSets(sets map[string][]memctx.Item) {
+	e.putUvarint(uint64(len(sets)))
+	names := e.names[:0]
+	for name := range sets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	e.names = names
+	for _, name := range names {
+		e.putString(name)
+		items := sets[name]
+		e.putUvarint(uint64(len(items)))
+		for i := range items {
+			e.putString(items[i].Name)
+			e.putString(items[i].Key)
+			e.putBytes(items[i].Data)
+		}
+	}
+}
+
+// EncodeRequest writes one FrameRequest record carrying the request's
+// input sets (the binary form of BatchRequest.Inputs, in platform
+// shape — no wire.Item intermediate, no base64).
+func (e *Encoder) EncodeRequest(inputs map[string][]memctx.Item) error {
+	e.header()
+	e.buf = append(e.buf, FrameRequest)
+	e.putSets(inputs)
+	return e.flush()
+}
+
+// EncodeResult writes one FrameResult record carrying a successful
+// result slot's output sets.
+func (e *Encoder) EncodeResult(outputs map[string][]memctx.Item) error {
+	e.header()
+	e.buf = append(e.buf, FrameResult)
+	e.putSets(outputs)
+	return e.flush()
+}
+
+// EncodeError writes one FrameError record carrying a failed result
+// slot's error message.
+func (e *Encoder) EncodeError(msg string) error {
+	e.header()
+	e.buf = append(e.buf, FrameError)
+	e.putString(msg)
+	return e.flush()
+}
+
+// EncodeEnd closes the stream with a FrameEnd record. Receivers treat
+// a stream that stops without one as truncated.
+func (e *Encoder) EncodeEnd() error {
+	e.header()
+	e.buf = append(e.buf, FrameEnd)
+	return e.flush()
+}
+
+// Decoder reads binary frames from r. Decoded payloads, item slices,
+// and set maps are carved out of pooled buffers owned by the decoder:
+// everything returned since the last Recycle stays valid until the
+// next Recycle (or forever, if Recycle is never called — the buffers
+// are then ordinary GC'd memory). Decoders are not safe for concurrent
+// use. Call Release when done with the stream.
+type Decoder struct {
+	br        *bufio.Reader
+	gotHeader bool
+	maxFrame  int
+
+	// chunks are the payload arenas handed out since the last Recycle;
+	// the last entry is the current carving target at offset off.
+	// Oversized dedicated buffers are appended too, but only
+	// chunk-sized entries return to the pool.
+	chunks [][]byte
+	off    int
+
+	// slabs are the item arenas; items are carved from the last entry
+	// at itemOff.
+	slabs   [][]memctx.Item
+	itemOff int
+
+	// free/used are the reusable set-map shells.
+	free []map[string][]memctx.Item
+	used []map[string][]memctx.Item
+
+	// interned deduplicates the set/item name strings that repeat on
+	// every record of a stream.
+	interned map[string]string
+}
+
+// NewDecoder returns a decoder reading binary frames from r.
+func NewDecoder(r io.Reader) *Decoder {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return &Decoder{br: br, maxFrame: DefaultMaxFrameBytes}
+}
+
+// SetMaxFrameBytes bounds the total declared payload of one record;
+// declared lengths beyond it fail with ErrFrame before allocating.
+func (d *Decoder) SetMaxFrameBytes(n int) {
+	if n > 0 {
+		d.maxFrame = n
+	}
+}
+
+// Recycle returns every pooled buffer handed out since the last
+// Recycle, invalidating all sets, items, and payloads decoded since
+// then. Callers recycle at natural lifetime boundaries (the frontend:
+// after a sub-batch's results are serialized); callers whose decoded
+// data escapes skip it.
+func (d *Decoder) Recycle() {
+	for _, c := range d.chunks {
+		if cap(c) == chunkSize {
+			c = c[:chunkSize]
+			chunkPool.Put(&c)
+		}
+	}
+	d.chunks = d.chunks[:0]
+	d.off = 0
+	for _, s := range d.slabs {
+		if cap(s) == itemSlabLen {
+			s = s[:itemSlabLen]
+			clear(s) // drop Data references so pooled slabs never pin payloads
+			itemPool.Put(&s)
+		}
+	}
+	d.slabs = d.slabs[:0]
+	d.itemOff = 0
+	for _, m := range d.used {
+		clear(m)
+		d.free = append(d.free, m)
+	}
+	d.used = d.used[:0]
+}
+
+// Release returns the decoder's bufio reader to the pool. Buffers
+// handed out and not recycled remain valid (they are simply left to
+// the garbage collector). The decoder must not be used afterwards.
+func (d *Decoder) Release() {
+	if d.br != nil {
+		d.br.Reset(nil)
+		readerPool.Put(d.br)
+		d.br = nil
+	}
+}
+
+func frameErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+}
+
+func (d *Decoder) readHeader() error {
+	if d.gotHeader {
+		return nil
+	}
+	magic, err := d.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return frameErrf("reading magic: %v", err)
+	}
+	version, err := d.br.ReadByte()
+	if err != nil {
+		return frameErrf("reading version: %v", err)
+	}
+	if magic != Magic {
+		return frameErrf("bad magic 0x%02x", magic)
+	}
+	if version != Version {
+		return frameErrf("unsupported version %d", version)
+	}
+	d.gotHeader = true
+	return nil
+}
+
+func (d *Decoder) readUvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, frameErrf("reading length: %v", err)
+	}
+	return v, nil
+}
+
+// readLen reads a length prefix and validates it against the frame
+// budget, decrementing the budget so one record's prefixes cannot sum
+// past the limit however they are split.
+func (d *Decoder) readLen(budget *int) (int, error) {
+	v, err := d.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(math.MaxInt) || int(v) > *budget {
+		return 0, frameErrf("declared length %d exceeds frame limit", v)
+	}
+	*budget -= int(v)
+	return int(v), nil
+}
+
+// carve returns n payload bytes out of the pooled chunk arena,
+// acquiring a new chunk when the current one is exhausted. Requests
+// larger than a chunk get a dedicated buffer.
+func (d *Decoder) carve(n int) []byte {
+	if n > chunkSize {
+		b := make([]byte, n)
+		d.chunks = append(d.chunks, b)
+		return b
+	}
+	if len(d.chunks) == 0 || d.off+n > cap(d.chunks[len(d.chunks)-1]) ||
+		cap(d.chunks[len(d.chunks)-1]) != chunkSize {
+		c := *(chunkPool.Get().(*[]byte))
+		d.chunks = append(d.chunks, c)
+		d.off = 0
+	}
+	cur := d.chunks[len(d.chunks)-1]
+	b := cur[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// readBytes reads an n-byte payload. Payloads at most one chunk long
+// are sliced out of the pooled arena; larger ones are read into a
+// dedicated buffer grown in readStep-bounded increments, so a length
+// prefix lying about a short stream errors after at most one step of
+// allocation beyond the data actually present.
+func (d *Decoder) readBytes(n int) ([]byte, error) {
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if n <= chunkSize {
+		b := d.carve(n)
+		if _, err := io.ReadFull(d.br, b); err != nil {
+			return nil, frameErrf("payload truncated: %v", err)
+		}
+		return b, nil
+	}
+	buf := make([]byte, 0, readStep)
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > readStep {
+			step = readStep
+		}
+		if cap(buf)-len(buf) < step {
+			grown := make([]byte, len(buf), cap(buf)*2)
+			copy(grown, buf)
+			buf = grown
+		}
+		lo := len(buf)
+		buf = buf[:lo+step]
+		if _, err := io.ReadFull(d.br, buf[lo:]); err != nil {
+			return nil, frameErrf("payload truncated: %v", err)
+		}
+	}
+	d.chunks = append(d.chunks, buf)
+	return buf, nil
+}
+
+// readString reads a length-prefixed string, interning it so the set
+// and item names repeating on every record of a stream allocate once.
+func (d *Decoder) readString(budget *int) (string, error) {
+	n, err := d.readLen(budget)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b, err := d.readBytes(n)
+	if err != nil {
+		return "", err
+	}
+	if s, ok := d.interned[string(b)]; ok {
+		return s, nil
+	}
+	s := string(b)
+	if d.interned == nil {
+		d.interned = make(map[string]string, 16)
+	}
+	if len(d.interned) < 256 {
+		d.interned[s] = s
+	}
+	return s, nil
+}
+
+// getMap returns a reusable set-map shell.
+func (d *Decoder) getMap() map[string][]memctx.Item {
+	var m map[string][]memctx.Item
+	if n := len(d.free); n > 0 {
+		m = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		m = make(map[string][]memctx.Item, 4)
+	}
+	d.used = append(d.used, m)
+	return m
+}
+
+// carveItems returns an empty item slice that can grow to n entries,
+// carved from the pooled slab when it fits.
+func (d *Decoder) carveItems(n int) []memctx.Item {
+	if n > itemSlabLen {
+		if n > maxItemsPrealloc {
+			n = maxItemsPrealloc
+		}
+		s := make([]memctx.Item, 0, n)
+		d.slabs = append(d.slabs, s)
+		return s
+	}
+	if len(d.slabs) == 0 || d.itemOff+n > itemSlabLen ||
+		cap(d.slabs[len(d.slabs)-1]) != itemSlabLen {
+		s := *(itemPool.Get().(*[]memctx.Item))
+		d.slabs = append(d.slabs, s)
+		d.itemOff = 0
+	}
+	cur := d.slabs[len(d.slabs)-1]
+	s := cur[d.itemOff:d.itemOff : d.itemOff+n]
+	d.itemOff += n
+	return s
+}
+
+// readSets decodes one sets block into a pooled map shell.
+func (d *Decoder) readSets() (map[string][]memctx.Item, error) {
+	budget := d.maxFrame
+	nsets, err := d.readLen(&budget)
+	if err != nil {
+		return nil, err
+	}
+	sets := d.getMap()
+	for si := 0; si < nsets; si++ {
+		name, err := d.readString(&budget)
+		if err != nil {
+			return nil, err
+		}
+		nitems, err := d.readLen(&budget)
+		if err != nil {
+			return nil, err
+		}
+		items := d.carveItems(nitems)
+		for ii := 0; ii < nitems; ii++ {
+			var it memctx.Item
+			if it.Name, err = d.readString(&budget); err != nil {
+				return nil, err
+			}
+			if it.Key, err = d.readString(&budget); err != nil {
+				return nil, err
+			}
+			n, err := d.readLen(&budget)
+			if err != nil {
+				return nil, err
+			}
+			if it.Data, err = d.readBytes(n); err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+		}
+		sets[name] = items
+	}
+	return sets, nil
+}
+
+// next reads the next record's frame type byte (after the stream
+// header on first call). A clean FrameEnd — and, leniently, a bare
+// EOF at a record boundary — surfaces as io.EOF.
+func (d *Decoder) next() (byte, error) {
+	if err := d.readHeader(); err != nil {
+		return 0, err
+	}
+	k, err := d.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, frameErrf("reading frame type: %v", err)
+	}
+	if k == FrameEnd {
+		return 0, io.EOF
+	}
+	return k, nil
+}
+
+// DecodeRequest decodes the next FrameRequest record into its input
+// sets (platform shape, valid until Recycle). It returns io.EOF at the
+// clean end of the stream and ErrFrame-wrapped errors otherwise.
+func (d *Decoder) DecodeRequest() (map[string][]memctx.Item, error) {
+	k, err := d.next()
+	if err != nil {
+		return nil, err
+	}
+	if k != FrameRequest {
+		return nil, frameErrf("unexpected frame type %q (want request)", k)
+	}
+	return d.readSets()
+}
+
+// DecodeResult decodes the next result record: FrameResult yields the
+// output sets, FrameError yields the error message. It returns io.EOF
+// at the clean end of the stream.
+func (d *Decoder) DecodeResult() (outputs map[string][]memctx.Item, errMsg string, err error) {
+	k, err := d.next()
+	if err != nil {
+		return nil, "", err
+	}
+	switch k {
+	case FrameResult:
+		outputs, err = d.readSets()
+		return outputs, "", err
+	case FrameError:
+		budget := d.maxFrame
+		msg, err := d.readString(&budget)
+		return nil, msg, err
+	default:
+		return nil, "", frameErrf("unexpected frame type %q (want result)", k)
+	}
+}

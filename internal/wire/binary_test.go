@@ -1,0 +1,358 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dandelion/internal/memctx"
+)
+
+// normalize maps the decoder's representation onto the encoder's for
+// comparison: both nil and empty item slices mean "empty set", and
+// zero-length payloads compare equal whether nil or []byte{}.
+func normalize(sets map[string][]memctx.Item) map[string][]memctx.Item {
+	out := make(map[string][]memctx.Item, len(sets))
+	for name, items := range sets {
+		cp := make([]memctx.Item, len(items))
+		for i, it := range items {
+			cp[i] = memctx.Item{Name: it.Name, Key: it.Key, Data: append([]byte{}, it.Data...)}
+		}
+		out[name] = cp
+	}
+	return out
+}
+
+func roundTripRequests(t *testing.T, reqs []map[string][]memctx.Item) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for _, r := range reqs {
+		if err := enc.EncodeRequest(r); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}
+	if err := enc.EncodeEnd(); err != nil {
+		t.Fatalf("encode end: %v", err)
+	}
+	enc.Release()
+
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	for i, want := range reqs {
+		got, err := dec.DecodeRequest()
+		if err != nil {
+			t.Fatalf("decode request %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("request %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := dec.DecodeRequest(); err != io.EOF {
+		t.Fatalf("after last request: got %v, want io.EOF", err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		reqs []map[string][]memctx.Item
+	}{
+		{"empty stream", nil},
+		{"empty sets map", []map[string][]memctx.Item{{}}},
+		{"empty set", []map[string][]memctx.Item{{"in": nil}}},
+		{"zero-length data", []map[string][]memctx.Item{
+			{"in": {{Name: "a", Key: "k", Data: nil}, {Name: "b", Data: []byte{}}}},
+		}},
+		{"nested multi-set", []map[string][]memctx.Item{
+			{
+				"alpha": {{Name: "x", Key: "0", Data: []byte("hello")}, {Name: "y", Data: []byte{0, 1, 2}}},
+				"beta":  {{Name: "z", Key: "zz", Data: bytes.Repeat([]byte("ab"), 5000)}},
+			},
+			{"gamma": {{Name: "only", Data: []byte{0xff}}}},
+		}},
+		{"oversize payload", []map[string][]memctx.Item{
+			{"big": {{Name: "blob", Data: bytes.Repeat([]byte{7}, chunkSize+123)}}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { roundTripRequests(t, tc.reqs) })
+	}
+}
+
+func TestBinaryResultRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	outs := map[string][]memctx.Item{"out": {{Name: "r", Data: []byte("result")}}}
+	if err := enc.EncodeResult(outs); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeError("boom: no such function"); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeEnd(); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	got, msg, err := dec.DecodeResult()
+	if err != nil || msg != "" {
+		t.Fatalf("first result: err=%v msg=%q", err, msg)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(outs)) {
+		t.Fatalf("result mismatch: got %+v", got)
+	}
+	got, msg, err = dec.DecodeResult()
+	if err != nil || got != nil {
+		t.Fatalf("second result: err=%v outputs=%v", err, got)
+	}
+	if msg != "boom: no such function" {
+		t.Fatalf("error message: %q", msg)
+	}
+	if _, _, err := dec.DecodeResult(); err != io.EOF {
+		t.Fatalf("after end: %v, want io.EOF", err)
+	}
+}
+
+// TestBinaryEncodeDeterministic pins that map iteration order never
+// decides wire bytes: identical maps must encode identically.
+func TestBinaryEncodeDeterministic(t *testing.T) {
+	sets := map[string][]memctx.Item{
+		"b": {{Name: "1"}}, "a": {{Name: "2"}}, "c": {{Name: "3"}}, "d": {{Name: "4"}},
+	}
+	var first []byte
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		if err := enc.EncodeRequest(sets); err != nil {
+			t.Fatal(err)
+		}
+		enc.Release()
+		if first == nil {
+			first = append([]byte{}, buf.Bytes()...)
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("encoding not deterministic on attempt %d", i)
+		}
+	}
+}
+
+func TestBinaryRecycleReuse(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	for i := 0; i < 3; i++ {
+		if err := enc.EncodeRequest(map[string][]memctx.Item{
+			"in": {{Name: "a", Data: []byte("payload-abc")}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc.EncodeEnd()
+	enc.Release()
+
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	for i := 0; i < 3; i++ {
+		got, err := dec.DecodeRequest()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if string(got["in"][0].Data) != "payload-abc" {
+			t.Fatalf("request %d payload corrupted: %q", i, got["in"][0].Data)
+		}
+		dec.Recycle() // data handed out above is now invalid; next decode reuses it
+	}
+	if _, err := dec.DecodeRequest(); err != io.EOF {
+		t.Fatalf("end: %v", err)
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	header := []byte{Magic, Version}
+	huge := append(append([]byte{}, header...), FrameRequest)
+	huge = binary.AppendUvarint(huge, 1) // nsets
+	huge = binary.AppendUvarint(huge, 2) // set name len
+	huge = append(huge, "in"...)
+	huge = binary.AppendUvarint(huge, 1) // nitems
+	huge = binary.AppendUvarint(huge, 0) // item name
+	huge = binary.AppendUvarint(huge, 0) // item key
+	huge = binary.AppendUvarint(huge, 1<<40)
+
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"bad magic", []byte{0x00, Version, FrameEnd}},
+		{"bad version", []byte{Magic, 0x7f, FrameEnd}},
+		{"unknown frame type", append(append([]byte{}, header...), 'Z')},
+		{"truncated header", []byte{Magic}},
+		{"truncated record", append(append([]byte{}, header...), FrameRequest, 0x05)},
+		{"lying length prefix", huge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := NewDecoder(bytes.NewReader(tc.in))
+			defer dec.Release()
+			_, err := dec.DecodeRequest()
+			if err == nil || err == io.EOF {
+				t.Fatalf("got %v, want ErrFrame", err)
+			}
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("error %v is not ErrFrame", err)
+			}
+		})
+	}
+}
+
+// TestBinaryAdversarialLengthBoundedAlloc pins the hardening contract:
+// a length prefix claiming gigabytes backed by a short stream must
+// error without allocating anything near the claimed size.
+func TestBinaryAdversarialLengthBoundedAlloc(t *testing.T) {
+	evil := []byte{Magic, Version, FrameRequest}
+	evil = binary.AppendUvarint(evil, 1)
+	evil = binary.AppendUvarint(evil, 2)
+	evil = append(evil, "in"...)
+	evil = binary.AppendUvarint(evil, 1)
+	evil = binary.AppendUvarint(evil, 0)
+	evil = binary.AppendUvarint(evil, 0)
+	evil = binary.AppendUvarint(evil, 60<<20) // claims 60 MiB, under the frame cap
+	evil = append(evil, "only a few real bytes"...)
+
+	allocBytes := testing.AllocsPerRun(10, func() {
+		dec := NewDecoder(bytes.NewReader(evil))
+		if _, err := dec.DecodeRequest(); !errors.Is(err, ErrFrame) {
+			t.Fatalf("want ErrFrame, got %v", err)
+		}
+		dec.Release()
+	})
+	// AllocsPerRun counts allocations, not bytes, so separately bound
+	// the big one: a single step of readStep is the most any run may
+	// reserve for the lying payload. Allocation *count* stays tiny.
+	if allocBytes > 40 {
+		t.Fatalf("adversarial decode made %v allocations, want few small ones", allocBytes)
+	}
+}
+
+func TestBinaryStreamingIncremental(t *testing.T) {
+	// A decoder must yield request N without having seen request N+1:
+	// feed frames through a pipe one at a time.
+	pr, pw := io.Pipe()
+	go func() {
+		enc := NewEncoder(pw)
+		enc.EncodeRequest(map[string][]memctx.Item{"in": {{Name: "first", Data: []byte("1")}}})
+		// Intentionally do not write more until the reader got the first.
+	}()
+	dec := NewDecoder(pr)
+	defer dec.Release()
+	got, err := dec.DecodeRequest()
+	if err != nil {
+		t.Fatalf("incremental decode: %v", err)
+	}
+	if got["in"][0].Name != "first" {
+		t.Fatalf("wrong record: %+v", got)
+	}
+	pw.Close()
+}
+
+// FuzzWireRoundTrip does double duty: structured seeds exercise
+// decode(encode(x)) == x, and raw mutated bytes must never panic or
+// over-allocate — every failure surfaces as ErrFrame or io.EOF.
+func FuzzWireRoundTrip(f *testing.F) {
+	seed := func(reqs []map[string][]memctx.Item) []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		for _, r := range reqs {
+			enc.EncodeRequest(r)
+		}
+		enc.EncodeEnd()
+		enc.Release()
+		return buf.Bytes()
+	}
+	f.Add(seed(nil))
+	f.Add(seed([]map[string][]memctx.Item{{}}))
+	f.Add(seed([]map[string][]memctx.Item{{"in": {{Name: "a", Key: "k", Data: []byte("hello")}}}}))
+	f.Add(seed([]map[string][]memctx.Item{
+		{"a": {{Name: "x", Data: nil}, {Name: "y", Data: []byte{}}}, "b": nil},
+		{"c": {{Name: "z", Key: "kk", Data: bytes.Repeat([]byte{1}, 300)}}},
+	}))
+	f.Add([]byte{Magic, Version, FrameRequest, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{Magic, 0x02})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dec.SetMaxFrameBytes(1 << 20) // keep fuzz memory bounded
+		var decoded []map[string][]memctx.Item
+		for {
+			sets, err := dec.DecodeRequest()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrFrame) {
+					t.Fatalf("decode returned non-frame error: %v", err)
+				}
+				break
+			}
+			decoded = append(decoded, normalize(sets))
+			dec.Recycle()
+			if len(decoded) > 64 {
+				break
+			}
+		}
+		dec.Release()
+
+		// Whatever decoded cleanly must round-trip: re-encode and
+		// re-decode, and the structures must match.
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		for _, r := range decoded {
+			if err := enc.EncodeRequest(r); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := enc.EncodeEnd(); err != nil {
+			t.Fatalf("re-encode end: %v", err)
+		}
+		enc.Release()
+		dec2 := NewDecoder(bytes.NewReader(buf.Bytes()))
+		defer dec2.Release()
+		for i, want := range decoded {
+			got, err := dec2.DecodeRequest()
+			if err != nil {
+				t.Fatalf("re-decode %d: %v", i, err)
+			}
+			if !reflect.DeepEqual(normalize(got), want) {
+				t.Fatalf("round-trip mismatch at %d:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+	})
+}
+
+// TestBinaryLargeNameInterned pins that the intern table is bounded:
+// many distinct names must not grow it past its cap.
+func TestBinaryInternBounded(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	sets := map[string][]memctx.Item{}
+	for i := 0; i < 600; i++ {
+		sets[strings.Repeat("s", 1+i%7)+string(rune('a'+i%26))+string(rune('0'+i%10))+string(rune('A'+i/40))] = nil
+	}
+	if err := enc.EncodeRequest(sets); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	got, err := dec.DecodeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("got %d sets, want %d", len(got), len(sets))
+	}
+	if len(dec.interned) > 256 {
+		t.Fatalf("intern table grew to %d entries", len(dec.interned))
+	}
+}

@@ -1,30 +1,34 @@
 #!/bin/sh
-# bench-baseline: capture the invoke hot-path performance trajectory in
-# BENCH_5.json so future PRs have concrete numbers to regress against.
-# The committed BENCH_4.json (PR 4) stays in place as the prior marker,
-# so the two files side by side show the trajectory across PRs.
+# bench-baseline: capture the serving-path performance trajectory in
+# BENCH_7.json so future PRs have concrete numbers to regress against.
+# The committed BENCH_4.json / BENCH_5.json stay in place as prior
+# markers, so the files side by side show the trajectory across PRs.
 #
 # Records, per benchmark: ns/op, inv/s (where reported), B/op, and
 # allocs/op for the single-invoke and batched dispatch paths (both
-# data-plane modes), plus the mutex-vs-sharded counter contention probe
-# at -cpu 1 and 4. One warm -benchtime 1s pass each; these are
+# data-plane modes), the HTTP-level serving benchmark crossing the two
+# wire framings (JSON vs binary, docs/WIRE.md) with small and multi-KiB
+# payloads, plus the mutex-vs-sharded counter contention probe at
+# -cpu 1 and 4. One warm -benchtime 1s pass each; these are
 # trajectory markers, not publication-grade measurements — rerun on the
 # machine you compare against.
 set -eu
 cd "$(dirname "$0")/.."
 
-out=BENCH_5.json
+out=BENCH_7.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' \
     -benchmem -benchtime 1s -count 1 . >"$tmp"
+go test -run XXX -bench 'BenchmarkServingHTTP' \
+    -benchmem -benchtime 2s -count 1 . >>"$tmp"
 go test -run XXX -bench 'BenchmarkStatsContention' \
     -benchtime 1s -cpu 1,4 -count 1 . >>"$tmp"
 
 {
     printf '{\n'
-    printf '  "issue": 5,\n'
+    printf '  "issue": 7,\n'
     printf '  "generated_by": "make bench-baseline",\n'
     printf '  "goos_goarch_cpu": "%s",\n' \
         "$(awk '/^goos:/{os=$2} /^goarch:/{arch=$2} /^cpu:/{sub(/^cpu: */,""); cpu=$0} END{printf "%s/%s %s", os, arch, cpu}' "$tmp")"

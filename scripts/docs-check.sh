@@ -57,6 +57,17 @@ for name in $(grep -rho 'flag\.[A-Za-z]*("[a-z][a-z0-9-]*"' cmd/dandelion/ | sed
   fi
 done
 
+# Rule 5: every wire frame type constant (Frame* in internal/wire) must
+# be listed in docs/WIRE.md as a backticked identifier. The frame
+# grammar is a protocol surface: an undocumented record kind is a wire
+# format change nobody can interoperate with.
+for name in $(grep -ho '^\s*Frame[A-Za-z0-9]*' internal/wire/*.go | tr -d '[:blank:]' | sort -u); do
+  if ! grep -q -- "\`$name\`" docs/WIRE.md; then
+    echo "docs-check: wire frame constant $name not documented in docs/WIRE.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-check: OK"
 fi
