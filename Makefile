@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster docs-check
+.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster e2e-journal docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
 # catches dispatch-path regressions that compile fine), keep the binary
-# wire codec honest against malformed inputs (fuzz-smoke), keep the
-# multi-process cluster path alive (e2e-cluster), and keep the docs
-# honest (docs-check catches references to removed symbols).
-ci: build vet race bench-smoke fuzz-smoke e2e-cluster docs-check
+# wire codec and the journal file decoder honest against malformed
+# inputs (fuzz-smoke), keep the multi-process cluster path alive
+# (e2e-cluster), keep crash recovery honest (e2e-journal), and keep the
+# docs honest (docs-check catches references to removed symbols).
+ci: build vet race bench-smoke fuzz-smoke e2e-cluster e2e-journal docs-check
 
 build:
 	$(GO) build ./...
@@ -30,22 +31,29 @@ bench:
 # bench-smoke is a short single-iteration run of the batched dispatch
 # and HTTP serving benchmarks: not a performance measurement, just
 # proof the hot paths still execute end to end — both data-plane modes
-# (batch, batch-zerocopy) and both wire framings (json, binary).
+# (batch, batch-zerocopy), both wire framings (json, binary), the
+# journaled serving modes (off / on-unkeyed / on-keyed), and the
+# journal append path itself (memory vs file, with/without batching).
 bench-smoke:
-	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkServingHTTP' -benchtime 1x -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkServingHTTP|BenchmarkServingJournal' -benchtime 1x -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkJournalAppend' -benchtime 1x -benchmem ./internal/journal/
 
-# fuzz-smoke runs the binary wire codec fuzzer briefly: long enough to
-# replay the corpus and probe a few thousand mutations of the framing
-# grammar, short enough for CI (see internal/wire FuzzWireRoundTrip).
+# fuzz-smoke runs the codec fuzzers briefly: long enough to replay the
+# corpus and probe a few thousand mutations each of the binary framing
+# grammar (internal/wire FuzzWireRoundTrip) and the journal file format
+# (internal/journal FuzzJournalReplay — torn writes, flipped CRCs,
+# adversarial lengths), short enough for CI.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzWireRoundTrip -fuzztime 5s ./internal/wire/
+	$(GO) test -run XXX -fuzz FuzzJournalReplay -fuzztime 5s ./internal/journal/
 
 # bench-baseline snapshots the serving-path numbers (inv/s and allocs/op
 # for the single, batch, and batch+zerocopy dispatch paths, wire MB/s
-# for the JSON-vs-binary HTTP framings, plus the sharded-vs-mutex
-# counter contention probe) into BENCH_7.json — alongside the committed
-# PR-4/PR-5 baselines — giving future PRs a perf trajectory to regress
-# against (see scripts/bench-baseline.sh).
+# for the JSON-vs-binary HTTP framings, the journal-off vs journal-on
+# serving delta and journal append costs, plus the sharded-vs-mutex
+# counter contention probe) into BENCH_8.json — alongside the committed
+# PR-4/PR-5/PR-7 baselines — giving future PRs a perf trajectory to
+# regress against (see scripts/bench-baseline.sh).
 bench-baseline:
 	sh scripts/bench-baseline.sh
 
@@ -54,6 +62,14 @@ bench-baseline:
 # killed mid-run, and reroute + eviction are verified (docs/CLUSTER.md).
 e2e-cluster:
 	$(GO) test -race -run 'TestClusterE2E' ./internal/loadgen/
+
+# e2e-journal runs the race-enabled crash-recovery end-to-end test: a
+# file-journaled worker loses a response mid-batch (keyed retry dedups,
+# exactly-once), is killed without cleanup, and restarts against the
+# same journal directory with its reconfiguration and completed keys
+# replayed (docs/JOURNAL.md).
+e2e-journal:
+	$(GO) test -race -run 'TestJournalCrashRecoveryE2E' ./internal/loadgen/
 
 # docs-check fails if README.md or docs/ reference Go symbols or CLI
 # flags that no longer exist (see scripts/docs-check.sh).

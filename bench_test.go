@@ -470,6 +470,81 @@ composition I(In) => Result {
 	}
 }
 
+// BenchmarkServingJournal measures what the durable invocation journal
+// costs the HTTP serving path (docs/JOURNAL.md): "off" is the plain
+// platform, "on-unkeyed" a file-journaled platform serving traffic
+// without idempotency keys (keyed-only journaling means nothing is
+// appended — the delta should be noise), and "on-keyed" the full
+// journaled path (per-request keys, dedup reservation, two records per
+// invocation). ISSUE 8 acceptance compares off against the BENCH_7
+// serving numbers (< 2% regression) and records the on/off delta in
+// BENCH_8.json.
+func BenchmarkServingJournal(b *testing.B) {
+	newSrv := func(b *testing.B, journaled bool) *httptest.Server {
+		opts := dandelion.Options{ComputeEngines: 4}
+		if journaled {
+			opts.JournalDir = b.TempDir()
+		}
+		p, err := dandelion.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(p.Shutdown)
+		if err := p.RegisterFunction(dandelion.ComputeFunc{Name: "Id", Go: func(in []dandelion.Set) ([]dandelion.Set, error) {
+			return []dandelion.Set{{Name: "Out", Items: in[0].Items}}, nil
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.RegisterCompositionText(`
+composition I(In) => Result {
+    Id(x = all In) => (Result = Out);
+}`); err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(frontend.New(p))
+		b.Cleanup(srv.Close)
+		return srv
+	}
+	modes := []struct {
+		name      string
+		journaled bool
+		keyPrefix string
+	}{
+		{"off", false, ""},
+		{"on-unkeyed", true, ""},
+		{"on-keyed", true, "bench"},
+	}
+	payload := bytes.Repeat([]byte("d"), 64)
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			srv := newSrv(b, m.journaled)
+			cfg := loadgen.Config{
+				BaseURL:     srv.URL,
+				Client:      srv.Client(),
+				Composition: "I",
+				InputSet:    "In",
+				OutputSet:   "Result",
+				Clients:     4,
+				Requests:    b.N,
+				BatchSize:   16,
+				Binary:      true,
+				KeyPrefix:   m.keyPrefix,
+				Payload:     func(client, seq, i int) []byte { return payload },
+			}
+			b.ResetTimer()
+			rep, err := loadgen.Run(cfg)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors != 0 {
+				b.Fatalf("%d/%d invocations failed", rep.Errors, rep.Invocations)
+			}
+			b.ReportMetric(rep.Throughput, "inv/s")
+		})
+	}
+}
+
 // BenchmarkStatsContention isolates the hot-path bookkeeping pattern of
 // the dispatcher — every invoke ticks a few counters — and compares a
 // single mutex-guarded counter struct against sharded atomic counters.

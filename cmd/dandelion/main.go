@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +62,7 @@ func main() {
 	autoscale := flag.Bool("autoscale", false, "grow/shrink the compute-engine pool with load (elasticity controller)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "compute-pool ceiling under -autoscale (0 = 4x initial)")
 	adminToken := flag.String("admin-token", "", "bearer token enabling the /admin control-plane routes (empty disables them)")
+	journalDir := flag.String("journal", "", "directory for the durable invocation journal (created if missing); admin reconfiguration and keyed invocations are replayed from it on restart (empty disables journaling)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "per-request body cap on the invocation and registration routes; oversized requests get 413 (0 = 64 MiB default)")
 	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: accept remote worker joins on /cluster/join and route invocations across the fleet")
 	join := flag.String("join", "", "coordinator URL to join as a remote worker (self-registers, heartbeats, re-registers after coordinator restarts)")
@@ -84,6 +86,7 @@ func main() {
 		TenantWeights:  weights,
 		Autoscale:      *autoscale,
 		AutoscaleMax:   *autoscaleMax,
+		JournalDir:     *journalDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -97,6 +100,12 @@ func main() {
 		// /cluster/heartbeat, and invocation routes fan out across the
 		// fleet; the tracker evicts workers that miss heartbeats.
 		mgr := cluster.NewManager(cluster.RoundRobin)
+		// Keyed chunk retries: every routed batch request carries an
+		// idempotency key, so wholesale chunk failures (worker death,
+		// lost responses) are retried safely — the workers' dedup tables
+		// absorb re-execution. The PID makes the prefix unique per
+		// coordinator life.
+		mgr.EnableKeyedRetries(fmt.Sprintf("coord-%d-%d", os.Getpid(), time.Now().UnixNano()))
 		tr := cluster.NewTracker(mgr, *hbInterval, *hbMisses, nil)
 		tr.Start()
 		defer tr.Stop()
@@ -125,7 +134,7 @@ func main() {
 		go hb.Run(context.Background())
 	}
 
-	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v, coordinator=%v)",
-		*addr, *backend, *autoscale, *adminToken != "", *coordinator)
+	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v, coordinator=%v, journal=%v)",
+		*addr, *backend, *autoscale, *adminToken != "", *coordinator, *journalDir != "")
 	log.Fatal(http.ListenAndServe(*addr, frontend.NewWithConfig(p, cfg)))
 }

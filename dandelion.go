@@ -36,11 +36,14 @@ package dandelion
 import (
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 
 	"dandelion/internal/core"
 	"dandelion/internal/ctlplane"
 	"dandelion/internal/httpfn"
 	"dandelion/internal/isolation"
+	"dandelion/internal/journal"
 	"dandelion/internal/memctx"
 	"dandelion/internal/sched"
 	"dandelion/internal/storagefn"
@@ -78,6 +81,16 @@ const DefaultTenant = core.DefaultTenant
 // ErrDraining rejects new invocations while a node drains (see
 // Platform.Drain / POST /admin/drain); in-flight work completes.
 var ErrDraining = core.ErrDraining
+
+// ErrDuplicate answers a keyed invocation whose idempotency key already
+// completed but whose cached outputs are gone (evicted, or the key was
+// recovered from a journal replay after a restart) — the work is done;
+// re-executing would break exactly-once. See docs/JOURNAL.md.
+var ErrDuplicate = core.ErrDuplicate
+
+// ErrInFlight answers a keyed invocation whose key is currently
+// executing; the caller retries after the first execution settles.
+var ErrInFlight = core.ErrInFlight
 
 // BatchRequest is one composition invocation inside a
 // Platform.InvokeBatch call.
@@ -129,6 +142,15 @@ type Options struct {
 	// function (GET/PUT/DELETE/LIST against an S3-style object store
 	// at this base URL).
 	StorageURL string
+	// JournalDir, when set, opens (creating if needed) a durable
+	// invocation journal at <JournalDir>/journal.wal: admin
+	// reconfiguration and keyed-invocation outcomes are appended as they
+	// happen and replayed on the next start from the same directory, so
+	// a restarted node comes back with its tenant weights, engine
+	// counts, admission clamp, and completed-key dedup table intact.
+	// See docs/JOURNAL.md. The platform owns the journal and closes it
+	// on Shutdown.
+	JournalDir string
 }
 
 // Platform is one Dandelion worker node.
@@ -147,7 +169,18 @@ func New(opts Options) (*Platform, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dandelion: %w", err)
 	}
+	var jrnl journal.Journal
+	if opts.JournalDir != "" {
+		if err := os.MkdirAll(opts.JournalDir, 0o755); err != nil {
+			return nil, fmt.Errorf("dandelion: journal dir: %w", err)
+		}
+		jrnl, err = journal.OpenFile(filepath.Join(opts.JournalDir, "journal.wal"), journal.FileOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("dandelion: %w", err)
+		}
+	}
 	p, err := core.NewPlatform(core.Options{
+		Journal:        jrnl,
 		Backend:        backend,
 		ComputeEngines: opts.ComputeEngines,
 		CommEngines:    opts.CommEngines,
@@ -159,6 +192,9 @@ func New(opts Options) (*Platform, error) {
 		Elasticity:     ctlplane.Config{Max: opts.AutoscaleMax},
 	})
 	if err != nil {
+		if jrnl != nil {
+			jrnl.Close()
+		}
 		return nil, fmt.Errorf("dandelion: %w", err)
 	}
 	httpFn := &httpfn.Function{Client: opts.HTTPClient, AllowHost: opts.AllowHost}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dandelion/internal/core"
+	"dandelion/internal/journal"
 	"dandelion/internal/memctx"
 	"dandelion/internal/sched"
 )
@@ -34,6 +35,15 @@ type TenantNode interface {
 // core.BatchRequest, so no separate tenant interface is needed here.
 type BatchNode interface {
 	InvokeBatch(reqs []core.BatchRequest) []core.BatchResult
+}
+
+// KeyedNode is the optional idempotency-aware interface of a worker: a
+// single invocation routed with a key is deduplicated at the worker by
+// that key (see core.Platform.InvokeKeyedAs). Workers that do not
+// implement it are driven through the tenant/plain interfaces and the
+// key is dropped — the invocation still runs, without dedup.
+type KeyedNode interface {
+	InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
 }
 
 // WeightNode is the optional control-plane interface of a worker: the
@@ -73,6 +83,12 @@ type Manager struct {
 	names   []string
 	workers map[string]*member
 	rr      atomic.Uint64
+
+	// Keyed retries (EnableKeyedRetries): when keyPrefix is non-empty
+	// the manager assigns idempotency keys to every batch request, and
+	// keySeq numbers the batches so keys are unique per manager life.
+	keyPrefix string
+	keySeq    atomic.Uint64
 }
 
 type member struct {
@@ -158,6 +174,27 @@ func (m *Manager) pick() (string, *member, error) {
 	}
 }
 
+// EnableKeyedRetries turns on idempotency-keyed routing: every batch
+// request gets a chunk key "prefix-seq#i" before dispatch, which makes
+// wholesale chunk failures safe to retry even for single-request
+// chunks — the worker's completed-key dedup table (journal-backed on
+// durable nodes) absorbs any re-execution. The prefix must be unique
+// per coordinator life (e.g. include a boot timestamp); reusing a
+// prefix against workers with journaled keys from a previous life
+// would dedup fresh work against stale outcomes.
+func (m *Manager) EnableKeyedRetries(prefix string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.keyPrefix = prefix
+}
+
+// keyedRetries reports the keyed-routing prefix ("" when disabled).
+func (m *Manager) keyedRetries() string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.keyPrefix
+}
+
 // Invoke routes one composition invocation to a worker under the
 // default tenant.
 func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
@@ -175,6 +212,29 @@ func (m *Manager) InvokeAs(tenant, name string, inputs map[string][]memctx.Item)
 	w.total.Add(1)
 	defer w.inflight.Add(-1)
 	out, err := invokeOn(w.node, tenant, name, inputs)
+	if err != nil {
+		w.failures.Add(1)
+	}
+	return out, err
+}
+
+// InvokeKeyedAs routes one idempotency-keyed invocation to a worker.
+// On workers implementing KeyedNode the key deduplicates re-sends; on
+// others the key is dropped and the invocation runs unkeyed.
+func (m *Manager) InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	_, w, err := m.pick()
+	if err != nil {
+		return nil, err
+	}
+	w.inflight.Add(1)
+	w.total.Add(1)
+	defer w.inflight.Add(-1)
+	var out map[string][]memctx.Item
+	if kn, ok := w.node.(KeyedNode); ok && key != "" {
+		out, err = kn.InvokeKeyedAs(tenant, name, key, inputs)
+	} else {
+		out, err = invokeOn(w.node, tenant, name, inputs)
+	}
 	if err != nil {
 		w.failures.Add(1)
 	}
@@ -213,10 +273,40 @@ func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []
 // dead or unreachable node rather than per-request application errors),
 // the chunk is re-queued once on the surviving worker with the fewest
 // in-flight invocations, and only that retry's results stand.
-// Single-request chunks are never re-queued — one error cannot be told
-// apart from a legitimate application failure, and a blind retry would
-// duplicate non-idempotent work.
+//
+// Without idempotency keys, single-request chunks are never re-queued —
+// one error cannot be told apart from a legitimate application failure,
+// and a blind retry would duplicate non-idempotent work. With keys
+// (EnableKeyedRetries, or caller-supplied via InvokeBatchKeyedAs) that
+// restraint is lifted: the worker's completed-key dedup table absorbs a
+// re-execution, so keyed single-request chunks retry too, and when no
+// other worker survives the retry may go back to the same (still
+// registered) worker — the transient-transport-failure case, where the
+// work often completed and only the response was lost.
 func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	var keys []string
+	if prefix := m.keyedRetries(); prefix != "" && len(inputs) > 0 {
+		base := fmt.Sprintf("%s-%d", prefix, m.keySeq.Add(1))
+		keys = make([]string, len(inputs))
+		for i := range keys {
+			keys[i] = journal.ChunkKey(base, i)
+		}
+	}
+	return m.invokeBatchKeyed(tenant, name, keys, inputs)
+}
+
+// InvokeBatchKeyedAs routes a batch with caller-supplied idempotency
+// keys (len(keys) must equal len(inputs); empty entries opt that
+// request out). Keyed requests are deduplicated at the workers and
+// their chunks retried on wholesale failure regardless of size.
+func (m *Manager) InvokeBatchKeyedAs(tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	if len(keys) != len(inputs) {
+		keys = nil
+	}
+	return m.invokeBatchKeyed(tenant, name, keys, inputs)
+}
+
+func (m *Manager) invokeBatchKeyed(tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	results := make([]core.BatchResult, len(inputs))
 	if len(inputs) == 0 {
 		return results
@@ -263,16 +353,28 @@ func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memct
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res := m.runChunk(c.w, tenant, name, inputs[c.lo:c.hi])
-			if len(res) > 1 && allFailed(res) {
+			var ck []string
+			if keys != nil {
+				ck = keys[c.lo:c.hi]
+			}
+			res := m.runChunk(c.w, tenant, name, ck, inputs[c.lo:c.hi])
+			if allFailed(res) && (len(res) > 1 || fullyKeyed(ck)) {
 				// Re-snapshot live membership before retrying: the
 				// pre-batch snapshot can name workers deregistered — or,
 				// with heartbeat tracking, evicted — while this chunk
 				// ran, and retrying onto one of those just fails again.
 				_, live := m.snapshot()
-				if alt := pickSurvivor(live, c.w); alt != nil {
+				alt := pickSurvivor(live, c.w)
+				if alt == nil && fullyKeyed(ck) && contains(live, c.w) {
+					// No other survivor, but the chunk is keyed and its
+					// worker is still registered: retry in place — safe
+					// under dedup, and exactly what recovers a response
+					// lost to a transient transport failure.
+					alt = c.w
+				}
+				if alt != nil {
 					c.w.rerouted.Add(1)
-					res = m.runChunk(alt, tenant, name, inputs[c.lo:c.hi])
+					res = m.runChunk(alt, tenant, name, ck, inputs[c.lo:c.hi])
 				}
 			}
 			copy(results[c.lo:c.hi], res)
@@ -283,8 +385,11 @@ func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memct
 }
 
 // runChunk drives one contiguous chunk on one worker, preferring the
-// batched interface, and returns the chunk's results.
-func (m *Manager) runChunk(w *member, tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+// batched interface, and returns the chunk's results. keys, when
+// non-nil, carries one idempotency key per request (parallel to
+// inputs); the per-request fallback drops keys on workers without the
+// keyed interface.
+func (m *Manager) runChunk(w *member, tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	n := int64(len(inputs))
 	w.inflight.Add(n)
 	w.total.Add(uint64(n))
@@ -294,6 +399,9 @@ func (m *Manager) runChunk(w *member, tenant, name string, inputs []map[string][
 		reqs := make([]core.BatchRequest, len(inputs))
 		for i := range inputs {
 			reqs[i] = core.BatchRequest{Composition: name, Tenant: tenant, Inputs: inputs[i]}
+			if keys != nil {
+				reqs[i].Key = keys[i]
+			}
 		}
 		for i, r := range bn.InvokeBatch(reqs) {
 			res[i] = r
@@ -303,14 +411,46 @@ func (m *Manager) runChunk(w *member, tenant, name string, inputs []map[string][
 		}
 		return res
 	}
+	kn, keyed := w.node.(KeyedNode)
 	for i := range inputs {
-		out, err := invokeOn(w.node, tenant, name, inputs[i])
+		var out map[string][]memctx.Item
+		var err error
+		if keyed && keys != nil && keys[i] != "" {
+			out, err = kn.InvokeKeyedAs(tenant, name, keys[i], inputs[i])
+		} else {
+			out, err = invokeOn(w.node, tenant, name, inputs[i])
+		}
 		res[i] = core.BatchResult{Outputs: out, Err: err}
 		if err != nil {
 			w.failures.Add(1)
 		}
 	}
 	return res
+}
+
+// fullyKeyed reports whether every request of a chunk carries an
+// idempotency key — the precondition for retrying chunks the unkeyed
+// heuristic would not touch.
+func fullyKeyed(keys []string) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		if k == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// contains reports whether w is among members.
+func contains(members []*member, w *member) bool {
+	for _, m := range members {
+		if m == w {
+			return true
+		}
+	}
+	return false
 }
 
 // allFailed reports whether every result of a (non-empty) chunk errored
@@ -428,6 +568,12 @@ type ClusterStats struct {
 	CommCompleted    uint64
 	CommittedBytes   int64
 	EngineResizes    uint64
+	// Journal/dedup gauges summed across reporting workers: appends and
+	// replays of durable invocation journals, and completed-key dedup
+	// hits (re-sends answered without re-execution).
+	JournalAppends  uint64
+	JournalReplayed uint64
+	DedupHits       uint64
 	// Tenants carries the per-tenant scheduling gauges merged across
 	// every reporting worker.
 	Tenants []sched.TenantStats `json:",omitempty"`
@@ -490,6 +636,9 @@ func (m *Manager) AggregateStats() ClusterStats {
 		cs.CommCompleted += st.CommCompleted
 		cs.CommittedBytes += st.CommittedBytes
 		cs.EngineResizes += st.EngineResizes
+		cs.JournalAppends += st.JournalAppends
+		cs.JournalReplayed += st.JournalReplayed
+		cs.DedupHits += st.DedupHits
 		if len(st.Tenants) > 0 {
 			tenantLists = append(tenantLists, st.Tenants)
 		}

@@ -212,7 +212,15 @@ func (rn *RemoteNode) Invoke(name string, inputs map[string][]memctx.Item) (map[
 // using the frontend's full-fidelity JSON invoke mode (every input set
 // travels; the full output-set map comes back).
 func (rn *RemoteNode) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
-	body, err := json.Marshal(wire.BatchRequest{Inputs: wire.FromSets(inputs)})
+	return rn.InvokeKeyedAs(tenant, name, "", inputs)
+}
+
+// InvokeKeyedAs routes one idempotency-keyed invocation: the key
+// travels in the JSON body's key field (the same field the batch wire
+// shape uses), so a re-send after a lost response is answered from the
+// worker's completed-key dedup table instead of re-executing.
+func (rn *RemoteNode) InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	body, err := json.Marshal(wire.BatchRequest{Inputs: wire.FromSets(inputs), Key: key})
 	if err != nil {
 		return nil, fmt.Errorf("%w: encoding request: %v", ErrRemote, err)
 	}
@@ -273,7 +281,9 @@ func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.
 	if mode == modeBinary {
 		enc := wire.NewEncoder(buf)
 		for _, r := range reqs {
-			if err := enc.EncodeRequest(r.Inputs); err != nil {
+			// Keyed requests ride the 'K' frame; unkeyed ones keep the
+			// classic 'Q' frame, byte-identical to the pre-key protocol.
+			if err := enc.EncodeKeyedRequest(r.Key, r.Inputs); err != nil {
 				enc.Release()
 				fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))
 				return
@@ -289,7 +299,7 @@ func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.
 	} else {
 		wireReqs := make([]wire.BatchRequest, len(reqs))
 		for i, r := range reqs {
-			wireReqs[i] = wire.BatchRequest{Inputs: wire.FromSets(r.Inputs)}
+			wireReqs[i] = wire.BatchRequest{Inputs: wire.FromSets(r.Inputs), Key: r.Key}
 		}
 		if err := json.NewEncoder(buf).Encode(wireReqs); err != nil {
 			fail(fmt.Errorf("%w: encoding batch: %v", ErrRemote, err))

@@ -88,6 +88,13 @@ type BatchRequest struct {
 	Tenant string
 	// Inputs maps the composition's input names to items.
 	Inputs map[string][]memctx.Item
+	// Key is the request's idempotency key; empty opts out. A keyed
+	// request is checked against the completed-key dedup table before
+	// execution (a duplicate is answered from the table, never
+	// re-executed) and, on a journaling platform, written to the
+	// durable journal (see journal.go). cluster.Manager assigns chunk
+	// keys "base#i" so rerouted chunks retry safely.
+	Key string
 }
 
 // BatchResult is the outcome of one request in a batch. Requests fail
@@ -115,6 +122,12 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	}
 	p.ctrs.shard().batches.Add(1)
 
+	// Resolve keyed requests against the dedup table first: duplicates
+	// are answered in place (kb.skip masks them out of execution),
+	// fresh keys are reserved and journaled. Unkeyed batches (kb ==
+	// nil) pay nothing here.
+	kb := p.beginKeyedBatch(reqs, results)
+
 	// Group request indices by (composition, tenant), preserving
 	// first-seen order. Tenant is part of the key so one group's chunk
 	// tasks are attributable to exactly one tenant's dispatch share.
@@ -122,6 +135,9 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	groups := map[groupKey][]int{}
 	var order []groupKey
 	for i, r := range reqs {
+		if kb != nil && kb.skip[i] {
+			continue
+		}
 		key := groupKey{comp: r.Composition, tenant: r.Tenant}
 		if key.tenant == "" {
 			key.tenant = DefaultTenant
@@ -157,6 +173,9 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 		}(key.tenant, p.planFor(comp), idxs)
 	}
 	wg.Wait()
+	if kb != nil {
+		p.finishKeyedBatch(kb, reqs, results)
+	}
 	return results
 }
 

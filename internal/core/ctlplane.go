@@ -14,6 +14,7 @@ import (
 
 	"dandelion/internal/autoscale"
 	"dandelion/internal/ctlplane"
+	"dandelion/internal/journal"
 )
 
 // Reconfigurer compliance is asserted at compile time; the frontend's
@@ -62,6 +63,7 @@ func (p *Platform) SetEngineCounts(compute, comm int) {
 	}
 	p.computePool.SetCount(compute)
 	p.commPool.SetCount(comm)
+	p.journalReconfig(journal.OpEngineCounts, "", int64(compute), int64(comm))
 }
 
 // EngineCounts reports the current engine-pool sizes.
@@ -75,6 +77,11 @@ func (p *Platform) SetAutoscale(on bool) {
 	if p.elastic != nil {
 		p.elastic.SetEnabled(on)
 	}
+	var a int64
+	if on {
+		a = 1
+	}
+	p.journalReconfig(journal.OpAutoscale, "", a, 0)
 }
 
 // AutoscaleOn reports whether the elasticity controller is present and
@@ -109,7 +116,13 @@ func (p *Platform) Admission() *autoscale.Admission { return p.adm }
 
 // SetAdmissionClamp overrides the batch admission plane's [min, max]
 // window clamp; see autoscale.Admission.SetClamp for normalization.
-func (p *Platform) SetAdmissionClamp(min, max int) { p.adm.SetClamp(min, max) }
+// The journaled record carries the normalized clamp read back from the
+// admission plane, so replay reproduces the effective state.
+func (p *Platform) SetAdmissionClamp(min, max int) {
+	p.adm.SetClamp(min, max)
+	lo, hi := p.adm.Clamp()
+	p.journalReconfig(journal.OpAdmissionClamp, "", int64(lo), int64(hi))
+}
 
 // AdmissionClamp reports the batch admission plane's current clamp.
 func (p *Platform) AdmissionClamp() (min, max int) { return p.adm.Clamp() }
@@ -117,10 +130,16 @@ func (p *Platform) AdmissionClamp() (min, max int) { return p.adm.Clamp() }
 // Drain stops admitting new invocations: Invoke/InvokeAs and
 // InvokeBatch reject with ErrDraining while in-flight work (including
 // every statement of already-admitted compositions) completes normally.
-func (p *Platform) Drain() { p.draining.Store(true) }
+func (p *Platform) Drain() {
+	p.draining.Store(true)
+	p.journalReconfig(journal.OpDrain, "", 1, 0)
+}
 
 // Resume re-admits invocations after a Drain.
-func (p *Platform) Resume() { p.draining.Store(false) }
+func (p *Platform) Resume() {
+	p.draining.Store(false)
+	p.journalReconfig(journal.OpDrain, "", 0, 0)
+}
 
 // Draining reports whether the node is refusing new invocations.
 func (p *Platform) Draining() bool { return p.draining.Load() }

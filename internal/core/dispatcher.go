@@ -13,6 +13,7 @@ import (
 	"dandelion/internal/engine"
 	"dandelion/internal/graph"
 	"dandelion/internal/isolation"
+	"dandelion/internal/journal"
 	"dandelion/internal/memctx"
 	"dandelion/internal/sched"
 )
@@ -72,6 +73,13 @@ type Options struct {
 	// [ComputeEngines, 4×ComputeEngines].
 	Autoscale  bool
 	Elasticity ctlplane.Config
+	// Journal, when non-nil, makes the node durable: keyed invocations
+	// and admin reconfigurations are appended to it, and construction
+	// replays it — reconfig records re-apply through the Reconfigurer
+	// surface, completed-key records rebuild the dedup table (see
+	// journal.go and docs/JOURNAL.md). The platform owns the journal
+	// from here on and closes it on Shutdown.
+	Journal journal.Journal
 }
 
 // Platform is one Dandelion worker node: registry + dispatcher +
@@ -114,6 +122,17 @@ type Platform struct {
 	// provides (rationale in counters.go).
 	memCommitted atomic.Int64
 	memPeak      atomic.Int64
+
+	// The durability plane (journal.go): the invocation journal (nil
+	// without Options.Journal), the always-on completed-key dedup
+	// table, and their gauges. jreplaying gates the reconfiguration
+	// setters so replayed records are not re-journaled.
+	jrnl        journal.Journal
+	dedup       *journal.Dedup
+	jreplaying  atomic.Bool
+	jAppends    atomic.Uint64
+	jAppendErrs atomic.Uint64
+	jReplayed   uint64
 }
 
 // NewPlatform builds and starts a worker node.
@@ -171,6 +190,14 @@ func NewPlatform(opts Options) (*Platform, error) {
 		p.elastic = ctlplane.NewElasticity(ecfg, p.computePool, p.elasticSignals)
 		p.elastic.Start()
 	}
+	p.dedup = journal.NewDedup(0)
+	if opts.Journal != nil {
+		p.jrnl = opts.Journal
+		if err := p.replayJournal(); err != nil {
+			p.Shutdown()
+			return nil, fmt.Errorf("core: journal replay: %w", err)
+		}
+	}
 	return p, nil
 }
 
@@ -188,6 +215,9 @@ func (p *Platform) Shutdown() {
 	p.commSched.Close()
 	p.computePool.Shutdown()
 	p.commPool.Shutdown()
+	if p.jrnl != nil {
+		p.jrnl.Close() // checkpoints; Close is idempotent
+	}
 }
 
 // SetTenantWeight sets a tenant's DRR dispatch weight (minimum 1) on
@@ -195,6 +225,7 @@ func (p *Platform) Shutdown() {
 func (p *Platform) SetTenantWeight(tenant string, w int) {
 	p.computeSched.SetWeight(tenant, w)
 	p.commSched.SetWeight(tenant, w)
+	p.journalReconfig(journal.OpTenantWeight, tenant, int64(p.TenantWeight(tenant)), 0)
 }
 
 // RegisterFunction registers a compute function.
@@ -266,6 +297,20 @@ type Stats struct {
 	EngineResizes uint64
 	AutoscaleOn   bool
 	Draining      bool
+	// The durability-plane gauges. JournalEnabled reports whether the
+	// node journals (Options.Journal); JournalAppends / JournalBytes /
+	// JournalAppendErrors count records appended this process life,
+	// the journal's durable size, and failed appends; JournalReplayed
+	// is the record count construction replayed. DedupHits counts
+	// duplicate keyed invocations absorbed by the completed-key table
+	// (always on, journal or not) and DedupEntries its population.
+	JournalEnabled      bool
+	JournalAppends      uint64
+	JournalAppendErrors uint64
+	JournalReplayed     uint64
+	JournalBytes        int64
+	DedupHits           uint64
+	DedupEntries        int
 	// Tenants carries the scheduling plane's per-tenant gauges (queued,
 	// running, completed, dispatch-wait), merged across the compute and
 	// communication schedulers and sorted by tenant name.
@@ -277,7 +322,19 @@ type Stats struct {
 // the invoke path never serializes on them.
 func (p *Platform) Stats() Stats {
 	t := p.ctrs.merge()
+	var jBytes int64
+	if s, ok := p.jrnl.(journal.Sizer); ok {
+		jBytes = s.Size()
+	}
 	return Stats{
+		JournalEnabled:      p.jrnl != nil,
+		JournalAppends:      p.jAppends.Load(),
+		JournalAppendErrors: p.jAppendErrs.Load(),
+		JournalReplayed:     p.jReplayed,
+		JournalBytes:        jBytes,
+		DedupHits:           p.dedup.Hits(),
+		DedupEntries:        p.dedup.Len(),
+
 		Tenants:          sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
 		Invocations:      t.invocations,
 		Batches:          t.batches,

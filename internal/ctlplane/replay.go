@@ -1,0 +1,39 @@
+// Journal replay: the bridge between the durable invocation journal
+// and the runtime-reconfiguration surface. Every /admin change a node
+// accepts is appended to its journal as a KindReconfig record; on
+// restart the platform replays those records through ApplyRecord, so a
+// reconfiguration entered over HTTP survives a crash exactly like one
+// entered at boot. Replay applies records in journal order — last
+// writer wins, the same semantics live callers get.
+package ctlplane
+
+import "dandelion/internal/journal"
+
+// ApplyRecord applies one journaled admin reconfiguration to a
+// Reconfigurer and reports whether the record was a reconfiguration it
+// understood. Unknown ops are skipped (forward compatibility: a journal
+// written by a newer node replays what this node understands).
+func ApplyRecord(r Reconfigurer, rec journal.Record) bool {
+	if rec.Kind != journal.KindReconfig {
+		return false
+	}
+	switch rec.Op {
+	case journal.OpTenantWeight:
+		r.SetTenantWeight(rec.Tenant, int(rec.A))
+	case journal.OpEngineCounts:
+		r.SetEngineCounts(int(rec.A), int(rec.B))
+	case journal.OpAdmissionClamp:
+		r.SetAdmissionClamp(int(rec.A), int(rec.B))
+	case journal.OpAutoscale:
+		r.SetAutoscale(rec.A != 0)
+	case journal.OpDrain:
+		if rec.A != 0 {
+			r.Drain()
+		} else {
+			r.Resume()
+		}
+	default:
+		return false
+	}
+	return true
+}

@@ -218,7 +218,16 @@ func (s *server) handleAdminEngines(w http.ResponseWriter, r *http.Request) {
 			if body.AdmissionMax != nil {
 				max = *body.AdmissionMax
 			}
-			s.adm.SetClamp(min, max)
+			if s.adm == s.p.Admission() {
+				// The platform's own plane: go through the Reconfigurer
+				// setter so the clamp is journaled and survives a restart
+				// (docs/JOURNAL.md).
+				s.p.SetAdmissionClamp(min, max)
+			} else {
+				// An embedder-injected plane the platform does not own;
+				// journaling it would replay onto the wrong plane.
+				s.adm.SetClamp(min, max)
+			}
 		}
 		writeJSON(w, s.enginesView())
 	default:

@@ -38,12 +38,23 @@ import (
 	"dandelion"
 	"dandelion/internal/autoscale"
 	"dandelion/internal/cluster"
+	"dandelion/internal/journal"
 	"dandelion/internal/wire"
 )
 
 // TenantHeader is the request header naming the tenant an invocation is
 // scheduled under; absent or empty selects the default tenant.
 const TenantHeader = "X-Tenant"
+
+// IdempotencyKeyHeader is the request header carrying a client-chosen
+// idempotency key. On /invoke it keys the single invocation; on
+// /invoke-batch it is a base key the frontend expands to one key per
+// request ("<base>#<i>" in body order), so a client can resend an
+// entire batch after a lost response and have completed requests
+// answered from the worker's dedup table. A key whose work already
+// completed but whose outputs are no longer cached answers 409. See
+// docs/JOURNAL.md.
+const IdempotencyKeyHeader = "Idempotency-Key"
 
 // Config parameterizes the frontend beyond its platform.
 type Config struct {
@@ -211,6 +222,24 @@ func tenantOf(r *http.Request) string {
 	return strings.TrimSpace(r.Header.Get(TenantHeader))
 }
 
+// keyOf extracts the request's idempotency key.
+func keyOf(r *http.Request) string {
+	return strings.TrimSpace(r.Header.Get(IdempotencyKeyHeader))
+}
+
+// invokeStatus maps an invocation error to its HTTP status: 503 while
+// draining, 409 for an idempotency-key conflict (completed key without
+// cached outputs, or a key still executing), 500 otherwise.
+func invokeStatus(err error) int {
+	switch {
+	case errors.Is(err, dandelion.ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, dandelion.ErrDuplicate), errors.Is(err, dandelion.ErrInFlight):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
 // jsonError writes a JSON error body, the uniform error shape of every
 // route.
 func jsonError(w http.ResponseWriter, code int, msg string) {
@@ -312,12 +341,20 @@ func (s *server) handleRegisterComposition(w http.ResponseWriter, r *http.Reques
 // invokeAs dispatches one invocation where this frontend serves from:
 // the local platform, or — in coordinator mode — across the cluster.
 // The coordinator's own drain switch still gates admission either way.
-func (s *server) invokeAs(tenant, name string, inputs map[string][]dandelion.Item) (map[string][]dandelion.Item, error) {
+// A non-empty idempotency key routes through the keyed entry points so
+// re-sends deduplicate at whichever node executes.
+func (s *server) invokeAs(tenant, name, key string, inputs map[string][]dandelion.Item) (map[string][]dandelion.Item, error) {
 	if s.routeCluster {
 		if s.p.Draining() {
 			return nil, dandelion.ErrDraining
 		}
+		if key != "" {
+			return s.cluster.InvokeKeyedAs(tenant, name, key, inputs)
+		}
 		return s.cluster.InvokeAs(tenant, name, inputs)
+	}
+	if key != "" {
+		return s.p.InvokeKeyedAs(tenant, name, key, inputs)
 	}
 	return s.p.InvokeAs(tenant, name, inputs)
 }
@@ -354,15 +391,11 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, "", err)
 		return
 	}
-	out, err := s.invokeAs(tenantOf(r), name, map[string][]dandelion.Item{
+	out, err := s.invokeAs(tenantOf(r), name, keyOf(r), map[string][]dandelion.Item{
 		input: {{Name: "item0", Data: body}},
 	})
 	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, dandelion.ErrDraining) {
-			code = http.StatusServiceUnavailable
-		}
-		jsonError(w, code, err.Error())
+		jsonError(w, invokeStatus(err), err.Error())
 		return
 	}
 	if want := r.URL.Query().Get("output"); want != "" {
@@ -410,13 +443,13 @@ func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name s
 		bodyError(w, "bad invoke body: ", err)
 		return
 	}
-	out, err := s.invokeAs(tenantOf(r), name, wire.ToSets(req.Inputs))
+	key := req.Key
+	if key == "" {
+		key = keyOf(r)
+	}
+	out, err := s.invokeAs(tenantOf(r), name, key, wire.ToSets(req.Inputs))
 	if err != nil {
-		code := http.StatusInternalServerError
-		if errors.Is(err, dandelion.ErrDraining) {
-			code = http.StatusServiceUnavailable
-		}
-		jsonError(w, code, err.Error())
+		jsonError(w, invokeStatus(err), err.Error())
 		return
 	}
 	writeJSON(w, wire.BatchResult{Outputs: wire.FromSets(out)})
@@ -444,14 +477,22 @@ type WireBatchResult = wire.BatchResult
 
 // invokeBatchAs dispatches one uniform sub-batch where this frontend
 // serves from: the local platform, or — in coordinator mode — split
-// across the cluster's workers.
-func (s *server) invokeBatchAs(tenant, name string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
+// across the cluster's workers. keys, when non-nil, carries one
+// idempotency key per request (parallel to inputs; empty entries opt
+// out).
+func (s *server) invokeBatchAs(tenant, name string, keys []string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
 	if s.routeCluster {
+		if keys != nil {
+			return s.cluster.InvokeBatchKeyedAs(tenant, name, keys, inputs)
+		}
 		return s.cluster.InvokeBatchAs(tenant, name, inputs)
 	}
 	reqs := make([]dandelion.BatchRequest, len(inputs))
 	for i, in := range inputs {
 		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: in}
+		if keys != nil {
+			reqs[i].Key = keys[i]
+		}
 	}
 	return s.p.InvokeBatch(reqs)
 }
@@ -500,8 +541,22 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	tenant := tenantOf(r)
 	inputs := make([]map[string][]dandelion.Item, len(wireReqs))
+	var keys []string
+	baseKey := keyOf(r)
 	for i, wr := range wireReqs {
 		inputs[i] = wire.ToSets(wr.Inputs)
+		// Per-request body keys win; an Idempotency-Key header supplies
+		// a base expanded to "<base>#<i>" for requests without one.
+		k := wr.Key
+		if k == "" && baseKey != "" {
+			k = journal.ChunkKey(baseKey, i)
+		}
+		if k != "" && keys == nil {
+			keys = make([]string, len(wireReqs))
+		}
+		if keys != nil {
+			keys[i] = k
+		}
 	}
 
 	// Admit the batch: record demand, then drive it through the
@@ -519,7 +574,11 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		if hi > len(inputs) {
 			hi = len(inputs)
 		}
-		results = append(results, s.invokeBatchAs(tenant, name, inputs[lo:hi])...)
+		var ks []string
+		if keys != nil {
+			ks = keys[lo:hi]
+		}
+		results = append(results, s.invokeBatchAs(tenant, name, ks, inputs[lo:hi])...)
 		lo = hi
 		if lo < len(inputs) {
 			window = s.adm.Window(admitTenant, s.clockSeconds())
@@ -569,12 +628,13 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request, name string) {
 	tenant := tenantOf(r)
 	admitTenant := admitName(tenant)
+	baseKey := keyOf(r)
 	dec := wire.NewDecoder(r.Body)
 	defer dec.Release()
 
 	// Decode the first record before committing a status: a stream
 	// malformed from the start still gets a clean 400.
-	first, err := dec.DecodeRequest()
+	first, firstKey, err := dec.DecodeKeyedRequest()
 	if err != nil && err != io.EOF {
 		bodyError(w, "bad batch body: ", err)
 		return
@@ -590,8 +650,24 @@ func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request,
 	defer enc.Release()
 
 	inputs := make([]map[string][]dandelion.Item, 0, 16)
+	keys := make([]string, 0, 16)
+	anyKey := false
+	reqIdx := 0 // running request index, for Idempotency-Key expansion
+	add := func(sets map[string][]dandelion.Item, key string) {
+		// Per-request frame keys win; the Idempotency-Key header
+		// supplies a base expanded to "<base>#<i>" in stream order.
+		if key == "" && baseKey != "" {
+			key = journal.ChunkKey(baseKey, reqIdx)
+		}
+		if key != "" {
+			anyKey = true
+		}
+		inputs = append(inputs, sets)
+		keys = append(keys, key)
+		reqIdx++
+	}
 	if err != io.EOF {
-		inputs = append(inputs, first)
+		add(first, firstKey)
 	}
 	for {
 		// Fill up to the current admission window, then execute; the
@@ -603,16 +679,20 @@ func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request,
 		}
 		var streamErr error
 		for len(inputs) < window {
-			sets, derr := dec.DecodeRequest()
+			sets, key, derr := dec.DecodeKeyedRequest()
 			if derr != nil {
 				streamErr = derr
 				break
 			}
-			inputs = append(inputs, sets)
+			add(sets, key)
 		}
 		if len(inputs) > 0 {
+			var ks []string
+			if anyKey {
+				ks = keys
+			}
 			s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
-			for _, res := range s.invokeBatchAs(tenant, name, inputs) {
+			for _, res := range s.invokeBatchAs(tenant, name, ks, inputs) {
 				if res.Err != nil {
 					enc.EncodeError(res.Err.Error())
 				} else {
@@ -622,6 +702,7 @@ func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request,
 			rc.Flush()
 			s.adm.Finish(admitTenant, len(inputs), s.clockSeconds())
 			inputs = inputs[:0]
+			keys = keys[:0]
 			dec.Recycle()
 		}
 		if streamErr == io.EOF {

@@ -1,0 +1,53 @@
+package journal
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkJournalAppend measures the append hot path across the two
+// implementations, and for the file journal with and without write
+// batching (batched appends defer the OS write to Checkpoint).
+func BenchmarkJournalAppend(b *testing.B) {
+	rec := Record{
+		Kind:   KindInvokeEnd,
+		Tenant: "alice",
+		Comp:   "Inference",
+		Key:    "batch-12345#7",
+		Digest: 0xDEADBEEFCAFE,
+	}
+	open := map[string]func(b *testing.B) Journal{
+		"memory": func(b *testing.B) Journal { return NewMemory() },
+		"file": func(b *testing.B) Journal {
+			j, err := OpenFile(filepath.Join(b.TempDir(), "j.wal"), FileOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return j
+		},
+		"file-batched": func(b *testing.B) Journal {
+			j, err := OpenFile(filepath.Join(b.TempDir(), "j.wal"), FileOptions{Batched: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return j
+		},
+	}
+	for name, mk := range open {
+		b.Run(name, func(b *testing.B) {
+			j := mk(b)
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := j.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

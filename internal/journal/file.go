@@ -1,0 +1,330 @@
+// File-backed journal. The on-disk format reuses the internal/wire
+// binary framing discipline: a two-byte magic/version header, then
+// uvarint length-prefixed record bodies, each followed by a CRC-32
+// (IEEE, little-endian) over the body. Opening a journal scans it and
+// truncates the torn tail — everything from the first record whose
+// length, body, or CRC does not check out — so a crash mid-write never
+// poisons replay. See docs/JOURNAL.md for the full grammar.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	// FileMagic and FileVersion open every journal file.
+	FileMagic   = 0xD7
+	FileVersion = 0x01
+
+	// MaxRecordBytes bounds one record body; larger length prefixes
+	// are treated as corruption (adversarial or torn).
+	MaxRecordBytes = 1 << 20
+)
+
+// FileOptions tune the file journal.
+type FileOptions struct {
+	// Batched keeps appended records in the write buffer until
+	// Checkpoint, Close, or the buffer fills, instead of flushing to
+	// the OS on every Append. Faster, but records appended since the
+	// last Checkpoint may be lost on a crash.
+	Batched bool
+}
+
+// File is the file-backed Journal.
+type File struct {
+	mu      sync.Mutex
+	f       *os.File
+	buf     []byte // pending (batched) encoded records
+	size    int64  // bytes appended, header included (durable + pending)
+	durable int64  // bytes flushed to the OS
+	lastSeq uint64
+	batched bool
+	closed  bool
+}
+
+// OpenFile opens (creating if absent) the journal at path, validates
+// the header, truncates any torn tail, and positions for appending.
+// The scan leaves lastSeq at the last durable record so appended
+// sequence numbers continue gaplessly across restarts.
+func OpenFile(path string, opts FileOptions) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &File{f: f, batched: opts.Batched}
+	if len(data) == 0 {
+		if _, err := f.Write([]byte{FileMagic, FileVersion}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		j.size, j.durable = 2, 2
+		return j, nil
+	}
+	if len(data) < 2 || data[0] != FileMagic || data[1] != FileVersion {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s: bad header (want magic 0x%02X version 0x%02X)", path, FileMagic, FileVersion)
+	}
+	// Scan for the last well-formed record; truncate the torn tail.
+	good := int64(2)
+	rest := data[2:]
+	for {
+		rec, n, err := decodeFrame(rest)
+		if err != nil {
+			break
+		}
+		j.lastSeq = rec.Seq
+		good += int64(n)
+		rest = rest[n:]
+	}
+	if good < int64(len(data)) {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.size, j.durable = good, good
+	return j, nil
+}
+
+func (j *File) Append(rec Record) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, errors.New("journal: append on closed journal")
+	}
+	j.lastSeq++
+	rec.Seq = j.lastSeq
+	pre := len(j.buf)
+	j.buf = appendFrame(j.buf, &rec)
+	j.size += int64(len(j.buf) - pre)
+	if !j.batched || len(j.buf) >= 64<<10 {
+		if err := j.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return rec.Seq, nil
+}
+
+// flushLocked writes pending records to the OS. Callers hold j.mu.
+func (j *File) flushLocked() error {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	n, err := j.f.Write(j.buf)
+	j.durable += int64(n)
+	if err != nil {
+		// Keep only what the OS did not take; a torn tail on disk is
+		// truncated at the next open.
+		j.buf = append(j.buf[:0], j.buf[n:]...)
+		return err
+	}
+	j.buf = j.buf[:0]
+	return nil
+}
+
+// Replay scans the durable prefix as of the call. It runs concurrently
+// with Append: the prefix length is captured under the lock, then read
+// through an independent descriptor, so in-progress appends are simply
+// not seen. Replay stops quietly at the first corrupt record (open-time
+// truncation makes that unreachable in normal operation).
+func (j *File) Replay(fn func(Record) error) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errors.New("journal: replay on closed journal")
+	}
+	if err := j.flushLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	limit := j.durable
+	name := j.f.Name()
+	j.mu.Unlock()
+
+	r, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	data := make([]byte, limit)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	rest := data[2:]
+	for len(rest) > 0 {
+		rec, n, err := decodeFrame(rest)
+		if err != nil {
+			return nil
+		}
+		rest = rest[n:]
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint flushes pending records and fsyncs: a durability barrier.
+func (j *File) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: checkpoint on closed journal")
+	}
+	if err := j.flushLocked(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *File) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	ferr := j.flushLocked()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Size reports bytes appended to the journal, header included.
+func (j *File) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// ---- record codec ----
+
+// appendFrame appends one framed record: uvarint body length, body,
+// CRC-32 (IEEE, little-endian) over the body.
+func appendFrame(dst []byte, rec *Record) []byte {
+	body := encodeBody(nil, rec)
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(body)))
+	dst = append(dst, lenBuf[:n]...)
+	dst = append(dst, body...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body))
+}
+
+// encodeBody serializes the record fields: kind, op, seq uvarint,
+// tenant/comp/key length-prefixed strings, a/b zigzag varints, digest
+// fixed 8 bytes little-endian.
+func encodeBody(dst []byte, rec *Record) []byte {
+	dst = append(dst, byte(rec.Kind), byte(rec.Op))
+	dst = binary.AppendUvarint(dst, rec.Seq)
+	dst = appendString(dst, rec.Tenant)
+	dst = appendString(dst, rec.Comp)
+	dst = appendString(dst, rec.Key)
+	dst = binary.AppendVarint(dst, rec.A)
+	dst = binary.AppendVarint(dst, rec.B)
+	return binary.LittleEndian.AppendUint64(dst, rec.Digest)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+var errCorrupt = errors.New("journal: corrupt record")
+
+// decodeFrame decodes one framed record from the head of data,
+// returning the record and the bytes consumed. Any malformed length,
+// short body, CRC mismatch, or body decode failure returns errCorrupt:
+// the caller treats everything from here on as torn tail.
+func decodeFrame(data []byte) (Record, int, error) {
+	bodyLen, n := binary.Uvarint(data)
+	if n <= 0 || bodyLen > MaxRecordBytes {
+		return Record{}, 0, errCorrupt
+	}
+	if uint64(len(data)-n) < bodyLen+4 {
+		return Record{}, 0, errCorrupt
+	}
+	body := data[n : n+int(bodyLen)]
+	crc := binary.LittleEndian.Uint32(data[n+int(bodyLen):])
+	if crc32.ChecksumIEEE(body) != crc {
+		return Record{}, 0, errCorrupt
+	}
+	rec, err := decodeBody(body)
+	if err != nil {
+		return Record{}, 0, errCorrupt
+	}
+	return rec, n + int(bodyLen) + 4, nil
+}
+
+func decodeBody(body []byte) (Record, error) {
+	var rec Record
+	if len(body) < 2 {
+		return rec, errCorrupt
+	}
+	rec.Kind, rec.Op = Kind(body[0]), Op(body[1])
+	switch rec.Kind {
+	case KindInvokeBegin, KindInvokeEnd, KindReconfig, KindChunkDone:
+	default:
+		return rec, errCorrupt
+	}
+	rest := body[2:]
+	var n int
+	var err error
+	if rec.Seq, n = binary.Uvarint(rest); n <= 0 {
+		return rec, errCorrupt
+	}
+	rest = rest[n:]
+	if rec.Tenant, rest, err = takeString(rest); err != nil {
+		return rec, err
+	}
+	if rec.Comp, rest, err = takeString(rest); err != nil {
+		return rec, err
+	}
+	if rec.Key, rest, err = takeString(rest); err != nil {
+		return rec, err
+	}
+	if rec.A, n = binary.Varint(rest); n <= 0 {
+		return rec, errCorrupt
+	}
+	rest = rest[n:]
+	if rec.B, n = binary.Varint(rest); n <= 0 {
+		return rec, errCorrupt
+	}
+	rest = rest[n:]
+	if len(rest) != 8 {
+		return rec, errCorrupt
+	}
+	rec.Digest = binary.LittleEndian.Uint64(rest)
+	return rec, nil
+}
+
+func takeString(data []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || l > MaxRecordBytes || uint64(len(data)-n) < l {
+		return "", nil, errCorrupt
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], nil
+}
+
+// putUvarint is binary.PutUvarint, aliased for the digest helpers.
+func putUvarint(buf []byte, x uint64) int { return binary.PutUvarint(buf, x) }

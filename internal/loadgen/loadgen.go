@@ -67,6 +67,12 @@ type Config struct {
 	// instead of JSON — the serialization the serving benchmark
 	// compares against. Single-invoke requests are unaffected.
 	Binary bool
+	// KeyPrefix, when set, stamps every invocation with a unique
+	// idempotency key ("<prefix>-c<client>-s<seq>#<i>"): batch requests
+	// carry per-request body keys (JSON field / binary 'K' frames) and
+	// single invokes send the Idempotency-Key header, driving the
+	// journaled keyed serving path end to end (docs/JOURNAL.md).
+	KeyPrefix string
 	// Payload produces the input bytes for invocation index i of
 	// request seq of a client; nil selects a small deterministic
 	// default.
@@ -222,6 +228,11 @@ func (cfg Config) targetURL(client, seq int) string {
 
 // post issues one POST with the tenant header applied.
 func post(cfg Config, url, contentType string, body []byte) (*http.Response, error) {
+	return postKeyed(cfg, url, contentType, "", body)
+}
+
+// postKeyed is post with an optional Idempotency-Key header.
+func postKeyed(cfg Config, url, contentType, key string, body []byte) (*http.Response, error) {
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -230,7 +241,19 @@ func post(cfg Config, url, contentType string, body []byte) (*http.Response, err
 	if cfg.Tenant != "" {
 		req.Header.Set("X-Tenant", cfg.Tenant)
 	}
+	if key != "" {
+		req.Header.Set("Idempotency-Key", key)
+	}
 	return cfg.Client.Do(req)
+}
+
+// reqKey renders the idempotency key of invocation i of round trip
+// (client, seq); "" when keying is off.
+func (cfg Config) reqKey(client, seq, i int) string {
+	if cfg.KeyPrefix == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s-c%d-s%d#%d", cfg.KeyPrefix, client, seq, i)
 }
 
 func doSingle(cfg Config, client, seq int) reqStats {
@@ -240,7 +263,7 @@ func doSingle(cfg Config, client, seq int) reqStats {
 	}
 	payload := cfg.Payload(client, seq, 0)
 	st := reqStats{bytesOut: int64(len(payload))}
-	resp, err := post(cfg, url, "application/octet-stream", payload)
+	resp, err := postKeyed(cfg, url, "application/octet-stream", cfg.reqKey(client, seq, 0), payload)
 	if err != nil {
 		st.errs = 1
 		return st
@@ -272,7 +295,7 @@ func doBatch(cfg Config, client, seq int) reqStats {
 	for i := range reqs {
 		reqs[i] = frontend.WireBatchRequest{Inputs: map[string][]frontend.WireItem{
 			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
-		}}
+		}, Key: cfg.reqKey(client, seq, i)}
 	}
 	body, err := json.Marshal(reqs)
 	st.wire = time.Since(t0)
@@ -324,7 +347,7 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 	var buf bytes.Buffer
 	enc := wire.NewEncoder(&buf)
 	for i := 0; i < cfg.BatchSize; i++ {
-		if err := enc.EncodeRequest(map[string][]memctx.Item{
+		if err := enc.EncodeKeyedRequest(cfg.reqKey(client, seq, i), map[string][]memctx.Item{
 			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
 		}); err != nil {
 			enc.Release()

@@ -14,6 +14,7 @@
 //
 //	stream  := Magic Version record*
 //	record  := FrameRequest sets          one batch request
+//	         | FrameKeyedRequest string sets   one keyed batch request
 //	         | FrameResult  sets          one successful result slot
 //	         | FrameError   string        one failed result slot
 //	         | FrameEnd                   clean end of stream
@@ -85,6 +86,11 @@ const (
 const (
 	// FrameRequest carries one batch request (its input sets).
 	FrameRequest byte = 'Q'
+	// FrameKeyedRequest carries one batch request with an idempotency
+	// key: key:string, then the input sets. Encoders emit it only when
+	// a key is present, so unkeyed streams are byte-identical to the
+	// pre-key grammar.
+	FrameKeyedRequest byte = 'K'
 	// FrameResult carries one successful result slot (its output sets).
 	FrameResult byte = 'R'
 	// FrameError carries one failed result slot (its error message).
@@ -218,6 +224,21 @@ func (e *Encoder) putSets(sets map[string][]memctx.Item) {
 func (e *Encoder) EncodeRequest(inputs map[string][]memctx.Item) error {
 	e.header()
 	e.buf = append(e.buf, FrameRequest)
+	e.putSets(inputs)
+	return e.flush()
+}
+
+// EncodeKeyedRequest writes one FrameKeyedRequest record: the
+// request's idempotency key, then its input sets. An empty key
+// degrades to a plain FrameRequest record, keeping unkeyed streams
+// byte-identical to the pre-key grammar.
+func (e *Encoder) EncodeKeyedRequest(key string, inputs map[string][]memctx.Item) error {
+	if key == "" {
+		return e.EncodeRequest(inputs)
+	}
+	e.header()
+	e.buf = append(e.buf, FrameKeyedRequest)
+	e.putString(key)
 	e.putSets(inputs)
 	return e.flush()
 }
@@ -581,6 +602,30 @@ func (d *Decoder) DecodeRequest() (map[string][]memctx.Item, error) {
 		return nil, frameErrf("unexpected frame type %q (want request)", k)
 	}
 	return d.readSets()
+}
+
+// DecodeKeyedRequest decodes the next request record of either form:
+// FrameRequest yields an empty key, FrameKeyedRequest its idempotency
+// key. It returns io.EOF at the clean end of the stream.
+func (d *Decoder) DecodeKeyedRequest() (inputs map[string][]memctx.Item, key string, err error) {
+	k, err := d.next()
+	if err != nil {
+		return nil, "", err
+	}
+	switch k {
+	case FrameRequest:
+		inputs, err = d.readSets()
+		return inputs, "", err
+	case FrameKeyedRequest:
+		budget := d.maxFrame
+		if key, err = d.readString(&budget); err != nil {
+			return nil, "", err
+		}
+		inputs, err = d.readSets()
+		return inputs, key, err
+	default:
+		return nil, "", frameErrf("unexpected frame type %q (want request)", k)
+	}
 }
 
 // DecodeResult decodes the next result record: FrameResult yields the

@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"dandelion/internal/memctx"
+)
+
+// TestKeyedRequestRoundTrip: 'K' frames carry the key; a keyed-aware
+// decoder reads mixed streams of keyed and classic request frames.
+func TestKeyedRequestRoundTrip(t *testing.T) {
+	sets := map[string][]memctx.Item{
+		"in": {{Name: "a", Key: "0", Data: []byte("payload")}},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeKeyedRequest("req-7#0", sets); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeRequest(sets); err != nil { // classic frame in the same stream
+		t.Fatal(err)
+	}
+	if err := enc.EncodeKeyedRequest("", sets); err != nil { // empty key degrades to 'Q'
+		t.Fatal(err)
+	}
+	if err := enc.EncodeEnd(); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	wantKeys := []string{"req-7#0", "", ""}
+	for i, wantKey := range wantKeys {
+		got, key, err := dec.DecodeKeyedRequest()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if key != wantKey {
+			t.Fatalf("record %d key = %q, want %q", i, key, wantKey)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(sets)) {
+			t.Fatalf("record %d sets mismatch: %+v", i, got)
+		}
+	}
+	if _, _, err := dec.DecodeKeyedRequest(); err != io.EOF {
+		t.Fatalf("after end: %v, want io.EOF", err)
+	}
+}
+
+// TestKeyedRequestUnkeyedBytesIdentical: an empty key must produce a
+// stream byte-identical to the pre-key protocol — old workers never
+// see a frame kind they do not know.
+func TestKeyedRequestUnkeyedBytesIdentical(t *testing.T) {
+	sets := map[string][]memctx.Item{
+		"in": {{Name: "a", Data: []byte("x")}, {Name: "b", Data: []byte("y")}},
+	}
+	var classic, keyed bytes.Buffer
+	enc := NewEncoder(&classic)
+	if err := enc.EncodeRequest(sets); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeEnd(); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	enc = NewEncoder(&keyed)
+	if err := enc.EncodeKeyedRequest("", sets); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.EncodeEnd(); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	if !bytes.Equal(classic.Bytes(), keyed.Bytes()) {
+		t.Fatalf("unkeyed EncodeKeyedRequest diverged from EncodeRequest:\n%x\n%x",
+			classic.Bytes(), keyed.Bytes())
+	}
+}
+
+// TestStrictDecodeRejectsKeyedFrame: the classic DecodeRequest (what a
+// pre-key worker runs) fails cleanly — not silently misparses — on a
+// keyed frame.
+func TestStrictDecodeRejectsKeyedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	if err := enc.EncodeKeyedRequest("k", map[string][]memctx.Item{"in": nil}); err != nil {
+		t.Fatal(err)
+	}
+	enc.Release()
+	dec := NewDecoder(&buf)
+	defer dec.Release()
+	if _, err := dec.DecodeRequest(); err == nil {
+		t.Fatal("classic decoder accepted a keyed frame")
+	}
+}

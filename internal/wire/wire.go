@@ -27,6 +27,13 @@ type Item struct {
 // invocation, every input set carried).
 type BatchRequest struct {
 	Inputs map[string][]Item `json:"inputs"`
+	// Key is the request's idempotency key (empty opts out): a worker
+	// receiving a key it has already completed answers from its dedup
+	// table instead of re-executing, which is what makes cluster
+	// chunk retries and client resends safe. The coordinator assigns
+	// chunk keys "base#i"; clients may supply their own (or use the
+	// Idempotency-Key header, which the frontend expands per request).
+	Key string `json:"key,omitempty"`
 }
 
 // BatchResult is one slot of a batch response, in request order, and

@@ -68,6 +68,17 @@ for name in $(grep -ho '^\s*Frame[A-Za-z0-9]*' internal/wire/*.go | tr -d '[:bla
   fi
 done
 
+# Rule 6: every journal record-kind constant (Kind* in internal/journal)
+# must be listed in docs/JOURNAL.md as a backticked identifier. The
+# journal is a durability surface: an undocumented record kind is a log
+# a future reader cannot replay by hand.
+for name in $(grep -ho '^\s*Kind[A-Za-z0-9]\{1,\}' internal/journal/*.go | tr -d '[:blank:]' | sort -u); do
+  if ! grep -q -- "\`$name\`" docs/JOURNAL.md; then
+    echo "docs-check: journal record kind $name not documented in docs/JOURNAL.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-check: OK"
 fi
