@@ -1,15 +1,17 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster e2e-journal docs-check
+.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster e2e-journal e2e-chaos docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
 # catches dispatch-path regressions that compile fine), keep the binary
 # wire codec and the journal file decoder honest against malformed
 # inputs (fuzz-smoke), keep the multi-process cluster path alive
-# (e2e-cluster), keep crash recovery honest (e2e-journal), and keep the
-# docs honest (docs-check catches references to removed symbols).
-ci: build vet race bench-smoke fuzz-smoke e2e-cluster e2e-journal docs-check
+# (e2e-cluster), keep crash recovery honest (e2e-journal), keep the
+# deadline/retry/breaker machinery honest under injected faults
+# (e2e-chaos), and keep the docs honest (docs-check catches references
+# to removed symbols).
+ci: build vet race bench-smoke fuzz-smoke e2e-cluster e2e-journal e2e-chaos docs-check
 
 build:
 	$(GO) build ./...
@@ -70,6 +72,14 @@ e2e-cluster:
 # replayed (docs/JOURNAL.md).
 e2e-journal:
 	$(GO) test -race -run 'TestJournalCrashRecoveryE2E' ./internal/loadgen/
+
+# e2e-chaos runs the race-enabled chaos end-to-end test: a seeded fault
+# plan (internal/faultinject) breaks one of two workers' transports; the
+# test asserts the circuit breaker trips, traffic reroutes inside its
+# deadline, nothing executes twice, and the shed/timeout/expiry counters
+# come out exact (docs/ROBUSTNESS.md).
+e2e-chaos:
+	$(GO) test -race -run 'TestChaosE2E' ./internal/loadgen/
 
 # docs-check fails if README.md or docs/ reference Go symbols or CLI
 # flags that no longer exist (see scripts/docs-check.sh).

@@ -27,6 +27,7 @@ import (
 
 	"dandelion"
 	"dandelion/internal/cluster"
+	"dandelion/internal/faultinject"
 	"dandelion/internal/frontend"
 )
 
@@ -70,6 +71,7 @@ func main() {
 	advertise := flag.String("advertise", "", "URL the coordinator dials this worker back on under -join (default http://<addr>)")
 	hbInterval := flag.Duration("heartbeat-interval", time.Second, "worker heartbeat period; the coordinator sweeps for missed beats on the same period")
 	hbMisses := flag.Int("heartbeat-misses", 3, "missed heartbeats before the coordinator evicts a worker")
+	faultPlan := flag.String("fault-plan", "", "deterministic fault-injection plan applied to inbound requests, e.g. 'seed=42;route=/invoke-batch,kind=error,rate=0.5,code=502;kind=latency,latency=20ms' (chaos testing; see docs/ROBUSTNESS.md)")
 	flag.Parse()
 
 	weights, err := parseTenantWeights(*tenantWeights)
@@ -134,7 +136,17 @@ func main() {
 		go hb.Run(context.Background())
 	}
 
+	handler := http.Handler(frontend.NewWithConfig(p, cfg))
+	if *faultPlan != "" {
+		plan, err := faultinject.Parse(*faultPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = plan.Middleware(handler)
+		log.Printf("dandelion FAULT INJECTION active: %s", *faultPlan)
+	}
+
 	log.Printf("dandelion worker node on http://%s (backend=%s, autoscale=%v, admin=%v, coordinator=%v, journal=%v)",
 		*addr, *backend, *autoscale, *adminToken != "", *coordinator, *journalDir != "")
-	log.Fatal(http.ListenAndServe(*addr, frontend.NewWithConfig(p, cfg)))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }

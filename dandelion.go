@@ -92,6 +92,17 @@ var ErrDuplicate = core.ErrDuplicate
 // executing; the caller retries after the first execution settles.
 var ErrInFlight = core.ErrInFlight
 
+// ErrExpired rejects a scheduled task whose deadline passed while it
+// waited in a queue — dropped at dispatch time, never executed. See
+// docs/ROBUSTNESS.md.
+var ErrExpired = core.ErrExpired
+
+// IsTimeout reports whether an invocation error is deadline-class: the
+// caller's context deadline was exceeded mid-flight, or the work was
+// dropped expired before dispatch (ErrExpired). The HTTP frontend maps
+// such errors to 504.
+func IsTimeout(err error) bool { return core.IsTimeout(err) }
+
 // BatchRequest is one composition invocation inside a
 // Platform.InvokeBatch call.
 type BatchRequest = core.BatchRequest

@@ -4,8 +4,10 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,33 @@ type BatchNode interface {
 // key is dropped — the invocation still runs, without dedup.
 type KeyedNode interface {
 	InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
+// CtxNode is the optional context-aware invoke interface of a worker:
+// the caller's deadline and cancellation travel with the invocation
+// (over the wire as X-Deadline-Ms on remote workers). A *core.Platform
+// and a *RemoteNode both satisfy it; workers that do not are driven
+// through the context-free interfaces — the work still runs, without a
+// deadline.
+type CtxNode interface {
+	InvokeAsCtx(ctx context.Context, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
+// KeyedCtxNode is KeyedNode with a caller context (see CtxNode).
+type KeyedCtxNode interface {
+	InvokeKeyedAsCtx(ctx context.Context, tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error)
+}
+
+// BatchCtxNode is BatchNode with a caller context (see CtxNode).
+type BatchCtxNode interface {
+	InvokeBatchCtx(ctx context.Context, reqs []core.BatchRequest) []core.BatchResult
+}
+
+// RetryNode is the optional retry-observability interface of a worker:
+// in-place transport retries it has issued, surfaced per worker in
+// /stats/cluster. A *RemoteNode satisfies it.
+type RetryNode interface {
+	Retries() uint64
 }
 
 // WeightNode is the optional control-plane interface of a worker: the
@@ -89,6 +118,11 @@ type Manager struct {
 	// keySeq numbers the batches so keys are unique per manager life.
 	keyPrefix string
 	keySeq    atomic.Uint64
+
+	// jrng jitters the pause before a failed chunk's reroute re-snapshot
+	// so concurrent reroutes don't stampede the survivor in lockstep.
+	jmu  sync.Mutex
+	jrng *rand.Rand
 }
 
 type member struct {
@@ -110,7 +144,11 @@ var (
 
 // NewManager creates a manager with the given balancing policy.
 func NewManager(policy Policy) *Manager {
-	return &Manager{policy: policy, workers: map[string]*member{}}
+	return &Manager{
+		policy:  policy,
+		workers: map[string]*member{},
+		jrng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 }
 
 // Register adds a worker under a unique name.
@@ -149,18 +187,27 @@ func (m *Manager) Workers() []string {
 	return append([]string(nil), m.names...)
 }
 
-// pick chooses a worker per the policy.
+// pick chooses a worker per the policy. Workers whose circuit breaker
+// is open (still inside its cooldown) are skipped — a half-open
+// breaker reports as such and keeps receiving traffic so its probe can
+// run. When every worker's breaker is open the full list is used
+// anyway: failing fast on a real worker beats failing ErrNoWorkers on
+// a cluster that may be seconds from recovery.
 func (m *Manager) pick() (string, *member, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if len(m.names) == 0 {
 		return "", nil, ErrNoWorkers
 	}
+	names := m.names
+	if elig := eligibleNames(m.names, m.workers); len(elig) > 0 {
+		names = elig
+	}
 	switch m.policy {
 	case LeastLoaded:
-		bestName := m.names[0]
+		bestName := names[0]
 		best := m.workers[bestName]
-		for _, n := range m.names[1:] {
+		for _, n := range names[1:] {
 			w := m.workers[n]
 			if w.inflight.Load() < best.inflight.Load() {
 				best, bestName = w, n
@@ -169,9 +216,27 @@ func (m *Manager) pick() (string, *member, error) {
 		return bestName, best, nil
 	default:
 		i := m.rr.Add(1) - 1
-		name := m.names[i%uint64(len(m.names))]
+		name := names[i%uint64(len(names))]
 		return name, m.workers[name], nil
 	}
+}
+
+// eligibleNames filters out workers whose breaker refuses traffic,
+// returning the input slice untouched (no allocation) when none do.
+func eligibleNames(names []string, workers map[string]*member) []string {
+	var out []string
+	anyOpen := false
+	for _, n := range names {
+		if breakerOpenNode(workers[n].node) {
+			anyOpen = true
+			continue
+		}
+		out = append(out, n)
+	}
+	if !anyOpen {
+		return names
+	}
+	return out
 }
 
 // EnableKeyedRetries turns on idempotency-keyed routing: every batch
@@ -204,6 +269,13 @@ func (m *Manager) Invoke(name string, inputs map[string][]memctx.Item) (map[stri
 // InvokeAs routes one composition invocation to a worker under a tenant
 // identity, preserved end to end when the worker is tenant-aware.
 func (m *Manager) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return m.InvokeAsCtx(context.Background(), tenant, name, inputs)
+}
+
+// InvokeAsCtx is InvokeAs under a caller context: the deadline travels
+// to the worker when it is context-aware (remote workers forward the
+// remaining budget over the wire as X-Deadline-Ms).
+func (m *Manager) InvokeAsCtx(ctx context.Context, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	_, w, err := m.pick()
 	if err != nil {
 		return nil, err
@@ -211,7 +283,7 @@ func (m *Manager) InvokeAs(tenant, name string, inputs map[string][]memctx.Item)
 	w.inflight.Add(1)
 	w.total.Add(1)
 	defer w.inflight.Add(-1)
-	out, err := invokeOn(w.node, tenant, name, inputs)
+	out, err := invokeOnCtx(ctx, w.node, tenant, name, inputs)
 	if err != nil {
 		w.failures.Add(1)
 	}
@@ -222,6 +294,12 @@ func (m *Manager) InvokeAs(tenant, name string, inputs map[string][]memctx.Item)
 // On workers implementing KeyedNode the key deduplicates re-sends; on
 // others the key is dropped and the invocation runs unkeyed.
 func (m *Manager) InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return m.InvokeKeyedAsCtx(context.Background(), tenant, name, key, inputs)
+}
+
+// InvokeKeyedAsCtx is InvokeKeyedAs under a caller context (see
+// InvokeAsCtx).
+func (m *Manager) InvokeKeyedAsCtx(ctx context.Context, tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	_, w, err := m.pick()
 	if err != nil {
 		return nil, err
@@ -230,10 +308,21 @@ func (m *Manager) InvokeKeyedAs(tenant, name, key string, inputs map[string][]me
 	w.total.Add(1)
 	defer w.inflight.Add(-1)
 	var out map[string][]memctx.Item
-	if kn, ok := w.node.(KeyedNode); ok && key != "" {
-		out, err = kn.InvokeKeyedAs(tenant, name, key, inputs)
-	} else {
-		out, err = invokeOn(w.node, tenant, name, inputs)
+	switch kn := w.node.(type) {
+	case KeyedCtxNode:
+		if key != "" {
+			out, err = kn.InvokeKeyedAsCtx(ctx, tenant, name, key, inputs)
+		} else {
+			out, err = invokeOnCtx(ctx, w.node, tenant, name, inputs)
+		}
+	case KeyedNode:
+		if key != "" {
+			out, err = kn.InvokeKeyedAs(tenant, name, key, inputs)
+		} else {
+			out, err = invokeOnCtx(ctx, w.node, tenant, name, inputs)
+		}
+	default:
+		out, err = invokeOnCtx(ctx, w.node, tenant, name, inputs)
 	}
 	if err != nil {
 		w.failures.Add(1)
@@ -250,10 +339,49 @@ func invokeOn(n Node, tenant, name string, inputs map[string][]memctx.Item) (map
 	return n.Invoke(name, inputs)
 }
 
+// invokeOnCtx is invokeOn preferring the context-aware interface, so
+// deadlines reach workers that can honor them and degrade to plain
+// dispatch on workers that cannot.
+func invokeOnCtx(ctx context.Context, n Node, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	if cn, ok := n.(CtxNode); ok {
+		return cn.InvokeAsCtx(ctx, tenant, name, inputs)
+	}
+	return invokeOn(n, tenant, name, inputs)
+}
+
 // InvokeBatch routes a batch of invocations of one composition across
 // the registered workers under the default tenant; see InvokeBatchAs.
 func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	return m.InvokeBatchAs(core.DefaultTenant, name, inputs)
+}
+
+// InvokeBatchAsCtx is InvokeBatchAs under a caller context (see
+// InvokeAsCtx): the deadline rides every chunk to its worker.
+func (m *Manager) InvokeBatchAsCtx(ctx context.Context, tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	return m.invokeBatchKeyed(ctx, tenant, name, m.assignKeys(len(inputs)), inputs)
+}
+
+// InvokeBatchKeyedAsCtx is InvokeBatchKeyedAs under a caller context.
+func (m *Manager) InvokeBatchKeyedAsCtx(ctx context.Context, tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
+	if len(keys) != len(inputs) {
+		keys = nil
+	}
+	return m.invokeBatchKeyed(ctx, tenant, name, keys, inputs)
+}
+
+// assignKeys mints one chunk-key run for a batch of n requests when
+// keyed retries are enabled, nil otherwise.
+func (m *Manager) assignKeys(n int) []string {
+	prefix := m.keyedRetries()
+	if prefix == "" || n == 0 {
+		return nil
+	}
+	base := fmt.Sprintf("%s-%d", prefix, m.keySeq.Add(1))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = journal.ChunkKey(base, i)
+	}
+	return keys
 }
 
 // InvokeBatchAs routes a batch of invocations of one composition across
@@ -284,15 +412,7 @@ func (m *Manager) InvokeBatch(name string, inputs []map[string][]memctx.Item) []
 // registered) worker — the transient-transport-failure case, where the
 // work often completed and only the response was lost.
 func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memctx.Item) []core.BatchResult {
-	var keys []string
-	if prefix := m.keyedRetries(); prefix != "" && len(inputs) > 0 {
-		base := fmt.Sprintf("%s-%d", prefix, m.keySeq.Add(1))
-		keys = make([]string, len(inputs))
-		for i := range keys {
-			keys[i] = journal.ChunkKey(base, i)
-		}
-	}
-	return m.invokeBatchKeyed(tenant, name, keys, inputs)
+	return m.InvokeBatchAsCtx(context.Background(), tenant, name, inputs)
 }
 
 // InvokeBatchKeyedAs routes a batch with caller-supplied idempotency
@@ -300,13 +420,10 @@ func (m *Manager) InvokeBatchAs(tenant, name string, inputs []map[string][]memct
 // request out). Keyed requests are deduplicated at the workers and
 // their chunks retried on wholesale failure regardless of size.
 func (m *Manager) InvokeBatchKeyedAs(tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
-	if len(keys) != len(inputs) {
-		keys = nil
-	}
-	return m.invokeBatchKeyed(tenant, name, keys, inputs)
+	return m.InvokeBatchKeyedAsCtx(context.Background(), tenant, name, keys, inputs)
 }
 
-func (m *Manager) invokeBatchKeyed(tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
+func (m *Manager) invokeBatchKeyed(ctx context.Context, tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	results := make([]core.BatchResult, len(inputs))
 	if len(inputs) == 0 {
 		return results
@@ -357,8 +474,13 @@ func (m *Manager) invokeBatchKeyed(tenant, name string, keys []string, inputs []
 			if keys != nil {
 				ck = keys[c.lo:c.hi]
 			}
-			res := m.runChunk(c.w, tenant, name, ck, inputs[c.lo:c.hi])
+			res := m.runChunk(ctx, c.w, tenant, name, ck, inputs[c.lo:c.hi])
 			if allFailed(res) && (len(res) > 1 || fullyKeyed(ck)) {
+				// Brief jittered pause before rerouting: concurrent
+				// chunks failed by the same dead worker would otherwise
+				// re-snapshot and stampede the survivor in lockstep, and
+				// a transient blip often clears within milliseconds.
+				m.rerouteDelay(ctx)
 				// Re-snapshot live membership before retrying: the
 				// pre-batch snapshot can name workers deregistered — or,
 				// with heartbeat tracking, evicted — while this chunk
@@ -374,7 +496,7 @@ func (m *Manager) invokeBatchKeyed(tenant, name string, keys []string, inputs []
 				}
 				if alt != nil {
 					c.w.rerouted.Add(1)
-					res = m.runChunk(alt, tenant, name, ck, inputs[c.lo:c.hi])
+					res = m.runChunk(ctx, alt, tenant, name, ck, inputs[c.lo:c.hi])
 				}
 			}
 			copy(results[c.lo:c.hi], res)
@@ -389,13 +511,15 @@ func (m *Manager) invokeBatchKeyed(tenant, name string, keys []string, inputs []
 // non-nil, carries one idempotency key per request (parallel to
 // inputs); the per-request fallback drops keys on workers without the
 // keyed interface.
-func (m *Manager) runChunk(w *member, tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
+func (m *Manager) runChunk(ctx context.Context, w *member, tenant, name string, keys []string, inputs []map[string][]memctx.Item) []core.BatchResult {
 	n := int64(len(inputs))
 	w.inflight.Add(n)
 	w.total.Add(uint64(n))
 	defer w.inflight.Add(-n)
 	res := make([]core.BatchResult, len(inputs))
-	if bn, ok := w.node.(BatchNode); ok {
+	bn, batched := w.node.(BatchNode)
+	bcn, batchedCtx := w.node.(BatchCtxNode)
+	if batched || batchedCtx {
 		reqs := make([]core.BatchRequest, len(inputs))
 		for i := range inputs {
 			reqs[i] = core.BatchRequest{Composition: name, Tenant: tenant, Inputs: inputs[i]}
@@ -403,7 +527,13 @@ func (m *Manager) runChunk(w *member, tenant, name string, keys []string, inputs
 				reqs[i].Key = keys[i]
 			}
 		}
-		for i, r := range bn.InvokeBatch(reqs) {
+		var rs []core.BatchResult
+		if batchedCtx {
+			rs = bcn.InvokeBatchCtx(ctx, reqs)
+		} else {
+			rs = bn.InvokeBatch(reqs)
+		}
+		for i, r := range rs {
 			res[i] = r
 			if r.Err != nil {
 				w.failures.Add(1)
@@ -411,14 +541,18 @@ func (m *Manager) runChunk(w *member, tenant, name string, keys []string, inputs
 		}
 		return res
 	}
+	kcn, keyedCtx := w.node.(KeyedCtxNode)
 	kn, keyed := w.node.(KeyedNode)
 	for i := range inputs {
 		var out map[string][]memctx.Item
 		var err error
-		if keyed && keys != nil && keys[i] != "" {
+		switch {
+		case keyedCtx && keys != nil && keys[i] != "":
+			out, err = kcn.InvokeKeyedAsCtx(ctx, tenant, name, keys[i], inputs[i])
+		case keyed && keys != nil && keys[i] != "":
 			out, err = kn.InvokeKeyedAs(tenant, name, keys[i], inputs[i])
-		} else {
-			out, err = invokeOn(w.node, tenant, name, inputs[i])
+		default:
+			out, err = invokeOnCtx(ctx, w.node, tenant, name, inputs[i])
 		}
 		res[i] = core.BatchResult{Outputs: out, Err: err}
 		if err != nil {
@@ -426,6 +560,22 @@ func (m *Manager) runChunk(w *member, tenant, name string, keys []string, inputs
 		}
 	}
 	return res
+}
+
+// rerouteDelay pauses a failed chunk for a short jittered interval
+// (1–5ms) before it re-snapshots membership and retries, so a burst of
+// simultaneous chunk failures doesn't hot-loop onto the survivor. Cut
+// short when the caller's context expires.
+func (m *Manager) rerouteDelay(ctx context.Context) {
+	m.jmu.Lock()
+	d := time.Millisecond + time.Duration(m.jrng.Int63n(int64(4*time.Millisecond)))
+	m.jmu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // fullyKeyed reports whether every request of a chunk carries an
@@ -468,17 +618,30 @@ func allFailed(res []core.BatchResult) bool {
 	return true
 }
 
-// pickSurvivor returns the least-loaded member other than failed, or
-// nil when none exists.
+// pickSurvivor returns the least-loaded member other than failed whose
+// circuit breaker accepts traffic, or nil when none exists. When every
+// other survivor's breaker is open, the least-loaded one is returned
+// anyway — a fast local refusal is still a better answer than not
+// retrying at all, and it keeps the keyed same-worker fallback (which
+// only triggers on a nil survivor) reserved for single-worker clusters.
 func pickSurvivor(members []*member, failed *member) *member {
-	var best *member
+	var best, bestOpen *member
 	for _, w := range members {
 		if w == failed {
+			continue
+		}
+		if breakerOpenNode(w.node) {
+			if bestOpen == nil || w.inflight.Load() < bestOpen.inflight.Load() {
+				bestOpen = w
+			}
 			continue
 		}
 		if best == nil || w.inflight.Load() < best.inflight.Load() {
 			best = w
 		}
+	}
+	if best == nil {
+		return bestOpen
 	}
 	return best
 }
@@ -492,6 +655,33 @@ type WorkerStats struct {
 	// Rerouted counts batch chunks this worker failed wholesale that
 	// were re-queued on a surviving worker.
 	Rerouted uint64
+	// Breaker is the worker's circuit-breaker state ("closed", "open",
+	// "half-open"), empty for workers without a breaker (in-process
+	// platforms). BreakerTrips counts transitions to open, BreakerOpen
+	// calls fast-failed locally while open, and Retries in-place
+	// transport retries the worker's transport has issued.
+	Breaker      string `json:",omitempty"`
+	Retries      uint64
+	BreakerOpen  uint64
+	BreakerTrips uint64
+}
+
+// workerStats assembles one worker's routing counters, folding in the
+// breaker and retry gauges of workers that expose them.
+func workerStats(name string, w *member) WorkerStats {
+	ws := WorkerStats{
+		Name: name, InFlight: w.inflight.Load(),
+		Total: w.total.Load(), Failures: w.failures.Load(),
+		Rerouted: w.rerouted.Load(),
+	}
+	if rn, ok := w.node.(RetryNode); ok {
+		ws.Retries = rn.Retries()
+	}
+	if bn, ok := w.node.(BreakerNode); ok {
+		ws.Breaker = bn.BreakerState()
+		ws.BreakerTrips, ws.BreakerOpen = bn.BreakerCounters()
+	}
+	return ws
 }
 
 // Stats snapshots every worker's counters in registration order.
@@ -500,12 +690,7 @@ func (m *Manager) Stats() []WorkerStats {
 	defer m.mu.RUnlock()
 	out := make([]WorkerStats, 0, len(m.names))
 	for _, n := range m.names {
-		w := m.workers[n]
-		out = append(out, WorkerStats{
-			Name: n, InFlight: w.inflight.Load(),
-			Total: w.total.Load(), Failures: w.failures.Load(),
-			Rerouted: w.rerouted.Load(),
-		})
+		out = append(out, workerStats(n, m.workers[n]))
 	}
 	return out
 }
@@ -574,6 +759,17 @@ type ClusterStats struct {
 	JournalAppends  uint64
 	JournalReplayed uint64
 	DedupHits       uint64
+	// Robustness gauges. TimedOut, Expired, and Shed sum the workers'
+	// deadline counters (invocations failed deadline-class, scheduler
+	// entries dropped expired before dispatch, admissions shed by the
+	// frontend). Retries, BreakerOpen, and BreakerTrips sum the Routing
+	// entries' transport-retry and circuit-breaker counters.
+	TimedOut     uint64
+	Expired      uint64
+	Shed         uint64
+	Retries      uint64
+	BreakerOpen  uint64
+	BreakerTrips uint64
 	// Tenants carries the per-tenant scheduling gauges merged across
 	// every reporting worker.
 	Tenants []sched.TenantStats `json:",omitempty"`
@@ -608,11 +804,10 @@ func (m *Manager) AggregateStats() ClusterStats {
 	// register or deregister mid-aggregation.
 	cs.Routing = make([]WorkerStats, len(names))
 	for i, w := range members {
-		cs.Routing[i] = WorkerStats{
-			Name: names[i], InFlight: w.inflight.Load(),
-			Total: w.total.Load(), Failures: w.failures.Load(),
-			Rerouted: w.rerouted.Load(),
-		}
+		cs.Routing[i] = workerStats(names[i], w)
+		cs.Retries += cs.Routing[i].Retries
+		cs.BreakerOpen += cs.Routing[i].BreakerOpen
+		cs.BreakerTrips += cs.Routing[i].BreakerTrips
 	}
 	var tenantLists [][]sched.TenantStats
 	for i, w := range members {
@@ -639,6 +834,9 @@ func (m *Manager) AggregateStats() ClusterStats {
 		cs.JournalAppends += st.JournalAppends
 		cs.JournalReplayed += st.JournalReplayed
 		cs.DedupHits += st.DedupHits
+		cs.TimedOut += st.TimedOut
+		cs.Expired += st.Expired
+		cs.Shed += st.Shed
 		if len(st.Tenants) > 0 {
 			tenantLists = append(tenantLists, st.Tenants)
 		}

@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -36,6 +38,12 @@ import (
 // a worker reports per request are returned verbatim, not wrapped.
 var ErrRemote = errors.New("cluster: remote worker call failed")
 
+// ErrBreakerOpen marks a call refused locally because the worker's
+// circuit breaker is open. It is always wrapped in ErrRemote (a
+// fast-fail is transport-shaped: the manager's reroute heuristic must
+// fire on it), so test for it with errors.Is.
+var ErrBreakerOpen = errors.New("cluster: circuit breaker open")
+
 // tenantHeader mirrors the frontend's tenant header name without
 // importing it (frontend imports cluster).
 const tenantHeader = "X-Tenant"
@@ -43,9 +51,20 @@ const tenantHeader = "X-Tenant"
 // adminTokenHeader mirrors frontend.AdminTokenHeader.
 const adminTokenHeader = "X-Admin-Token"
 
+// deadlineHeader mirrors frontend.DeadlineHeader: the caller's
+// remaining deadline budget in milliseconds, so a worker inherits the
+// coordinator's deadline instead of running work nobody is waiting for.
+const deadlineHeader = "X-Deadline-Ms"
+
 // defaultRemoteTimeout bounds every remote call so a dead worker turns
 // into a failed chunk (rerouted by the manager) instead of a hung one.
 const defaultRemoteTimeout = 30 * time.Second
+
+// Retry defaults (see RemoteOptions.MaxRetries / RetryBase).
+const (
+	defaultMaxRetries = 2
+	defaultRetryBase  = 25 * time.Millisecond
+)
 
 // RemoteOptions parameterizes a RemoteNode beyond its base URL.
 type RemoteOptions struct {
@@ -57,6 +76,28 @@ type RemoteOptions struct {
 	// Token is the admin token presented on control-plane calls
 	// (SetTenantWeight's PUT /admin/tenants/); empty sends none.
 	Token string
+	// MaxRetries bounds in-place retries of transport failures (zero
+	// selects 2; negative disables). Only idempotent requests retry:
+	// GETs, PUTs, and invocations/batches where every request carries an
+	// idempotency key — the worker's dedup table absorbs a re-execution,
+	// the PR-8 semantics unkeyed work does not get. Each retry backs off
+	// exponentially from RetryBase with ±50% jitter and respects the
+	// caller's context deadline.
+	MaxRetries int
+	// RetryBase is the first backoff delay (zero selects 25ms); attempt
+	// n waits RetryBase×2ⁿ⁻¹ jittered.
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive transport failures trip
+	// the per-worker circuit breaker open (zero selects 5; negative
+	// disables the breaker). While open, calls fast-fail locally with
+	// ErrBreakerOpen; after BreakerCooldown one probe is admitted.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// half-opening for a probe (zero selects 1s).
+	BreakerCooldown time.Duration
+	// Seed seeds the retry-jitter PRNG; zero seeds from the clock. Fixed
+	// seeds make chaos tests reproducible.
+	Seed int64
 }
 
 // RemoteNode is an HTTP client for one worker frontend, implementing
@@ -71,6 +112,18 @@ type RemoteNode struct {
 	token  string
 	client *http.Client
 
+	// The retry budget (RemoteOptions.MaxRetries/RetryBase) and its
+	// jitter PRNG; rngMu guards rng, which math/rand.Rand is not safe
+	// for concurrent use without.
+	maxRetries int
+	retryBase  time.Duration
+	rngMu      sync.Mutex
+	rng        *rand.Rand
+
+	// brk is the per-worker circuit breaker the transport chokepoints
+	// feed (see breaker.go).
+	brk *breaker
+
 	// wireMode latches the negotiated batch framing: modeUnknown until
 	// the first batch probes (JSON body, Accept offering the binary
 	// type), then modeBinary against a frame-speaking worker or
@@ -83,6 +136,10 @@ type RemoteNode struct {
 	// on the wire; the WeightNode interface has no error return, so the
 	// counter is the only trace.
 	ctlErrs atomic.Uint64
+
+	// retries counts in-place retry attempts actually issued (not the
+	// original attempts), surfaced per worker in /stats/cluster.
+	retries atomic.Uint64
 }
 
 // Wire-mode states of the batch-framing negotiation.
@@ -113,10 +170,29 @@ func NewRemoteNode(baseURL string, opts RemoteOptions) *RemoteNode {
 	if c == nil {
 		c = &http.Client{Timeout: defaultRemoteTimeout}
 	}
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = defaultMaxRetries
+	}
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	retryBase := opts.RetryBase
+	if retryBase <= 0 {
+		retryBase = defaultRetryBase
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &RemoteNode{
-		base:   strings.TrimRight(baseURL, "/"),
-		token:  opts.Token,
-		client: c,
+		base:       strings.TrimRight(baseURL, "/"),
+		token:      opts.Token,
+		client:     c,
+		maxRetries: maxRetries,
+		retryBase:  retryBase,
+		rng:        rand.New(rand.NewSource(seed)),
+		brk:        newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, nil),
 	}
 }
 
@@ -127,16 +203,86 @@ func (rn *RemoteNode) URL() string { return rn.base }
 // the wire.
 func (rn *RemoteNode) ControlErrors() uint64 { return rn.ctlErrs.Load() }
 
-// do issues one request and returns the response body for 2xx statuses;
-// other statuses are decoded as the frontend's {"error": ...} body and
-// returned as an error (ErrRemote-wrapped only when the failure is
-// transport-shaped, i.e. not an application error the worker reported).
-func (rn *RemoteNode) do(method, path, tenant string, body []byte) ([]byte, error) {
-	req, err := http.NewRequest(method, rn.base+path, bytes.NewReader(body))
+// Retries reports in-place transport retries issued (RetryNode).
+func (rn *RemoteNode) Retries() uint64 { return rn.retries.Load() }
+
+// BreakerState reports the worker breaker's routing-visible state
+// (BreakerNode): "closed", "open", or "half-open".
+func (rn *RemoteNode) BreakerState() string { return rn.brk.state() }
+
+// BreakerCounters reports cumulative breaker trips and fast-fails
+// (BreakerNode).
+func (rn *RemoteNode) BreakerCounters() (trips, fastFails uint64) { return rn.brk.counters() }
+
+// setDeadlineHeader carries the context's remaining budget to the
+// worker as X-Deadline-Ms, clamped to ≥1ms (a zero or negative budget
+// still travels as the smallest expressible one; the transport context
+// will cancel the call anyway).
+func setDeadlineHeader(req *http.Request, ctx context.Context) {
+	if d, ok := ctx.Deadline(); ok {
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(deadlineHeader, strconv.FormatInt(ms, 10))
+	}
+}
+
+// backoff sleeps the jittered exponential delay before retry attempt n
+// (1-based), honoring context cancellation. It reports false when the
+// context is done or would expire before the sleep completes — no point
+// retrying into a dead deadline.
+func (rn *RemoteNode) backoff(ctx context.Context, attempt int) bool {
+	d := rn.retryBase << (attempt - 1)
+	// ±50% jitter, deterministic under RemoteOptions.Seed.
+	rn.rngMu.Lock()
+	d = d/2 + time.Duration(rn.rng.Int63n(int64(d)))
+	rn.rngMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// do issues one request (with in-place retries when idempotent) and
+// returns the response body for 2xx statuses; other statuses are
+// decoded as the frontend's {"error": ...} body and returned as an
+// error (ErrRemote-wrapped only when the failure is transport-shaped,
+// i.e. not an application error the worker reported). Transport
+// outcomes feed the circuit breaker; while it is open, calls fast-fail
+// with ErrBreakerOpen.
+func (rn *RemoteNode) do(ctx context.Context, method, path, tenant string, body []byte, idempotent bool) ([]byte, error) {
+	var payload []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		payload, err = rn.doOnce(ctx, method, path, tenant, body)
+		if err == nil || !errors.Is(err, ErrRemote) {
+			return payload, err
+		}
+		if !idempotent || attempt >= rn.maxRetries || !rn.backoff(ctx, attempt+1) {
+			return payload, err
+		}
+		rn.retries.Add(1)
+	}
+}
+
+func (rn *RemoteNode) doOnce(ctx context.Context, method, path, tenant string, body []byte) ([]byte, error) {
+	if !rn.brk.allow() {
+		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrBreakerOpen, rn.base)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rn.base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setDeadlineHeader(req, ctx)
 	if tenant != "" {
 		req.Header.Set(tenantHeader, tenant)
 	}
@@ -145,11 +291,13 @@ func (rn *RemoteNode) do(method, path, tenant string, body []byte) ([]byte, erro
 	}
 	resp, err := rn.client.Do(req)
 	if err != nil {
+		rn.brk.failure()
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
 	defer resp.Body.Close()
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
+		rn.brk.failure()
 		return nil, fmt.Errorf("%w: reading response: %v", ErrRemote, err)
 	}
 	if resp.StatusCode/100 != 2 {
@@ -160,22 +308,46 @@ func (rn *RemoteNode) do(method, path, tenant string, body []byte) ([]byte, erro
 			// The worker answered: this is an application-level
 			// rejection (unknown composition, draining, bad weight),
 			// not a transport failure.
+			rn.brk.success()
 			return nil, errors.New(e.Error)
 		}
+		rn.brk.failure()
 		return nil, fmt.Errorf("%w: %s %s: status %d", ErrRemote, method, path, resp.StatusCode)
 	}
+	rn.brk.success()
 	return payload, nil
 }
 
 // doStream issues one request with explicit framing headers and hands
 // back the open response for streaming decode (the caller closes it).
-// Non-2xx statuses are drained and mapped exactly as in do.
-func (rn *RemoteNode) doStream(method, path, tenant string, body io.Reader, contentType, accept string) (*http.Response, error) {
-	req, err := http.NewRequest(method, rn.base+path, body)
+// Non-2xx statuses are drained and mapped exactly as in do. body is a
+// factory rather than a reader so idempotent requests can replay their
+// payload on retry.
+func (rn *RemoteNode) doStream(ctx context.Context, method, path, tenant string, body func() io.Reader, contentType, accept string, idempotent bool) (*http.Response, error) {
+	var resp *http.Response
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = rn.doStreamOnce(ctx, method, path, tenant, body(), contentType, accept)
+		if err == nil || !errors.Is(err, ErrRemote) {
+			return resp, err
+		}
+		if !idempotent || attempt >= rn.maxRetries || !rn.backoff(ctx, attempt+1) {
+			return resp, err
+		}
+		rn.retries.Add(1)
+	}
+}
+
+func (rn *RemoteNode) doStreamOnce(ctx context.Context, method, path, tenant string, body io.Reader, contentType, accept string) (*http.Response, error) {
+	if !rn.brk.allow() {
+		return nil, fmt.Errorf("%w: %w: %s", ErrRemote, ErrBreakerOpen, rn.base)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rn.base+path, body)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
 	req.Header.Set("Content-Type", contentType)
+	setDeadlineHeader(req, ctx)
 	if accept != "" {
 		req.Header.Set("Accept", accept)
 	}
@@ -187,6 +359,7 @@ func (rn *RemoteNode) doStream(method, path, tenant string, body io.Reader, cont
 	}
 	resp, err := rn.client.Do(req)
 	if err != nil {
+		rn.brk.failure()
 		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
 	}
 	if resp.StatusCode/100 != 2 {
@@ -196,23 +369,33 @@ func (rn *RemoteNode) doStream(method, path, tenant string, body io.Reader, cont
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(payload, &e) == nil && e.Error != "" {
+			rn.brk.success()
 			return nil, errors.New(e.Error)
 		}
+		rn.brk.failure()
 		return nil, fmt.Errorf("%w: %s %s: status %d", ErrRemote, method, path, resp.StatusCode)
 	}
+	rn.brk.success()
 	return resp, nil
 }
 
 // Invoke routes one invocation to the worker under the default tenant.
 func (rn *RemoteNode) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
-	return rn.InvokeAs(core.DefaultTenant, name, inputs)
+	return rn.InvokeAsCtx(context.Background(), core.DefaultTenant, name, inputs)
 }
 
 // InvokeAs routes one invocation to the worker under a tenant identity,
 // using the frontend's full-fidelity JSON invoke mode (every input set
 // travels; the full output-set map comes back).
 func (rn *RemoteNode) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
-	return rn.InvokeKeyedAs(tenant, name, "", inputs)
+	return rn.InvokeKeyedAsCtx(context.Background(), tenant, name, "", inputs)
+}
+
+// InvokeAsCtx is InvokeAs under a caller context: the request carries
+// the context (cancelling it aborts the call) and its remaining budget
+// as X-Deadline-Ms, so the worker inherits the deadline.
+func (rn *RemoteNode) InvokeAsCtx(ctx context.Context, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return rn.InvokeKeyedAsCtx(ctx, tenant, name, "", inputs)
 }
 
 // InvokeKeyedAs routes one idempotency-keyed invocation: the key
@@ -220,11 +403,19 @@ func (rn *RemoteNode) InvokeAs(tenant, name string, inputs map[string][]memctx.I
 // shape uses), so a re-send after a lost response is answered from the
 // worker's completed-key dedup table instead of re-executing.
 func (rn *RemoteNode) InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return rn.InvokeKeyedAsCtx(context.Background(), tenant, name, key, inputs)
+}
+
+// InvokeKeyedAsCtx is InvokeKeyedAs under a caller context (see
+// InvokeAsCtx). Keyed invocations are retry-eligible: the worker's
+// dedup table absorbs a re-execution, so a transport failure is retried
+// in place before surfacing.
+func (rn *RemoteNode) InvokeKeyedAsCtx(ctx context.Context, tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	body, err := json.Marshal(wire.BatchRequest{Inputs: wire.FromSets(inputs), Key: key})
 	if err != nil {
 		return nil, fmt.Errorf("%w: encoding request: %v", ErrRemote, err)
 	}
-	payload, err := rn.do(http.MethodPost, "/invoke/"+url.PathEscape(name), tenant, body)
+	payload, err := rn.do(ctx, http.MethodPost, "/invoke/"+url.PathEscape(name), tenant, body, key != "")
 	if err != nil {
 		return nil, err
 	}
@@ -245,13 +436,19 @@ func (rn *RemoteNode) InvokeKeyedAs(tenant, name, key string, inputs map[string]
 // failure errors every request of its group — the all-failed signature
 // the manager's reroute heuristic keys on.
 func (rn *RemoteNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
+	return rn.InvokeBatchCtx(context.Background(), reqs)
+}
+
+// InvokeBatchCtx is InvokeBatch under a caller context (see
+// InvokeAsCtx). Fully-keyed groups are retry-eligible in place.
+func (rn *RemoteNode) InvokeBatchCtx(ctx context.Context, reqs []core.BatchRequest) []core.BatchResult {
 	results := make([]core.BatchResult, len(reqs))
 	for lo := 0; lo < len(reqs); {
 		hi := lo + 1
 		for hi < len(reqs) && reqs[hi].Composition == reqs[lo].Composition && reqs[hi].Tenant == reqs[lo].Tenant {
 			hi++
 		}
-		rn.invokeBatchGroup(reqs[lo:hi], results[lo:hi])
+		rn.invokeBatchGroup(ctx, reqs[lo:hi], results[lo:hi])
 		lo = hi
 	}
 	return results
@@ -263,7 +460,7 @@ func (rn *RemoteNode) InvokeBatch(reqs []core.BatchRequest) []core.BatchResult {
 // a JSON body whose Accept header offers the binary type, so the
 // worker's response Content-Type settles the mode without ever sending
 // an old worker a body it would reject.
-func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.BatchResult) {
+func (rn *RemoteNode) invokeBatchGroup(ctx context.Context, reqs []core.BatchRequest, results []core.BatchResult) {
 	fail := func(err error) {
 		for i := range results {
 			results[i] = core.BatchResult{Err: err}
@@ -271,6 +468,15 @@ func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.
 	}
 	path := "/invoke-batch/" + url.PathEscape(reqs[0].Composition)
 	mode := rn.wireMode.Load()
+	// A group is retry-eligible only when every request carries an
+	// idempotency key (the worker's dedup absorbs re-execution).
+	idempotent := true
+	for i := range reqs {
+		if reqs[i].Key == "" {
+			idempotent = false
+			break
+		}
+	}
 
 	buf := remoteBufPool.Get().(*bytes.Buffer)
 	defer func() {
@@ -311,7 +517,10 @@ func (rn *RemoteNode) invokeBatchGroup(reqs []core.BatchRequest, results []core.
 		}
 	}
 
-	resp, err := rn.doStream(http.MethodPost, path, reqs[0].Tenant, buf, contentType, accept)
+	// The body is handed to doStream as a factory over the encoded
+	// bytes, so an in-place retry can replay the identical payload.
+	resp, err := rn.doStream(ctx, http.MethodPost, path, reqs[0].Tenant,
+		func() io.Reader { return bytes.NewReader(buf.Bytes()) }, contentType, accept, idempotent)
 	if err != nil {
 		fail(err)
 		return
@@ -387,7 +596,8 @@ func (rn *RemoteNode) SetTenantWeight(tenant string, weight int) {
 		rn.ctlErrs.Add(1)
 		return
 	}
-	if _, err := rn.do(http.MethodPut, "/admin/tenants/"+url.PathEscape(tenant), "", body); err != nil {
+	// PUT is idempotent, so the retry budget applies.
+	if _, err := rn.do(context.Background(), http.MethodPut, "/admin/tenants/"+url.PathEscape(tenant), "", body, true); err != nil {
 		rn.ctlErrs.Add(1)
 	}
 }
@@ -395,7 +605,7 @@ func (rn *RemoteNode) SetTenantWeight(tenant string, weight int) {
 // NodeStats fetches the worker's gauge snapshot from GET /stats, the
 // remote StatsNode proxy that lets AggregateStats span machines.
 func (rn *RemoteNode) NodeStats() (core.Stats, error) {
-	payload, err := rn.do(http.MethodGet, "/stats", "", nil)
+	payload, err := rn.do(context.Background(), http.MethodGet, "/stats", "", nil, true)
 	if err != nil {
 		return core.Stats{}, err
 	}
@@ -433,6 +643,13 @@ type Heartbeater struct {
 	// as good as missed).
 	Client *http.Client
 
+	// lazyClient is the one default client constructed when Client is
+	// nil — built once, under clientOnce, so every beat reuses its
+	// connection pool instead of allocating a fresh client (and fresh
+	// idle-connection state) per call.
+	clientOnce sync.Once
+	lazyClient *http.Client
+
 	joins atomic.Uint64
 	beats atomic.Uint64
 }
@@ -455,7 +672,10 @@ func (h *Heartbeater) client() *http.Client {
 	if h.Client != nil {
 		return h.Client
 	}
-	return &http.Client{Timeout: h.interval()}
+	h.clientOnce.Do(func() {
+		h.lazyClient = &http.Client{Timeout: h.interval()}
+	})
+	return h.lazyClient
 }
 
 // post sends one cluster-surface request and fails on any non-2xx.

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -110,6 +111,14 @@ type BatchResult struct {
 // batched dispatch path; distinct groups proceed concurrently, each
 // scheduled in its tenant's DRR share.
 func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
+	return p.InvokeBatchCtx(context.Background(), reqs)
+}
+
+// InvokeBatchCtx is InvokeBatch under a caller context: the deadline
+// rides on every chunk dispatch (expired chunks are dropped unexecuted
+// by the scheduling plane) and cancellation stops new statements.
+// Deadline-class per-request failures tick Stats.TimedOut.
+func (p *Platform) InvokeBatchCtx(ctx context.Context, reqs []BatchRequest) []BatchResult {
 	results := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return results
@@ -166,7 +175,7 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 			for k, i := range idxs {
 				inputs[k] = reqs[i].Inputs
 			}
-			outs, errs := p.invokeBatch(tenant, pl, inputs)
+			outs, errs := p.invokeBatch(ctx, tenant, pl, inputs)
 			for k, i := range idxs {
 				results[i].Outputs, results[i].Err = outs[k], errs[k]
 			}
@@ -176,6 +185,9 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 	if kb != nil {
 		p.finishKeyedBatch(kb, reqs, results)
 	}
+	for i := range results {
+		p.noteTimeout(results[i].Err)
+	}
 	return results
 }
 
@@ -183,6 +195,12 @@ func (p *Platform) InvokeBatch(reqs []BatchRequest) []BatchResult {
 // per-request Tenant fields — the server-side entry point for a batch
 // admitted from a single tenant's connection.
 func (p *Platform) InvokeBatchAs(tenant string, reqs []BatchRequest) []BatchResult {
+	return p.InvokeBatchAsCtx(context.Background(), tenant, reqs)
+}
+
+// InvokeBatchAsCtx is InvokeBatchAs under a caller context (see
+// InvokeBatchCtx).
+func (p *Platform) InvokeBatchAsCtx(ctx context.Context, tenant string, reqs []BatchRequest) []BatchResult {
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
@@ -191,7 +209,7 @@ func (p *Platform) InvokeBatchAs(tenant string, reqs []BatchRequest) []BatchResu
 		r.Tenant = tenant
 		tagged[i] = r
 	}
-	return p.InvokeBatch(tagged)
+	return p.InvokeBatchCtx(ctx, tagged)
 }
 
 // batchState tracks the per-request dataflow of one composition group.
@@ -233,7 +251,7 @@ func (b *batchState) live() []int {
 // across the group, honoring DAG dependencies), with compute statements
 // executed through the chunked batch path. Orchestration state — deps,
 // vertices, programs, error labels — comes precompiled from the plan.
-func (p *Platform) invokeBatch(tenant string, pl *compPlan, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+func (p *Platform) invokeBatch(ctx context.Context, tenant string, pl *compPlan, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
 	comp := pl.comp
 	n := len(inputs)
 	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
@@ -268,7 +286,7 @@ func (p *Platform) invokeBatch(tenant string, pl *compPlan, inputs []map[string]
 			for _, d := range pl.deps[i] {
 				<-done[d]
 			}
-			p.runStatementBatch(tenant, pl, i, st)
+			p.runStatementBatch(ctx, tenant, pl, i, st)
 		}()
 	}
 	wg.Wait()
@@ -309,7 +327,7 @@ const maxPooledBatchItems = 4096
 // the group. Compute functions take the chunked batch path; everything
 // else (communication functions, nested compositions) falls back to the
 // per-request dispatcher logic.
-func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *batchState) {
+func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *compPlan, si int, bst *batchState) {
 	sp := &pl.stmts[si]
 	st := *sp.st
 	live := bst.live()
@@ -317,6 +335,12 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 		return
 	}
 	wrap := sp.wrap
+	if err := ctx.Err(); err != nil {
+		for _, r := range live {
+			bst.fail(r, err)
+		}
+		return
+	}
 	v, err := p.resolveStmt(sp)
 	if err != nil {
 		for _, r := range live {
@@ -324,6 +348,7 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 		}
 		return
 	}
+	deadline, _ := ctx.Deadline()
 
 	if v.fn == nil {
 		// Communication function or nested composition: reuse the
@@ -336,7 +361,7 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if err := p.runStatement(tenant, sp, bst.stores[r], 0); err != nil {
+				if err := p.runStatement(ctx, tenant, sp, bst.stores[r], 0); err != nil {
 					bst.fail(r, wrap(err))
 				}
 			}()
@@ -433,6 +458,7 @@ func (p *Platform) runStatementBatch(tenant string, pl *compPlan, si int, bst *b
 				}
 				wg.Done()
 			},
+			Deadline: deadline,
 		}
 		if err := p.computeSched.Submit(tenant, task); err != nil {
 			for i := range seg {

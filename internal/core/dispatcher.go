@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dandelion/internal/autoscale"
 	"dandelion/internal/controlplane"
@@ -30,7 +32,18 @@ var (
 	// ErrDraining rejects new invocations while the node drains (see
 	// Platform.Drain); in-flight compositions complete normally.
 	ErrDraining = errors.New("core: platform draining")
+	// ErrExpired re-exports the scheduling plane's deadline-drop error:
+	// a dispatch whose deadline passed while parked (never executed).
+	ErrExpired = sched.ErrExpired
 )
+
+// IsTimeout reports whether an invocation error is deadline-class: the
+// caller's context deadline fired mid-flight, or the scheduling plane
+// dropped the work unexecuted because its deadline had already passed.
+// The frontend maps these to 504; Stats.TimedOut counts them.
+func IsTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, sched.ErrExpired)
+}
 
 // Options configures a Platform.
 type Options struct {
@@ -122,6 +135,14 @@ type Platform struct {
 	// provides (rationale in counters.go).
 	memCommitted atomic.Int64
 	memPeak      atomic.Int64
+
+	// Deadline-plane counters (plain atomics — ticked once per failed
+	// or shed request, far off the happy path): timedOut counts
+	// invocations lost to a deadline (IsTimeout errors at the public
+	// entry points), shed counts requests the frontend refused outright
+	// because their budget could not be met (see ShouldShed).
+	timedOut atomic.Uint64
+	shed     atomic.Uint64
 
 	// The durability plane (journal.go): the invocation journal (nil
 	// without Options.Journal), the always-on completed-key dedup
@@ -311,6 +332,16 @@ type Stats struct {
 	JournalBytes        int64
 	DedupHits           uint64
 	DedupEntries        int
+	// The deadline-plane counters. TimedOut counts invocations that
+	// failed deadline-class (context deadline exceeded mid-flight, or
+	// dropped unexecuted by the scheduler); Expired is the subset the
+	// scheduling plane dropped at dispatch time, summed over tenants
+	// (the per-tenant split lives in Tenants); Shed counts requests the
+	// frontend refused with 503 because their deadline budget was
+	// already unmeetable (see ShouldShed).
+	TimedOut uint64
+	Expired  uint64
+	Shed     uint64
 	// Tenants carries the scheduling plane's per-tenant gauges (queued,
 	// running, completed, dispatch-wait), merged across the compute and
 	// communication schedulers and sorted by tenant name.
@@ -326,7 +357,16 @@ func (p *Platform) Stats() Stats {
 	if s, ok := p.jrnl.(journal.Sizer); ok {
 		jBytes = s.Size()
 	}
+	tenants := sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats())
+	var expired uint64
+	for _, ts := range tenants {
+		expired += ts.Expired
+	}
 	return Stats{
+		TimedOut: p.timedOut.Load(),
+		Expired:  expired,
+		Shed:     p.shed.Load(),
+
 		JournalEnabled:      p.jrnl != nil,
 		JournalAppends:      p.jAppends.Load(),
 		JournalAppendErrors: p.jAppendErrs.Load(),
@@ -335,7 +375,7 @@ func (p *Platform) Stats() Stats {
 		DedupHits:           p.dedup.Hits(),
 		DedupEntries:        p.dedup.Len(),
 
-		Tenants:          sched.MergeStats(p.computeSched.Stats(), p.commSched.Stats()),
+		Tenants:          tenants,
 		Invocations:      t.invocations,
 		Batches:          t.batches,
 		ComputeEngines:   p.computePool.Count(),
@@ -364,13 +404,27 @@ func (p *Platform) Stats() Stats {
 // returns its output sets keyed by output name. It runs under
 // DefaultTenant; multi-tenant callers use InvokeAs.
 func (p *Platform) Invoke(name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
-	return p.InvokeAs(DefaultTenant, name, inputs)
+	return p.InvokeAsCtx(context.Background(), DefaultTenant, name, inputs)
+}
+
+// InvokeCtx is Invoke under a caller context: the context's deadline is
+// attached to every engine dispatch the invocation causes (expired work
+// is dropped unexecuted by the scheduling plane) and cancellation stops
+// new statements from starting.
+func (p *Platform) InvokeCtx(ctx context.Context, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return p.InvokeAsCtx(ctx, DefaultTenant, name, inputs)
 }
 
 // InvokeAs runs a registered composition under a tenant identity: every
 // engine dispatch it causes is scheduled in that tenant's DRR share and
 // accounted in its gauges. An empty tenant means DefaultTenant.
 func (p *Platform) InvokeAs(tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return p.InvokeAsCtx(context.Background(), tenant, name, inputs)
+}
+
+// InvokeAsCtx is InvokeAs under a caller context (see InvokeCtx).
+// Deadline-class failures tick Stats.TimedOut.
+func (p *Platform) InvokeAsCtx(ctx context.Context, tenant, name string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	if p.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -379,7 +433,38 @@ func (p *Platform) InvokeAs(tenant, name string, inputs map[string][]memctx.Item
 		return nil, err
 	}
 	p.ctrs.shard().invocations.Add(1)
-	return p.invoke(tenant, p.planFor(comp), inputs, 0)
+	outs, err := p.invoke(ctx, tenant, p.planFor(comp), inputs, 0)
+	p.noteTimeout(err)
+	return outs, err
+}
+
+// noteTimeout ticks the deadline-loss counter for IsTimeout errors; the
+// nil-error fast path is a single branch.
+func (p *Platform) noteTimeout(err error) {
+	if err != nil && IsTimeout(err) {
+		p.timedOut.Add(1)
+	}
+}
+
+// ShouldShed reports whether a new request for the tenant with the
+// given deadline budget is already hopeless and should be refused at
+// admission (503) instead of queued: the tenant has parked compute work
+// (its dispatch window is saturated) whose oldest entry has been
+// waiting longer than the whole budget, so a new submission would park
+// behind it and expire unserved. A true return ticks Stats.Shed — the
+// caller must actually shed. Zero budget (no deadline) never sheds.
+func (p *Platform) ShouldShed(tenant string, budget time.Duration) bool {
+	if budget <= 0 {
+		return false
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if p.computeSched.OldestWait(tenant) <= budget {
+		return false
+	}
+	p.shed.Add(1)
+	return true
 }
 
 // HasComposition reports whether a composition is registered, letting
@@ -448,9 +533,12 @@ func (s *valueStore) set(name string, items []memctx.Item) {
 	s.vals[name] = items
 }
 
-func (p *Platform) invoke(tenant string, pl *compPlan, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
+func (p *Platform) invoke(ctx context.Context, tenant string, pl *compPlan, inputs map[string][]memctx.Item, depth int) (map[string][]memctx.Item, error) {
 	if depth >= p.opts.MaxDepth {
 		return nil, fmt.Errorf("%w (%d)", ErrTooDeep, p.opts.MaxDepth)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	comp := pl.comp
 	store := getValueStore()
@@ -492,7 +580,11 @@ func (p *Platform) invoke(tenant string, pl *compPlan, inputs map[string][]memct
 			if failed.Load() {
 				return
 			}
-			if err := p.runStatement(tenant, &pl.stmts[i], store, depth); err != nil {
+			if err := ctx.Err(); err != nil {
+				setErr(err)
+				return
+			}
+			if err := p.runStatement(ctx, tenant, &pl.stmts[i], store, depth); err != nil {
 				setErr(pl.stmts[i].wrap(err))
 			}
 		}()
@@ -513,12 +605,15 @@ func (p *Platform) invoke(tenant string, pl *compPlan, inputs map[string][]memct
 // executes them on the appropriate engines (scheduled under the tenant's
 // DRR share), and merges outputs. The vertex, instance shape, and error
 // label come precompiled from the statement's plan (plan.go).
-func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, depth int) error {
+func (p *Platform) runStatement(ctx context.Context, tenant string, sp *stmtPlan, store *valueStore, depth int) error {
 	st := *sp.st
 	v, err := p.resolveStmt(sp)
 	if err != nil {
 		return err
 	}
+	// The context deadline rides along on every engine dispatch below;
+	// zero (no deadline) costs the scheduler a single IsZero check.
+	deadline, _ := ctx.Deadline()
 
 	// Gather argument items; decide skip (§4.4): any non-optional input
 	// set with zero items suppresses execution, defining empty outputs.
@@ -563,7 +658,7 @@ func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, 
 		wg.Add(1)
 		run := func() {
 			defer wg.Done()
-			outs, err := p.runInstance(tenant, v, st, inst, depth, nil)
+			outs, err := p.runInstance(ctx, tenant, v, st, inst, depth, nil)
 			results[idx], errs[idx] = outs, err
 		}
 		reject := func(err error) {
@@ -572,7 +667,7 @@ func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, 
 		}
 		switch {
 		case v.comm != nil:
-			if err := p.commSched.Submit(tenant, sched.Task{Do: run, OnReject: reject}); err != nil {
+			if err := p.commSched.Submit(tenant, sched.Task{Do: run, OnReject: reject, Deadline: deadline}); err != nil {
 				reject(err)
 			}
 		case v.fn != nil:
@@ -581,10 +676,10 @@ func (p *Platform) runStatement(tenant string, sp *stmtPlan, store *valueStore, 
 			// of re-deriving one per call.
 			runOn := func(shard int) {
 				defer wg.Done()
-				outs, err := p.runInstance(tenant, v, st, inst, depth, p.ctrs.shardAt(shard))
+				outs, err := p.runInstance(ctx, tenant, v, st, inst, depth, p.ctrs.shardAt(shard))
 				results[idx], errs[idx] = outs, err
 			}
-			if err := p.computeSched.Submit(tenant, sched.Task{DoSharded: runOn, OnReject: reject}); err != nil {
+			if err := p.computeSched.Submit(tenant, sched.Task{DoSharded: runOn, OnReject: reject, Deadline: deadline}); err != nil {
 				reject(err)
 			}
 		default:
@@ -678,7 +773,13 @@ func expandInstances(args []graph.Arg, items [][]memctx.Item) ([]instance, error
 // on a dispatcher goroutine. sh, when non-nil, is the engine's stable
 // counter shard; nil callers (comm engines, nested compositions) let
 // the compute path derive one.
-func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst instance, depth int, sh *hotShard) ([]memctx.Set, error) {
+func (p *Platform) runInstance(ctx context.Context, tenant string, v vertex, st graph.Stmt, inst instance, depth int, sh *hotShard) ([]memctx.Set, error) {
+	// The scheduler drops entries that expire parked in its backlog, but
+	// a task can also outlive its deadline queued at the engine after
+	// dispatch; checking here keeps dead work from occupying an engine.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch {
 	case v.comm != nil:
 		return v.comm.Invoke(inst)
@@ -689,7 +790,7 @@ func (p *Platform) runInstance(tenant string, v vertex, st graph.Stmt, inst inst
 		for _, s := range inst {
 			childInputs[s.Name] = s.Items
 		}
-		childOut, err := p.invoke(tenant, p.planFor(v.comp), childInputs, depth+1)
+		childOut, err := p.invoke(ctx, tenant, p.planFor(v.comp), childInputs, depth+1)
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+
 	"dandelion/internal/ctlplane"
 	"dandelion/internal/journal"
 	"dandelion/internal/memctx"
@@ -93,8 +95,16 @@ func (p *Platform) InvokeKeyed(name, key string, inputs map[string][]memctx.Item
 // executes with begin/end journaling. An empty key degrades to
 // InvokeAs.
 func (p *Platform) InvokeKeyedAs(tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
+	return p.InvokeKeyedAsCtx(context.Background(), tenant, name, key, inputs)
+}
+
+// InvokeKeyedAsCtx is InvokeKeyedAs under a caller context (see
+// InvokeCtx). A keyed invocation that fails deadline-class releases its
+// key like any other failure, so a retry with a fresh budget may
+// re-execute.
+func (p *Platform) InvokeKeyedAsCtx(ctx context.Context, tenant, name, key string, inputs map[string][]memctx.Item) (map[string][]memctx.Item, error) {
 	if key == "" {
-		return p.InvokeAs(tenant, name, inputs)
+		return p.InvokeAsCtx(ctx, tenant, name, inputs)
 	}
 	if p.draining.Load() {
 		return nil, ErrDraining
@@ -115,8 +125,9 @@ func (p *Platform) InvokeKeyedAs(tenant, name, key string, inputs map[string][]m
 		Digest: journal.DigestSets(inputs),
 	})
 	p.ctrs.shard().invocations.Add(1)
-	outs, err = p.invoke(tenant, p.planFor(comp), inputs, 0)
+	outs, err = p.invoke(ctx, tenant, p.planFor(comp), inputs, 0)
 	p.settleKey(tenant, name, key, outs, err)
+	p.noteTimeout(err)
 	return outs, err
 }
 

@@ -1,0 +1,329 @@
+// Package faultinject is the deterministic fault-injection harness of
+// the robustness test suite (docs/ROBUSTNESS.md): a declarative plan of
+// faults — per-route error rates, fixed or jittered latency, blackholes,
+// N-failures-then-succeed — applied either to an outbound HTTP transport
+// (RoundTripper, wrapping e.g. the client a cluster.RemoteNode uses) or
+// to an inbound handler (Middleware, wrapping the frontend behind the
+// -fault-plan flag of cmd/dandelion).
+//
+// Every probabilistic choice draws from one seeded PRNG, so a plan with
+// a fixed seed injects the same faults at the same points on every run —
+// chaos tests assert exact counters, not distributions.
+//
+// Plans are written in a small flag-friendly grammar, clauses separated
+// by semicolons:
+//
+//	seed=42;route=/invoke-batch,kind=error,rate=0.5,code=502;route=/stats,kind=latency,latency=20ms,jitter=5ms
+//
+// The first clause may set the PRNG seed (default 1). Every other
+// clause declares one fault as comma-separated key=value fields:
+//
+//	route=<substring>   match requests whose URL path contains this
+//	                    (empty or absent matches every request)
+//	kind=<kind>         error | latency | blackhole | failn
+//	rate=<0..1>         probability a matching request is faulted
+//	                    (default 1 — always)
+//	code=<status>       HTTP status for error/failn faults (default 502)
+//	latency=<duration>  fixed delay for latency faults (Go syntax: 20ms)
+//	jitter=<duration>   extra uniformly-random delay on top
+//	n=<count>           failn: fault only the first n matching requests,
+//	                    then pass everything through (models a worker
+//	                    that recovers)
+//
+// Faults apply in declaration order; latency faults delay and fall
+// through to later faults and the real request, the other kinds
+// short-circuit.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault kinds. Every kind is documented in docs/ROBUSTNESS.md
+// (scripts/docs-check.sh Rule 7 enforces this).
+const (
+	// FaultError answers matching requests with an HTTP error status
+	// (Middleware) or a synthesized non-JSON error response
+	// (RoundTripper) — the transport-shaped failure circuit breakers
+	// count.
+	FaultError = "error"
+	// FaultLatency delays matching requests by Latency plus a uniform
+	// random extra up to Jitter, then lets them proceed.
+	FaultLatency = "latency"
+	// FaultBlackhole swallows matching requests: no response until the
+	// request's context is canceled — how a dead network actually fails.
+	FaultBlackhole = "blackhole"
+	// FaultFailN fails the first N matching requests like FaultError,
+	// then passes everything through — a worker that comes back.
+	FaultFailN = "failn"
+)
+
+// ErrInjected is the error a RoundTripper fault returns when no status
+// code is configured, and the message injected error responses carry.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Fault is one declarative fault of a plan.
+type Fault struct {
+	Route   string        // URL-path substring to match ("" = all)
+	Kind    string        // FaultError, FaultLatency, FaultBlackhole, FaultFailN
+	Rate    float64       // probability per matching request (0 = always, i.e. default 1)
+	Code    int           // HTTP status for error/failn (0 = 502)
+	Latency time.Duration // fixed delay (latency)
+	Jitter  time.Duration // extra uniform random delay (latency)
+	N       int           // failn: first N matches fail
+}
+
+// Plan is a compiled fault plan. All methods are safe for concurrent
+// use; the zero Plan is not valid — build one with New or Parse.
+type Plan struct {
+	faults []Fault
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	remained []int             // per-fault failn countdown
+	injected map[string]uint64 // per-kind injection counters
+}
+
+// New compiles a plan from faults with the given PRNG seed.
+func New(seed int64, faults ...Fault) *Plan {
+	p := &Plan{
+		faults:   faults,
+		rng:      rand.New(rand.NewSource(seed)),
+		remained: make([]int, len(faults)),
+		injected: map[string]uint64{},
+	}
+	for i, f := range faults {
+		p.remained[i] = f.N
+	}
+	return p
+}
+
+// Parse compiles a plan from the flag grammar (see the package
+// comment). An empty string yields a plan with no faults.
+func Parse(s string) (*Plan, error) {
+	seed := int64(1)
+	var faults []Fault
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok && !strings.Contains(clause, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", v)
+			}
+			seed = n
+			continue
+		}
+		f, err := parseFault(clause)
+		if err != nil {
+			return nil, err
+		}
+		faults = append(faults, f)
+	}
+	return New(seed, faults...), nil
+}
+
+func parseFault(clause string) (Fault, error) {
+	var f Fault
+	for _, field := range strings.Split(clause, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return f, fmt.Errorf("faultinject: bad field %q (want key=value)", field)
+		}
+		val = strings.TrimSpace(val)
+		var err error
+		switch strings.TrimSpace(key) {
+		case "route":
+			f.Route = val
+		case "kind":
+			switch val {
+			case FaultError, FaultLatency, FaultBlackhole, FaultFailN:
+				f.Kind = val
+			default:
+				err = fmt.Errorf("faultinject: unknown kind %q", val)
+			}
+		case "rate":
+			if f.Rate, err = strconv.ParseFloat(val, 64); err == nil && (f.Rate < 0 || f.Rate > 1) {
+				err = fmt.Errorf("faultinject: rate %v outside [0,1]", f.Rate)
+			}
+		case "code":
+			f.Code, err = strconv.Atoi(val)
+		case "latency":
+			f.Latency, err = time.ParseDuration(val)
+		case "jitter":
+			f.Jitter, err = time.ParseDuration(val)
+		case "n":
+			f.N, err = strconv.Atoi(val)
+		default:
+			err = fmt.Errorf("faultinject: unknown key %q", key)
+		}
+		if err != nil {
+			return f, fmt.Errorf("faultinject: field %q: %w", field, err)
+		}
+	}
+	if f.Kind == "" {
+		return f, fmt.Errorf("faultinject: clause %q missing kind=", clause)
+	}
+	return f, nil
+}
+
+// Empty reports whether the plan declares no faults (pass-through).
+func (p *Plan) Empty() bool { return p == nil || len(p.faults) == 0 }
+
+// Injected reports how many faults of each kind the plan has injected.
+func (p *Plan) Injected() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.injected))
+	for k, v := range p.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// action is the decision the plan makes for one request: a delay to
+// apply (latency faults accumulate) and at most one short-circuit.
+type action struct {
+	delay time.Duration
+	kind  string // "" = pass through after delay
+	code  int
+}
+
+// decide draws from the seeded PRNG for every matching fault, in
+// declaration order. The PRNG sequence depends only on the seed and the
+// sequence of matching requests, which is what makes single-client
+// chaos runs exactly reproducible.
+func (p *Plan) decide(path string) action {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var act action
+	for i, f := range p.faults {
+		if f.Route != "" && !strings.Contains(path, f.Route) {
+			continue
+		}
+		if f.Rate > 0 && f.Rate < 1 && p.rng.Float64() >= f.Rate {
+			continue
+		}
+		switch f.Kind {
+		case FaultLatency:
+			d := f.Latency
+			if f.Jitter > 0 {
+				d += time.Duration(p.rng.Int63n(int64(f.Jitter)))
+			}
+			act.delay += d
+			p.injected[f.Kind]++
+			continue // latency composes with later faults
+		case FaultFailN:
+			if p.remained[i] <= 0 {
+				continue
+			}
+			p.remained[i]--
+		}
+		act.kind = f.Kind
+		act.code = f.Code
+		if act.code == 0 {
+			act.code = http.StatusBadGateway
+		}
+		p.injected[f.Kind]++
+		return act
+	}
+	return act
+}
+
+// sleep waits d unless ctx expires first; reports whether it slept the
+// full duration.
+func sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Middleware wraps an HTTP handler with the plan: matching inbound
+// requests are delayed, answered with injected error statuses, or
+// blackholed (held unanswered until the client gives up) before next
+// ever sees them. A nil or empty plan returns next unwrapped.
+func (p *Plan) Middleware(next http.Handler) http.Handler {
+	if p.Empty() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		act := p.decide(r.URL.Path)
+		if !sleep(r.Context(), act.delay) {
+			return // client gone mid-delay
+		}
+		switch act.kind {
+		case FaultError, FaultFailN:
+			// A plain-text body: breakers classify non-JSON error
+			// statuses as transport-shaped, which is the point.
+			http.Error(w, ErrInjected.Error(), act.code)
+		case FaultBlackhole:
+			<-r.Context().Done()
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// transport applies a plan to outbound requests.
+type transport struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+// RoundTripper wraps an outbound HTTP transport with the plan (nil base
+// selects http.DefaultTransport): matching requests are delayed, failed
+// with a synthesized error response (or ErrInjected when the fault has
+// no status code), or blackholed until their context expires. A nil or
+// empty plan returns base untouched.
+func (p *Plan) RoundTripper(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p.Empty() {
+		return base
+	}
+	return &transport{plan: p, base: base}
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	act := t.plan.decide(req.URL.Path)
+	if !sleep(req.Context(), act.delay) {
+		return nil, req.Context().Err()
+	}
+	switch act.kind {
+	case FaultError, FaultFailN:
+		if act.code <= 0 {
+			return nil, ErrInjected
+		}
+		return &http.Response{
+			StatusCode: act.code,
+			Status:     fmt.Sprintf("%d %s", act.code, http.StatusText(act.code)),
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    http.NoBody,
+			Request: req,
+		}, nil
+	case FaultBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	}
+	return t.base.RoundTrip(req)
+}

@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	p, err := Parse("seed=42;route=/invoke,kind=error,rate=0.5,code=503;kind=latency,latency=20ms,jitter=5ms;route=/x,kind=failn,n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.faults) != 3 {
+		t.Fatalf("faults = %d, want 3", len(p.faults))
+	}
+	f := p.faults[0]
+	if f.Route != "/invoke" || f.Kind != FaultError || f.Rate != 0.5 || f.Code != 503 {
+		t.Fatalf("fault 0 = %+v", f)
+	}
+	if p.faults[1].Latency != 20*time.Millisecond || p.faults[1].Jitter != 5*time.Millisecond {
+		t.Fatalf("fault 1 = %+v", p.faults[1])
+	}
+	if p.faults[2].Kind != FaultFailN || p.faults[2].N != 3 {
+		t.Fatalf("fault 2 = %+v", p.faults[2])
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, s := range []string{
+		"kind=weird",
+		"route=/x",                  // no kind
+		"kind=error,rate=1.5",       // rate out of range
+		"kind=latency,latency=fast", // bad duration
+		"seed=abc",                  // bad seed (no comma → seed clause)
+		"kind=error,bogus=1",        // unknown key
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Fatal("empty plan not Empty")
+	}
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := p.Middleware(h); got == nil {
+		t.Fatal("Middleware(nil plan) = nil")
+	}
+}
+
+func TestMiddlewareError(t *testing.T) {
+	p := New(1, Fault{Route: "/invoke", Kind: FaultError, Code: 502})
+	inner := 0
+	h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { inner++ }))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/invoke/Comp", nil))
+	if rec.Code != 502 {
+		t.Fatalf("status = %d, want 502", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 || inner != 1 {
+		t.Fatalf("unmatched route: status = %d inner = %d", rec.Code, inner)
+	}
+	if got := p.Injected()[FaultError]; got != 1 {
+		t.Fatalf("Injected[error] = %d, want 1", got)
+	}
+}
+
+func TestFailNThenSucceed(t *testing.T) {
+	p := New(1, Fault{Kind: FaultFailN, N: 2, Code: 503})
+	h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	codes := make([]int, 4)
+	for i := range codes {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+		codes[i] = rec.Code
+	}
+	want := []int{503, 503, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestRateDeterministic(t *testing.T) {
+	run := func() []int {
+		p := New(99, Fault{Kind: FaultError, Rate: 0.5, Code: 500})
+		h := p.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		out := make([]int, 20)
+		for i := range out {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+			out[i] = rec.Code
+		}
+		return out
+	}
+	a, b := run(), run()
+	faulted := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a, b)
+		}
+		if a[i] == 500 {
+			faulted++
+		}
+	}
+	if faulted == 0 || faulted == len(a) {
+		t.Fatalf("rate=0.5 faulted %d/%d — PRNG not applied", faulted, len(a))
+	}
+}
+
+func TestRoundTripperError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "real")
+	}))
+	defer srv.Close()
+
+	p := New(1, Fault{Route: "/fail", Kind: FaultError, Code: 502})
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+
+	resp, err := client.Get(srv.URL + "/fail/now")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 502 {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	resp, err = client.Get(srv.URL + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "real" {
+		t.Fatalf("body = %q, want real request through", body)
+	}
+}
+
+func TestRoundTripperLatencyAndBlackhole(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	p := New(1,
+		Fault{Route: "/slow", Kind: FaultLatency, Latency: 30 * time.Millisecond},
+		Fault{Route: "/hole", Kind: FaultBlackhole},
+	)
+	client := &http.Client{Transport: p.RoundTripper(nil)}
+
+	t0 := time.Now()
+	resp, err := client.Get(srv.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("latency fault took %v, want >= 30ms", d)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/hole", nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("blackhole answered")
+	} else if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("blackhole error = %v, want deadline", err)
+	}
+}

@@ -25,6 +25,7 @@
 package frontend
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +56,19 @@ const TenantHeader = "X-Tenant"
 // completed but whose outputs are no longer cached answers 409. See
 // docs/JOURNAL.md.
 const IdempotencyKeyHeader = "Idempotency-Key"
+
+// DeadlineHeader is the request header carrying the caller's remaining
+// deadline budget in milliseconds. A positive value bounds the
+// invocation with a context deadline: work that cannot start before the
+// budget lapses is dropped expired by the scheduler (504), and a
+// request whose tenant backlog is already older than the budget is shed
+// up front (503 + Retry-After) without decoding the body. In
+// coordinator mode the remaining budget is re-stamped onto the wire for
+// each worker hop, so deadlines shrink monotonically end to end.
+// Absent, empty, or unparsable values mean no deadline — the
+// pre-deadline behavior, preserved for old clients. See
+// docs/ROBUSTNESS.md.
+const DeadlineHeader = "X-Deadline-Ms"
 
 // Config parameterizes the frontend beyond its platform.
 type Config struct {
@@ -229,15 +243,59 @@ func keyOf(r *http.Request) string {
 
 // invokeStatus maps an invocation error to its HTTP status: 503 while
 // draining, 409 for an idempotency-key conflict (completed key without
-// cached outputs, or a key still executing), 500 otherwise.
+// cached outputs, or a key still executing), 504 for deadline-class
+// failures (the X-Deadline-Ms budget lapsed in a queue or mid-flight),
+// 500 otherwise.
 func invokeStatus(err error) int {
 	switch {
 	case errors.Is(err, dandelion.ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, dandelion.ErrDuplicate), errors.Is(err, dandelion.ErrInFlight):
 		return http.StatusConflict
+	case dandelion.IsTimeout(err):
+		return http.StatusGatewayTimeout
 	}
 	return http.StatusInternalServerError
+}
+
+// requestCtx derives the invocation context from the request: a
+// positive X-Deadline-Ms header bounds the work with a deadline that
+// travels through the scheduler (expired entries dropped before
+// dispatch) and — in coordinator mode — over the wire to workers.
+// Returns the context, its cancel (always non-nil), and the budget
+// (zero when the request carries no usable deadline).
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc, time.Duration) {
+	v := strings.TrimSpace(r.Header.Get(DeadlineHeader))
+	if v == "" {
+		return r.Context(), func() {}, 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return r.Context(), func() {}, 0
+	}
+	budget := time.Duration(ms) * time.Millisecond
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	return ctx, cancel, budget
+}
+
+// shed answers true after writing 503 + Retry-After when a deadline-
+// carrying request cannot possibly meet its budget: the tenant's
+// oldest queued work has already waited longer than the entire budget,
+// so this request would only expire in the queue behind it. Runs
+// before any body decode — shedding is only worth doing if it is
+// cheap. Coordinator mode skips the check (the local queues are not
+// where cluster-routed work waits).
+func (s *server) shed(w http.ResponseWriter, tenant string, budget time.Duration) bool {
+	if budget <= 0 || s.routeCluster {
+		return false
+	}
+	if !s.p.ShouldShed(admitName(tenant), budget) {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	jsonError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("overloaded: queued work older than the %v deadline budget", budget))
+	return true
 }
 
 // jsonError writes a JSON error body, the uniform error shape of every
@@ -343,20 +401,20 @@ func (s *server) handleRegisterComposition(w http.ResponseWriter, r *http.Reques
 // The coordinator's own drain switch still gates admission either way.
 // A non-empty idempotency key routes through the keyed entry points so
 // re-sends deduplicate at whichever node executes.
-func (s *server) invokeAs(tenant, name, key string, inputs map[string][]dandelion.Item) (map[string][]dandelion.Item, error) {
+func (s *server) invokeAs(ctx context.Context, tenant, name, key string, inputs map[string][]dandelion.Item) (map[string][]dandelion.Item, error) {
 	if s.routeCluster {
 		if s.p.Draining() {
 			return nil, dandelion.ErrDraining
 		}
 		if key != "" {
-			return s.cluster.InvokeKeyedAs(tenant, name, key, inputs)
+			return s.cluster.InvokeKeyedAsCtx(ctx, tenant, name, key, inputs)
 		}
-		return s.cluster.InvokeAs(tenant, name, inputs)
+		return s.cluster.InvokeAsCtx(ctx, tenant, name, inputs)
 	}
 	if key != "" {
-		return s.p.InvokeKeyedAs(tenant, name, key, inputs)
+		return s.p.InvokeKeyedAsCtx(ctx, tenant, name, key, inputs)
 	}
-	return s.p.InvokeAs(tenant, name, inputs)
+	return s.p.InvokeAsCtx(ctx, tenant, name, inputs)
 }
 
 // knownComposition reports whether an invocation route should admit the
@@ -386,12 +444,17 @@ func (s *server) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
 		return
 	}
+	ctx, cancel, budget := requestCtx(r)
+	defer cancel()
+	if s.shed(w, tenantOf(r), budget) {
+		return
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		bodyError(w, "", err)
 		return
 	}
-	out, err := s.invokeAs(tenantOf(r), name, keyOf(r), map[string][]dandelion.Item{
+	out, err := s.invokeAs(ctx, tenantOf(r), name, keyOf(r), map[string][]dandelion.Item{
 		input: {{Name: "item0", Data: body}},
 	})
 	if err != nil {
@@ -438,6 +501,11 @@ func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name s
 		jsonError(w, http.StatusBadRequest, fmt.Sprintf("unknown composition %q", name))
 		return
 	}
+	ctx, cancel, budget := requestCtx(r)
+	defer cancel()
+	if s.shed(w, tenantOf(r), budget) {
+		return
+	}
 	var req wire.BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		bodyError(w, "bad invoke body: ", err)
@@ -447,7 +515,7 @@ func (s *server) handleInvokeJSON(w http.ResponseWriter, r *http.Request, name s
 	if key == "" {
 		key = keyOf(r)
 	}
-	out, err := s.invokeAs(tenantOf(r), name, key, wire.ToSets(req.Inputs))
+	out, err := s.invokeAs(ctx, tenantOf(r), name, key, wire.ToSets(req.Inputs))
 	if err != nil {
 		jsonError(w, invokeStatus(err), err.Error())
 		return
@@ -480,12 +548,12 @@ type WireBatchResult = wire.BatchResult
 // across the cluster's workers. keys, when non-nil, carries one
 // idempotency key per request (parallel to inputs; empty entries opt
 // out).
-func (s *server) invokeBatchAs(tenant, name string, keys []string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
+func (s *server) invokeBatchAs(ctx context.Context, tenant, name string, keys []string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
 	if s.routeCluster {
 		if keys != nil {
-			return s.cluster.InvokeBatchKeyedAs(tenant, name, keys, inputs)
+			return s.cluster.InvokeBatchKeyedAsCtx(ctx, tenant, name, keys, inputs)
 		}
-		return s.cluster.InvokeBatchAs(tenant, name, inputs)
+		return s.cluster.InvokeBatchAsCtx(ctx, tenant, name, inputs)
 	}
 	reqs := make([]dandelion.BatchRequest, len(inputs))
 	for i, in := range inputs {
@@ -494,7 +562,7 @@ func (s *server) invokeBatchAs(tenant, name string, keys []string, inputs []map[
 			reqs[i].Key = keys[i]
 		}
 	}
-	return s.p.InvokeBatch(reqs)
+	return s.p.InvokeBatchCtx(ctx, reqs)
 }
 
 // admitName maps a request tenant onto the admission plane's key
@@ -530,8 +598,13 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusServiceUnavailable, dandelion.ErrDraining.Error())
 		return
 	}
+	ctx, cancel, budget := requestCtx(r)
+	defer cancel()
+	if s.shed(w, tenantOf(r), budget) {
+		return
+	}
 	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentTypeBinary) {
-		s.handleInvokeBatchBinary(w, r, name)
+		s.handleInvokeBatchBinary(ctx, w, r, name)
 		return
 	}
 	var wireReqs []WireBatchRequest
@@ -578,7 +651,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		if keys != nil {
 			ks = keys[lo:hi]
 		}
-		results = append(results, s.invokeBatchAs(tenant, name, ks, inputs[lo:hi])...)
+		results = append(results, s.invokeBatchAs(ctx, tenant, name, ks, inputs[lo:hi])...)
 		lo = hi
 		if lo < len(inputs) {
 			window = s.adm.Window(admitTenant, s.clockSeconds())
@@ -625,7 +698,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 // Decoder buffers are recycled per sub-batch — results are encoded
 // before the recycle, which keeps the zero-copy data plane (outputs
 // aliasing request payloads) inside the buffers' lifetime.
-func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request, name string) {
+func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	tenant := tenantOf(r)
 	admitTenant := admitName(tenant)
 	baseKey := keyOf(r)
@@ -692,7 +765,7 @@ func (s *server) handleInvokeBatchBinary(w http.ResponseWriter, r *http.Request,
 				ks = keys
 			}
 			s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
-			for _, res := range s.invokeBatchAs(tenant, name, ks, inputs) {
+			for _, res := range s.invokeBatchAs(ctx, tenant, name, ks, inputs) {
 				if res.Err != nil {
 					enc.EncodeError(res.Err.Error())
 				} else {

@@ -19,12 +19,15 @@ package loadgen
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +56,12 @@ type Config struct {
 	// Tenant, when set, is sent as the X-Tenant header so the platform
 	// schedules and accounts the traffic under that tenant.
 	Tenant string
+	// Deadline, when positive, is sent as the X-Deadline-Ms header on
+	// every request: the frontend bounds the work with that budget
+	// (expired work answers 504, hopeless backlogs shed with 503 —
+	// docs/ROBUSTNESS.md), and the report's error classes split those
+	// outcomes out from transport and application failures.
+	Deadline time.Duration
 	// Clients is the number of concurrent closed-loop clients
 	// (default 1).
 	Clients int
@@ -82,6 +91,66 @@ type Config struct {
 	Validate func(client, seq, i int, body []byte) error
 }
 
+// ErrorClasses breaks a run's failed invocations down by cause, so a
+// chaos or overload run shows *how* it failed, not just how much:
+// deadline-class failures (504 responses, client-side deadline lapses,
+// per-request deadline errors), load shedding (503), transport failures
+// (no usable HTTP response at all), and application errors (everything
+// else — 4xx/5xx statuses, per-request batch errors, Validate
+// rejections). The four classes always sum to Errors.
+type ErrorClasses struct {
+	Timeouts  int
+	Shed      int
+	Transport int
+	AppErrors int
+}
+
+func (ec ErrorClasses) String() string {
+	return fmt.Sprintf("timeout=%d shed=%d transport=%d app=%d",
+		ec.Timeouts, ec.Shed, ec.Transport, ec.AppErrors)
+}
+
+func (ec *ErrorClasses) add(o ErrorClasses) {
+	ec.Timeouts += o.Timeouts
+	ec.Shed += o.Shed
+	ec.Transport += o.Transport
+	ec.AppErrors += o.AppErrors
+}
+
+// failStatus classifies n invocations failed by an HTTP status.
+func (ec *ErrorClasses) failStatus(n, code int) {
+	switch code {
+	case http.StatusGatewayTimeout:
+		ec.Timeouts += n
+	case http.StatusServiceUnavailable:
+		ec.Shed += n
+	default:
+		ec.AppErrors += n
+	}
+}
+
+// failTransport classifies n invocations failed without a usable HTTP
+// response; a client-side deadline lapse counts as a timeout, not a
+// transport fault.
+func (ec *ErrorClasses) failTransport(n int, err error) {
+	if err != nil && (errors.Is(err, context.DeadlineExceeded) ||
+		strings.Contains(err.Error(), context.DeadlineExceeded.Error())) {
+		ec.Timeouts += n
+		return
+	}
+	ec.Transport += n
+}
+
+// failMessage classifies one invocation failed by a per-request error
+// string (batch result slots carry errors as text over the wire).
+func (ec *ErrorClasses) failMessage(msg string) {
+	if strings.Contains(msg, "deadline") {
+		ec.Timeouts++
+		return
+	}
+	ec.AppErrors++
+}
+
 // Report summarizes one run.
 type Report struct {
 	// Requests is the number of HTTP round trips issued.
@@ -90,8 +159,10 @@ type Report struct {
 	// (Requests × BatchSize).
 	Invocations int
 	// Errors counts failed invocations (transport errors, non-200
-	// statuses, per-request batch errors, and Validate rejections).
-	Errors int
+	// statuses, per-request batch errors, and Validate rejections);
+	// Classes breaks them down by cause.
+	Errors  int
+	Classes ErrorClasses
 	// Duration is the wall-clock time of the whole run.
 	Duration time.Duration
 	// Throughput is successful invocations per second.
@@ -107,10 +178,14 @@ type Report struct {
 
 // String renders the report as the one-line summary the harnesses log.
 func (r Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, %.1f MB/s, p50=%v p95=%v p99=%v max=%v",
 		r.Requests, r.Invocations, r.Errors, r.Duration.Round(time.Millisecond),
 		r.Throughput, r.BytesPerSec/1e6, r.P50, r.P95, r.P99, r.Max)
+	if r.Errors > 0 {
+		s += fmt.Sprintf(" [%s]", r.Classes)
+	}
+	return s
 }
 
 // Run executes the configured closed loop and reports latency and
@@ -140,6 +215,7 @@ func Run(cfg Config) (Report, error) {
 	type clientResult struct {
 		latencies []time.Duration
 		errs      int
+		classes   ErrorClasses
 		bytesOut  int64
 		bytesIn   int64
 	}
@@ -159,6 +235,7 @@ func Run(cfg Config) (Report, error) {
 				st := doRequest(cfg, c, seq)
 				res.latencies = append(res.latencies, time.Since(t0))
 				res.errs += st.errs
+				res.classes.add(st.classes)
 				res.bytesOut += st.bytesOut
 				res.bytesIn += st.bytesIn
 			}
@@ -176,6 +253,7 @@ func Run(cfg Config) (Report, error) {
 	for _, res := range results {
 		all = append(all, res.latencies...)
 		rep.Errors += res.errs
+		rep.Classes.add(res.classes)
 		rep.BytesOut += res.bytesOut
 		rep.BytesIn += res.bytesIn
 	}
@@ -199,9 +277,32 @@ func Run(cfg Config) (Report, error) {
 // opposed to waiting on the server.
 type reqStats struct {
 	errs     int
+	classes  ErrorClasses
 	bytesOut int64
 	bytesIn  int64
 	wire     time.Duration
+}
+
+// failStatus / failTransport / failMessage count n failed invocations
+// and classify them in one step.
+func (st *reqStats) failStatus(n, code int) {
+	st.errs += n
+	st.classes.failStatus(n, code)
+}
+
+func (st *reqStats) failTransport(n int, err error) {
+	st.errs += n
+	st.classes.failTransport(n, err)
+}
+
+func (st *reqStats) failMessage(msg string) {
+	st.errs++
+	st.classes.failMessage(msg)
+}
+
+func (st *reqStats) failApp(n int) {
+	st.errs += n
+	st.classes.AppErrors += n
 }
 
 // doRequest issues one closed-loop request and reports its stats.
@@ -244,6 +345,9 @@ func postKeyed(cfg Config, url, contentType, key string, body []byte) (*http.Res
 	if key != "" {
 		req.Header.Set("Idempotency-Key", key)
 	}
+	if cfg.Deadline > 0 {
+		req.Header.Set("X-Deadline-Ms", strconv.FormatInt(int64(cfg.Deadline/time.Millisecond), 10))
+	}
 	return cfg.Client.Do(req)
 }
 
@@ -265,18 +369,22 @@ func doSingle(cfg Config, client, seq int) reqStats {
 	st := reqStats{bytesOut: int64(len(payload))}
 	resp, err := postKeyed(cfg, url, "application/octet-stream", cfg.reqKey(client, seq, 0), payload)
 	if err != nil {
-		st.errs = 1
+		st.failTransport(1, err)
 		return st
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	st.bytesIn = int64(len(body))
-	if err != nil || resp.StatusCode != http.StatusOK {
-		st.errs = 1
+	if err != nil {
+		st.failTransport(1, err)
+		return st
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.failStatus(1, resp.StatusCode)
 		return st
 	}
 	if cfg.Validate != nil && cfg.Validate(client, seq, 0, body) != nil {
-		st.errs = 1
+		st.failApp(1)
 	}
 	return st
 }
@@ -300,20 +408,24 @@ func doBatch(cfg Config, client, seq int) reqStats {
 	body, err := json.Marshal(reqs)
 	st.wire = time.Since(t0)
 	if err != nil {
-		st.errs = cfg.BatchSize
+		st.failApp(cfg.BatchSize)
 		return st
 	}
 	st.bytesOut = int64(len(body))
 	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
 		"application/json", body)
 	if err != nil {
-		st.errs = cfg.BatchSize
+		st.failTransport(cfg.BatchSize, err)
 		return st
 	}
 	raw, err := readBody(resp)
 	st.bytesIn = int64(len(raw))
-	if err != nil || resp.StatusCode != http.StatusOK {
-		st.errs = cfg.BatchSize
+	if err != nil {
+		st.failTransport(cfg.BatchSize, err)
+		return st
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.failStatus(cfg.BatchSize, resp.StatusCode)
 		return st
 	}
 	t1 := time.Now()
@@ -321,18 +433,18 @@ func doBatch(cfg Config, client, seq int) reqStats {
 	err = json.Unmarshal(raw, &results)
 	st.wire += time.Since(t1)
 	if err != nil || len(results) != cfg.BatchSize {
-		st.errs = cfg.BatchSize
+		st.failApp(cfg.BatchSize)
 		return st
 	}
 	for i, res := range results {
 		if res.Error != "" {
-			st.errs++
+			st.failMessage(res.Error)
 			continue
 		}
 		if cfg.Validate != nil {
 			payload := firstItem(res.Outputs, cfg.OutputSet)
 			if cfg.Validate(client, seq, i, payload) != nil {
-				st.errs++
+				st.failApp(1)
 			}
 		}
 	}
@@ -351,7 +463,7 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
 		}); err != nil {
 			enc.Release()
-			st.errs = cfg.BatchSize
+			st.failApp(cfg.BatchSize)
 			return st
 		}
 	}
@@ -359,20 +471,24 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 	enc.Release()
 	st.wire = time.Since(t0)
 	if err != nil {
-		st.errs = cfg.BatchSize
+		st.failApp(cfg.BatchSize)
 		return st
 	}
 	st.bytesOut = int64(buf.Len())
 	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
 		wire.ContentTypeBinary, buf.Bytes())
 	if err != nil {
-		st.errs = cfg.BatchSize
+		st.failTransport(cfg.BatchSize, err)
 		return st
 	}
 	raw, err := readBody(resp)
 	st.bytesIn = int64(len(raw))
-	if err != nil || resp.StatusCode != http.StatusOK {
-		st.errs = cfg.BatchSize
+	if err != nil {
+		st.failTransport(cfg.BatchSize, err)
+		return st
+	}
+	if resp.StatusCode != http.StatusOK {
+		st.failStatus(cfg.BatchSize, resp.StatusCode)
 		return st
 	}
 	t1 := time.Now()
@@ -390,12 +506,12 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 			continue
 		}
 		if errMsg != "" {
-			st.errs++
+			st.failMessage(errMsg)
 			continue
 		}
 		if cfg.Validate != nil {
 			if cfg.Validate(client, seq, n, firstItemSets(outputs, cfg.OutputSet)) != nil {
-				st.errs++
+				st.failApp(1)
 			}
 		}
 	}
@@ -403,7 +519,10 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 	dec.Release()
 	st.wire += time.Since(t1)
 	if n != cfg.BatchSize {
+		// A truncated or malformed stream fails the whole batch; undo the
+		// per-slot classifications counted above so classes still sum.
 		st.errs = cfg.BatchSize
+		st.classes = ErrorClasses{Transport: cfg.BatchSize}
 	}
 	return st
 }

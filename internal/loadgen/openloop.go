@@ -36,6 +36,9 @@ type OpenConfig struct {
 	OutputSet string
 	// Tenant, when set, travels as the X-Tenant header.
 	Tenant string
+	// Deadline, when positive, travels as the X-Deadline-Ms header on
+	// every arrival (see Config.Deadline).
+	Deadline time.Duration
 	// Rate is the arrival rate in requests per second (required > 0);
 	// arrival i is scheduled at t0 + i/Rate.
 	Rate float64
@@ -64,10 +67,12 @@ type OpenConfig struct {
 // for dispatch or doing work.
 type OpenReport struct {
 	// Requests is the number of arrivals issued; Invocations is
-	// Requests × BatchSize; Errors counts failed invocations.
+	// Requests × BatchSize; Errors counts failed invocations, broken
+	// down by cause in Classes.
 	Requests    int
 	Invocations int
 	Errors      int
+	Classes     ErrorClasses
 	// Duration spans the first scheduled arrival to the last response.
 	Duration time.Duration
 	// Throughput is successful invocations per second.
@@ -93,12 +98,16 @@ type OpenReport struct {
 // String renders the report as a one-line summary with the queueing /
 // service / wire split spelled out.
 func (r OpenReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"loadgen open-loop: %d reqs (%d invocations, %d errors) at %.0f/s in %v — %.0f inv/s, %.1f MB/s, queue p50=%v p99=%v max=%v, service p50=%v p99=%v max=%v, wire p50=%v p99=%v max=%v",
 		r.Requests, r.Invocations, r.Errors, r.OfferedRate, r.Duration.Round(time.Millisecond),
 		r.Throughput, r.BytesPerSec/1e6, r.QueueP50, r.QueueP99, r.QueueMax,
 		r.ServiceP50, r.ServiceP99, r.ServiceMax,
 		r.WireP50, r.WireP99, r.WireMax)
+	if r.Errors > 0 {
+		s += fmt.Sprintf(" [%s]", r.Classes)
+	}
+	return s
 }
 
 // RunOpenLoop executes the configured fixed-rate arrival schedule and
@@ -137,6 +146,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 		InputSet:    cfg.InputSet,
 		OutputSet:   cfg.OutputSet,
 		Tenant:      cfg.Tenant,
+		Deadline:    cfg.Deadline,
 		BatchSize:   cfg.BatchSize,
 		Binary:      cfg.Binary,
 		Payload:     func(_, seq, i int) []byte { return cfg.Payload(seq, i) },
@@ -184,6 +194,7 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 	wireTimes := make([]time.Duration, cfg.Requests)
 	for i, st := range stats {
 		rep.Errors += st.errs
+		rep.Classes.add(st.classes)
 		rep.BytesOut += st.bytesOut
 		rep.BytesIn += st.bytesIn
 		wireTimes[i] = st.wire

@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dandelion/internal/engine"
+)
+
+// virtualClock is a mutex-guarded manual clock for deadline tests.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{now: time.Unix(1000, 0)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestDeadlineExpiredDroppedAtDispatch parks a deadlined task behind a
+// window=1 blocker, lets the deadline lapse, and checks the entry is
+// dropped at dispatch time: OnReject(ErrExpired) fires, Do never runs,
+// and the per-tenant Expired counter ticks.
+func TestDeadlineExpiredDroppedAtDispatch(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	clock := newVirtualClock()
+	s := New(q, Config{Window: 1, Now: clock.Now})
+
+	blockerRan := false
+	if err := s.Submit("t", Task{Do: func() { blockerRan = true }}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Bool
+	var rejectErr error
+	if err := s.Submit("t", Task{
+		Do:       func() { ran.Store(true) },
+		OnReject: func(err error) { rejectErr = err },
+		Deadline: clock.Now().Add(10 * time.Millisecond),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The deadline lapses while the entry is parked behind the blocker.
+	clock.Advance(20 * time.Millisecond)
+	if got := drain(q, 10); got != 1 {
+		t.Fatalf("executed %d tasks, want 1 (the blocker)", got)
+	}
+	if !blockerRan {
+		t.Fatal("blocker never ran")
+	}
+	if ran.Load() {
+		t.Fatal("expired task executed")
+	}
+	if !errors.Is(rejectErr, ErrExpired) {
+		t.Fatalf("OnReject got %v, want ErrExpired", rejectErr)
+	}
+
+	stats := s.Stats()
+	if len(stats) != 1 || stats[0].Expired != 1 {
+		t.Fatalf("stats = %+v, want Expired=1", stats)
+	}
+	if stats[0].Completed != 1 || stats[0].Dispatched != 1 {
+		t.Fatalf("stats = %+v, want Dispatched=Completed=1 (expired entries are neither)", stats[0])
+	}
+}
+
+// TestDeadlineExpiredCountersExact checks the per-tenant Expired
+// counters are exact when several tenants mix live and doomed entries.
+func TestDeadlineExpiredCountersExact(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	clock := newVirtualClock()
+	s := New(q, Config{Window: 1, Now: clock.Now})
+
+	// One blocker holds the single window slot so everything else parks.
+	if err := s.Submit("a", Task{Do: func() {}}); err != nil {
+		t.Fatal(err)
+	}
+	doomed := clock.Now().Add(5 * time.Millisecond)
+	live := clock.Now().Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := s.Submit("a", Task{Do: func() {}, Deadline: doomed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Submit("b", Task{Do: func() {}, Deadline: doomed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Submit("b", Task{Do: func() {}, Deadline: live}); err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Advance(10 * time.Millisecond)
+	// Blocker + b's one live entry execute; a's 3 and b's 2 doomed
+	// entries are dropped on the way.
+	if got := drain(q, 10); got != 2 {
+		t.Fatalf("executed %d tasks, want 2", got)
+	}
+
+	var a, b TenantStats
+	for _, st := range s.Stats() {
+		switch st.Tenant {
+		case "a":
+			a = st
+		case "b":
+			b = st
+		}
+	}
+	if a.Expired != 3 || a.Completed != 1 {
+		t.Fatalf("tenant a = %+v, want Expired=3 Completed=1", a)
+	}
+	if b.Expired != 2 || b.Completed != 1 {
+		t.Fatalf("tenant b = %+v, want Expired=2 Completed=1", b)
+	}
+}
+
+// TestInteractiveDeadlinesSurviveFlood is the two-tenant robustness
+// criterion: a flood tenant parks a 40-task backlog, each task costing
+// 1ms of (virtual) time. An interactive tenant then submits two tasks
+// whose deadline only fits if DRR interleaves them near the front —
+// FIFO behind the flood would need 40ms against a 15ms budget. Both
+// must execute; nothing of the interactive tenant may expire.
+func TestInteractiveDeadlinesSurviveFlood(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	clock := newVirtualClock()
+	s := New(q, Config{Window: 4, Now: clock.Now})
+
+	// Every executed task advances the virtual clock by 1ms — the
+	// simulated service time the interactive deadline is racing.
+	work := func() { clock.Advance(time.Millisecond) }
+	for i := 0; i < 40; i++ {
+		if err := s.Submit("flood", Task{Do: work}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var interactiveRan atomic.Int64
+	deadline := clock.Now().Add(15 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := s.Submit("interactive", Task{
+			Do:       func() { interactiveRan.Add(1); work() },
+			Deadline: deadline,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := drain(q, 100); got != 42 {
+		t.Fatalf("executed %d tasks, want 42", got)
+	}
+	if n := interactiveRan.Load(); n != 2 {
+		t.Fatalf("interactive tasks executed = %d, want 2", n)
+	}
+	for _, st := range s.Stats() {
+		if st.Tenant == "interactive" && st.Expired != 0 {
+			t.Fatalf("interactive Expired = %d, want 0: %+v", st.Expired, st)
+		}
+	}
+}
+
+// TestDeadlineConcurrentExpiry hammers Submit with mixed live and
+// already-expired deadlines from many goroutines while engines drain
+// concurrently — the -race exercise for the expiry path. Every task
+// must be accounted exactly once: executed or expired.
+func TestDeadlineConcurrentExpiry(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	pool := engine.NewPool(engine.Compute, q)
+	pool.SetCount(4)
+	defer pool.SetCount(0)
+	s := New(q, Config{WindowFn: func() int { return 8 }})
+
+	const (
+		submitters = 8
+		perG       = 200
+	)
+	var executed, rejected atomic.Int64
+	var wg sync.WaitGroup
+	past := time.Now().Add(-time.Hour)
+	for g := 0; g < submitters; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				task := Task{
+					Do:       func() { executed.Add(1) },
+					OnReject: func(error) { rejected.Add(1) },
+				}
+				if (g+i)%3 == 0 {
+					task.Deadline = past // doomed the moment it parks
+				}
+				if err := s.Submit("t", task); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	deadlineAt := time.Now().Add(5 * time.Second)
+	for executed.Load()+rejected.Load() < submitters*perG {
+		if time.Now().After(deadlineAt) {
+			t.Fatalf("stalled: executed=%d rejected=%d of %d",
+				executed.Load(), rejected.Load(), submitters*perG)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := executed.Load() + rejected.Load(); got != submitters*perG {
+		t.Fatalf("accounted %d tasks, want %d", got, submitters*perG)
+	}
+	var expired uint64
+	for _, st := range s.Stats() {
+		expired += st.Expired
+	}
+	if expired != uint64(rejected.Load()) {
+		t.Fatalf("Expired counter = %d, rejected callbacks = %d", expired, rejected.Load())
+	}
+}
+
+// TestOldestWait checks the shed signal: empty backlogs report zero,
+// and a parked head entry's age tracks the clock.
+func TestOldestWait(t *testing.T) {
+	q := engine.NewQueue()
+	defer q.Close()
+	clock := newVirtualClock()
+	s := New(q, Config{Window: 1, Now: clock.Now})
+
+	if w := s.OldestWait("t"); w != 0 {
+		t.Fatalf("OldestWait(unknown tenant) = %v, want 0", w)
+	}
+	if err := s.Submit("t", Task{Do: func() {}}); err != nil { // takes the window slot
+		t.Fatal(err)
+	}
+	if w := s.OldestWait("t"); w != 0 {
+		t.Fatalf("OldestWait(no backlog) = %v, want 0", w)
+	}
+	if err := s.Submit("t", Task{Do: func() {}}); err != nil { // parks
+		t.Fatal(err)
+	}
+	clock.Advance(30 * time.Millisecond)
+	if w := s.OldestWait("t"); w != 30*time.Millisecond {
+		t.Fatalf("OldestWait = %v, want 30ms", w)
+	}
+	drain(q, 10)
+	if w := s.OldestWait("t"); w != 0 {
+		t.Fatalf("OldestWait(drained) = %v, want 0", w)
+	}
+}

@@ -41,6 +41,12 @@ const DefaultTenant = "default"
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("sched: scheduler closed")
 
+// ErrExpired is passed to a task's OnReject when its Deadline passed
+// while the task was still parked: the scheduler drops expired entries
+// at dispatch time instead of burning an engine on work whose caller
+// has already given up.
+var ErrExpired = errors.New("sched: task deadline expired before dispatch")
+
 // waitRingSize bounds the per-tenant dispatch-wait sample ring backing
 // the percentile gauges; older samples are overwritten.
 const waitRingSize = 512
@@ -54,10 +60,16 @@ type Task struct {
 	// executing engine's stable shard index (see engine.Task.DoSharded).
 	DoSharded func(shard int)
 	// OnReject, when non-nil, is called instead of Do if the task is
-	// dropped after admission because the scheduler or the underlying
-	// engine queue closed. It may run under scheduler locks and must not
-	// call back into the Scheduler.
+	// dropped after admission: because the scheduler or the underlying
+	// engine queue closed (ErrClosed / the queue's error), or because
+	// Deadline passed before dispatch (ErrExpired). It may run under
+	// scheduler locks and must not call back into the Scheduler.
 	OnReject func(error)
+	// Deadline, when non-zero, is the instant after which the task is no
+	// longer worth running. An entry whose deadline has passed by the
+	// time the DRR refill loop reaches it is dropped — OnReject(ErrExpired),
+	// never executed, no window slot consumed.
+	Deadline time.Time
 }
 
 // Config parameterizes a Scheduler. The zero value is usable.
@@ -109,6 +121,7 @@ type tenantQueue struct {
 	running    int
 	completed  uint64
 	rejected   uint64
+	expired    uint64
 	dispatched uint64
 	waitSum    time.Duration
 	waitMax    time.Duration
@@ -294,10 +307,27 @@ func (s *Scheduler) pumpLocked() {
 
 // dispatchLocked moves one task from the tenant backlog into the engine
 // queue, wrapping it so completion frees the window slot and re-pumps.
+// Entries whose deadline already passed are dropped on the way — they
+// never reach an engine and never consume a window slot; the loop keeps
+// popping until it dispatches a live entry or drains the backlog.
 func (s *Scheduler) dispatchLocked(tq *tenantQueue) {
-	e := tq.backlog[0]
-	tq.backlog[0] = entry{} // drop the closure reference
-	tq.backlog = tq.backlog[1:]
+	var e entry
+	for {
+		if len(tq.backlog) == 0 {
+			return
+		}
+		e = tq.backlog[0]
+		tq.backlog[0] = entry{} // drop the closure reference
+		tq.backlog = tq.backlog[1:]
+		d := e.task.Deadline
+		if d.IsZero() || s.cfg.Now().Before(d) {
+			break
+		}
+		tq.expired++
+		if e.task.OnReject != nil {
+			e.task.OnReject(ErrExpired)
+		}
+	}
 	tq.recordWait(s.cfg.Now().Sub(e.at))
 	s.inflight++
 	tq.running++
@@ -359,6 +389,29 @@ func (tq *tenantQueue) recordWait(w time.Duration) {
 	tq.waitPos = (tq.waitPos + 1) % waitRingSize
 }
 
+// OldestWait reports how long the tenant's oldest parked entry has been
+// waiting for dispatch (0 with nothing parked). A non-empty backlog
+// means the dispatch window is saturated for this tenant right now, so
+// the head's age is a lower bound on any new submission's queueing
+// delay — the frontend's overload shed compares it against an incoming
+// request's deadline budget.
+func (s *Scheduler) OldestWait(tenant string) time.Duration {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tq := s.tenants[tenant]
+	if tq == nil || len(tq.backlog) == 0 {
+		return 0
+	}
+	w := s.cfg.Now().Sub(tq.backlog[0].at)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
 // Close rejects every parked task (OnReject(ErrClosed)) and makes all
 // later Submits fail. Tasks already in the engine queue still run.
 func (s *Scheduler) Close() {
@@ -396,10 +449,13 @@ type TenantStats struct {
 	// tasks released to the engine layer and not yet finished.
 	Queued  int
 	Running int
-	// Dispatched/Completed/Rejected are cumulative task counts.
+	// Dispatched/Completed/Rejected are cumulative task counts; Expired
+	// counts entries dropped at dispatch time because their deadline had
+	// already passed (never executed, not counted in Dispatched).
 	Dispatched uint64
 	Completed  uint64
 	Rejected   uint64
+	Expired    uint64
 	// Dispatch-wait is the Submit→dispatch delay: Avg over all tasks,
 	// P99 over the most recent waitRingSize samples, Max over all.
 	AvgDispatchWait time.Duration
@@ -421,6 +477,7 @@ func (s *Scheduler) Stats() []TenantStats {
 			Dispatched:      tq.dispatched,
 			Completed:       tq.completed,
 			Rejected:        tq.rejected,
+			Expired:         tq.expired,
 			MaxDispatchWait: tq.waitMax,
 		}
 		if tq.dispatched > 0 {
@@ -471,6 +528,7 @@ func MergeStats(lists ...[]TenantStats) []TenantStats {
 			m.Dispatched = total
 			m.Completed += st.Completed
 			m.Rejected += st.Rejected
+			m.Expired += st.Expired
 			if st.P99DispatchWait > m.P99DispatchWait {
 				m.P99DispatchWait = st.P99DispatchWait
 			}

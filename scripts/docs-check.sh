@@ -79,6 +79,17 @@ for name in $(grep -ho '^\s*Kind[A-Za-z0-9]\{1,\}' internal/journal/*.go | tr -d
   fi
 done
 
+# Rule 7: every fault-kind constant (Fault* in internal/faultinject)
+# must be documented in docs/ROBUSTNESS.md as a backticked identifier.
+# The fault plan is an operator surface: an undocumented fault kind is a
+# chaos knob nobody can use deliberately.
+for name in $(grep -ho '^\s*Fault[A-Za-z0-9]\{1,\}' internal/faultinject/*.go | tr -d '[:blank:]' | sort -u); do
+  if ! grep -q -- "\`$name\`" docs/ROBUSTNESS.md; then
+    echo "docs-check: fault kind $name not documented in docs/ROBUSTNESS.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-check: OK"
 fi
