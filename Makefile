@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster e2e-journal e2e-chaos docs-check
+.PHONY: ci build vet test race bench bench-smoke fuzz-smoke bench-baseline e2e-cluster e2e-journal e2e-chaos e2e-mixed docs-check
 
 # ci is the tier-1 gate: everything must build, vet clean, pass under
 # the race detector, keep the batched dispatch path alive (bench-smoke
@@ -9,9 +9,10 @@ GO ?= go
 # inputs (fuzz-smoke), keep the multi-process cluster path alive
 # (e2e-cluster), keep crash recovery honest (e2e-journal), keep the
 # deadline/retry/breaker machinery honest under injected faults
-# (e2e-chaos), and keep the docs honest (docs-check catches references
-# to removed symbols).
-ci: build vet race bench-smoke fuzz-smoke e2e-cluster e2e-journal e2e-chaos docs-check
+# (e2e-chaos), keep byte-fair scheduling honest under a mixed
+# large-payload load (e2e-mixed), and keep the docs honest (docs-check
+# catches references to removed symbols).
+ci: build vet race bench-smoke fuzz-smoke e2e-cluster e2e-journal e2e-chaos e2e-mixed docs-check
 
 build:
 	$(GO) build ./...
@@ -33,11 +34,12 @@ bench:
 # bench-smoke is a short single-iteration run of the batched dispatch
 # and HTTP serving benchmarks: not a performance measurement, just
 # proof the hot paths still execute end to end — both data-plane modes
-# (batch, batch-zerocopy), both wire framings (json, binary), the
+# (batch, batch-zerocopy), both wire framings (json, binary) across
+# every payload size, the mixed multi-tenant workload shape, the
 # journaled serving modes (off / on-unkeyed / on-keyed), and the
 # journal append path itself (memory vs file, with/without batching).
 bench-smoke:
-	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkServingHTTP|BenchmarkServingJournal' -benchtime 1x -benchmem .
+	$(GO) test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkServingHTTP|BenchmarkServingJournal|BenchmarkMixedTenants' -benchtime 1x -benchmem .
 	$(GO) test -run XXX -bench 'BenchmarkJournalAppend' -benchtime 1x -benchmem ./internal/journal/
 
 # fuzz-smoke runs the codec fuzzers briefly: long enough to replay the
@@ -51,10 +53,11 @@ fuzz-smoke:
 
 # bench-baseline snapshots the serving-path numbers (inv/s and allocs/op
 # for the single, batch, and batch+zerocopy dispatch paths, wire MB/s
-# for the JSON-vs-binary HTTP framings, the journal-off vs journal-on
+# for the JSON-vs-binary HTTP framings up to 1 MiB payloads, the
+# per-scenario mixed-tenant rows, the journal-off vs journal-on
 # serving delta and journal append costs, plus the sharded-vs-mutex
-# counter contention probe) into BENCH_8.json — alongside the committed
-# PR-4/PR-5/PR-7 baselines — giving future PRs a perf trajectory to
+# counter contention probe) into BENCH_10.json — alongside the committed
+# PR-4/PR-5/PR-7/PR-8 baselines — giving future PRs a perf trajectory to
 # regress against (see scripts/bench-baseline.sh).
 bench-baseline:
 	sh scripts/bench-baseline.sh
@@ -80,6 +83,14 @@ e2e-journal:
 # come out exact (docs/ROBUSTNESS.md).
 e2e-chaos:
 	$(GO) test -race -run 'TestChaosE2E' ./internal/loadgen/
+
+# e2e-mixed runs the race-enabled mixed-tenant end-to-end test: the
+# three served workload suites (docs/WORKLOADS.md) flood one frontend
+# as concurrent tenants with byte-fair DRR on, and the interactive
+# tenant's dispatch-wait p99 must stay bounded while the analytics
+# tenant ships megabyte-class SSB batches.
+e2e-mixed:
+	$(GO) test -race -run 'TestMixedTenantE2E' ./internal/loadgen/
 
 # docs-check fails if README.md or docs/ reference Go symbols or CLI
 # flags that no longer exist (see scripts/docs-check.sh).

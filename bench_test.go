@@ -24,6 +24,7 @@ import (
 	"dandelion/internal/memctx"
 	"dandelion/internal/ssb"
 	"dandelion/internal/stats"
+	"dandelion/internal/workloads"
 )
 
 // mustCell extracts a numeric cell from an experiment table.
@@ -436,7 +437,7 @@ composition I(In) => Result {
 	sizes := []struct {
 		name  string
 		bytes int
-	}{{"small", 64}, {"8KiB", 8 << 10}}
+	}{{"small", 64}, {"8KiB", 8 << 10}, {"64KiB", 64 << 10}, {"1MiB", 1 << 20}}
 	for _, fr := range framings {
 		for _, sz := range sizes {
 			b.Run(fr.name+"/"+sz.name, func(b *testing.B) {
@@ -467,6 +468,93 @@ composition I(In) => Result {
 				b.ReportMetric(rep.BytesPerSec/1e6, "wire_MB/s")
 			})
 		}
+	}
+}
+
+// BenchmarkMixedTenants measures the byte-fair serving plane under the
+// ISSUE 10 mixed shape: the three served workload suites
+// (docs/WORKLOADS.md) drive one frontend concurrently as three tenants
+// — interactive image transcodes, an SSB analytics flood shipping
+// ~80 KiB fact chunks in batches, and quarter-MiB storage scans — with
+// Options.ByteFairness charging DRR deficits in payload bytes. Each
+// scenario reports its own inv/s, wire MB/s, and request-latency p99
+// (the per-scenario rows BENCH_10.json records); the interactive p99
+// staying flat while analytics floods is the fairness story in one
+// number.
+func BenchmarkMixedTenants(b *testing.B) {
+	p, err := dandelion.New(dandelion.Options{
+		ComputeEngines: 4,
+		ByteFairness:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(p.Shutdown)
+	if _, err := workloads.Register(p, "all"); err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(frontend.New(p))
+	b.Cleanup(srv.Close)
+
+	img := workloads.MakeImages(1, 32, 32)[0]
+	chunks, err := workloads.MakeSSBChunks(1<<13, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := workloads.MakeSSBQuery(ssb.Q11)
+	blobs := workloads.MakeScanBlobs(2, 128<<10)
+
+	cfg := func(c loadgen.Config) loadgen.Config {
+		c.BaseURL = srv.URL
+		c.Client = srv.Client()
+		c.Requests = b.N
+		return c
+	}
+	b.ResetTimer()
+	rep, err := loadgen.RunMixed(
+		cfg(loadgen.Config{
+			Composition: workloads.WorkloadImagePipeline,
+			InputSet:    "Images",
+			OutputSet:   "PNGs",
+			Tenant:      "interactive",
+			Clients:     2,
+			BatchSize:   1,
+			Payload:     func(client, seq, i int) []byte { return img.Data },
+		}),
+		cfg(loadgen.Config{
+			Composition: workloads.WorkloadSSBQuery,
+			OutputSet:   "Result",
+			Tenant:      "analytics",
+			Clients:     4,
+			BatchSize:   4,
+			Binary:      true,
+			Inputs: func(client, seq, i int) map[string][]memctx.Item {
+				return map[string][]memctx.Item{"Query": {query}, "Chunks": chunks}
+			},
+		}),
+		cfg(loadgen.Config{
+			Composition: workloads.WorkloadStorageScan,
+			OutputSet:   "Result",
+			Tenant:      "storage",
+			Clients:     2,
+			BatchSize:   2,
+			Binary:      true,
+			Inputs: func(client, seq, i int) map[string][]memctx.Item {
+				return map[string][]memctx.Item{"Blobs": blobs}
+			},
+		}),
+	)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		b.Fatalf("%d/%d invocations failed [%s]", rep.Errors, rep.Invocations, rep.Classes)
+	}
+	for tenant, tr := range rep.Tenants {
+		b.ReportMetric(tr.Throughput, tenant+"_inv/s")
+		b.ReportMetric(tr.BytesPerSec/1e6, tenant+"_wire_MB/s")
+		b.ReportMetric(float64(tr.P99.Microseconds())/1e3, tenant+"_p99_ms")
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"dandelion/internal/cluster"
 	"dandelion/internal/faultinject"
 	"dandelion/internal/frontend"
+	"dandelion/internal/workloads"
 )
 
 // parseTenantWeights parses "alice=2,bob=1" into a weight map.
@@ -60,11 +61,14 @@ func main() {
 	cache := flag.Bool("cache-binaries", true, "keep decoded binaries in memory")
 	zeroCopy := flag.Bool("zero-copy", false, "hand statement outputs off between memory contexts instead of copying (functions must treat inputs as immutable)")
 	tenantWeights := flag.String("tenant-weights", "", "per-tenant DRR dispatch weights, e.g. 'alice=2,bob=1' (unlisted tenants get 1)")
+	byteFairness := flag.Bool("byte-fairness", false, "charge DRR dispatch deficits in payload bytes instead of task counts, so large-payload tenants cannot starve interactive ones")
 	autoscale := flag.Bool("autoscale", false, "grow/shrink the compute-engine pool with load (elasticity controller)")
 	autoscaleMax := flag.Int("autoscale-max", 0, "compute-pool ceiling under -autoscale (0 = 4x initial)")
 	adminToken := flag.String("admin-token", "", "bearer token enabling the /admin control-plane routes (empty disables them)")
 	journalDir := flag.String("journal", "", "directory for the durable invocation journal (created if missing); admin reconfiguration and keyed invocations are replayed from it on restart (empty disables journaling)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "per-request body cap on the invocation and registration routes; oversized requests get 413 (0 = 64 MiB default)")
+	maxFrameBytes := flag.Int64("max-frame-bytes", 0, "per-record payload cap on the binary /invoke-batch stream; over-budget records get the distinct frame-too-large error (0 = wire default, clamped to -max-body-bytes)")
+	workloadSpec := flag.String("workloads", "", "comma-separated built-in workload suites to register at startup: any of 'ssb,image,storage', or 'all' (see docs/WORKLOADS.md)")
 	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator: accept remote worker joins on /cluster/join and route invocations across the fleet")
 	join := flag.String("join", "", "coordinator URL to join as a remote worker (self-registers, heartbeats, re-registers after coordinator restarts)")
 	workerName := flag.String("name", "", "worker name presented to the coordinator under -join (default: the listen address)")
@@ -86,6 +90,7 @@ func main() {
 		CacheBinaries:  *cache,
 		ZeroCopy:       *zeroCopy,
 		TenantWeights:  weights,
+		ByteFairness:   *byteFairness,
 		Autoscale:      *autoscale,
 		AutoscaleMax:   *autoscaleMax,
 		JournalDir:     *journalDir,
@@ -95,7 +100,15 @@ func main() {
 	}
 	defer p.Shutdown()
 
-	cfg := frontend.Config{AdminToken: *adminToken, MaxBodyBytes: *maxBodyBytes}
+	if *workloadSpec != "" {
+		suites, err := workloads.Register(p, *workloadSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("dandelion workload suites registered: %s", strings.Join(suites, ", "))
+	}
+
+	cfg := frontend.Config{AdminToken: *adminToken, MaxBodyBytes: *maxBodyBytes, MaxFrameBytes: *maxFrameBytes}
 	if *coordinator {
 		// Coordinator mode: this frontend is the cluster ingress.
 		// Workers join over /cluster/join, prove liveness over

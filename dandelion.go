@@ -111,6 +111,18 @@ type BatchRequest = core.BatchRequest
 // requests fail independently.
 type BatchResult = core.BatchResult
 
+// Region is a reference-counted lease on externally pooled memory that
+// a BatchRequest's inputs alias (BatchRequest.Borrow): the release
+// hook — typically a decoder-buffer recycle — fires exactly once, when
+// the creator and every compute context that borrowed the memory have
+// all released. See memctx's borrowed-region docs.
+type Region = memctx.Region
+
+// NewRegion wraps a release hook in a region holding the creator's
+// reference; pair it with Region.Release after the results that alias
+// the memory have been consumed.
+func NewRegion(release func()) *Region { return memctx.NewRegion(release) }
+
 // Options configures a platform node.
 type Options struct {
 	// Backend selects the compute isolation backend: "cheri" (default),
@@ -144,6 +156,11 @@ type Options struct {
 	// dispatch weights; unlisted tenants get weight 1. Weights can be
 	// changed at runtime via Platform.SetTenantWeight.
 	TenantWeights map[string]int
+	// ByteFairness charges the DRR dispatch deficit in payload bytes
+	// instead of task counts: equal-weight tenants split the engines by
+	// bytes moved, so a large-payload analytics flood cannot starve an
+	// interactive tenant of dispatch slots. See core.Options.
+	ByteFairness bool
 	// HTTPClient is used by the HTTP communication function (nil
 	// selects http.DefaultClient).
 	HTTPClient *http.Client
@@ -199,6 +216,7 @@ func New(opts Options) (*Platform, error) {
 		ZeroCopy:       opts.ZeroCopy,
 		Balance:        opts.Balance,
 		TenantWeights:  opts.TenantWeights,
+		ByteFairness:   opts.ByteFairness,
 		Autoscale:      opts.Autoscale,
 		Elasticity:     ctlplane.Config{Max: opts.AutoscaleMax},
 	})

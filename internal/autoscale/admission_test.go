@@ -74,3 +74,49 @@ func TestAdmissionSetClamp(t *testing.T) {
 		t.Fatalf("inverted clamp = [%d, %d], want [16, 16]", min, max)
 	}
 }
+
+func TestAdmissionByteClampNarrowsWindow(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxWindowBytes: 8 << 20})
+	// A byte-heavy flood: sustained demand would earn the full 64-item
+	// window, but at ~1 MiB per invocation the 8 MiB budget holds 8.
+	w := 0
+	for i := 0; i < 10; i++ {
+		w = a.AdmitBytes("analytics", 64, 64<<20, float64(i))
+	}
+	if w != 8 {
+		t.Fatalf("byte-heavy window = %d, want 8 (8 MiB budget / 1 MiB avg)", w)
+	}
+	// The same demand in tiny payloads keeps the full window.
+	for i := 0; i < 10; i++ {
+		w = a.AdmitBytes("interactive", 64, 64*64, float64(i))
+	}
+	if w != 64 {
+		t.Fatalf("tiny-payload window = %d, want 64", w)
+	}
+	// Window() reads carry the clamp too.
+	if got := a.Window("analytics", 10); got != 8 {
+		t.Fatalf("Window read = %d, want 8", got)
+	}
+}
+
+func TestAdmissionByteClampNeverBelowOne(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MinBatch: 4, MaxWindowBytes: 1 << 20})
+	// One 16 MiB request: the byte clamp undercuts MinBatch — a single
+	// oversized request must still admit — but never reaches zero.
+	if w := a.AdmitBytes("huge", 1, 16<<20, 0); w != 1 {
+		t.Fatalf("oversized-request window = %d, want 1", w)
+	}
+}
+
+func TestAdmissionAdmitWithoutBytesLeavesEWMA(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxWindowBytes: 1 << 20})
+	a.AdmitBytes("t", 4, 4<<20, 0) // avg 1 MiB -> window 1
+	if w := a.Window("t", 0); w != 1 {
+		t.Fatalf("window = %d, want 1", w)
+	}
+	// Size-unknown admits must not dilute the byte average toward zero.
+	a.Admit("t", 64, 1)
+	if w := a.Window("t", 1); w != 1 {
+		t.Fatalf("window after size-unknown admits = %d, want 1", w)
+	}
+}

@@ -96,6 +96,16 @@ type BatchRequest struct {
 	// durable journal (see journal.go). cluster.Manager assigns chunk
 	// keys "base#i" so rerouted chunks retry safely.
 	Key string
+	// Borrow, when non-nil, marks Inputs as aliasing externally pooled
+	// memory (decoded wire buffers) leased under the given region. The
+	// zero-copy data plane then adopts the payloads borrowed
+	// (memctx.AdoptInputSetBorrowed): every compute context that
+	// aliases them retains the region for the duration of its use, so
+	// the owner's recycle hook cannot fire while the bytes are live.
+	// The caller keeps its own reference until it has consumed the
+	// results. Ignored (and safe) with ZeroCopy off — the copying path
+	// clones at the context boundary and never aliases the lease.
+	Borrow *memctx.Region
 }
 
 // BatchResult is the outcome of one request in a batch. Requests fail
@@ -172,10 +182,19 @@ func (p *Platform) InvokeBatchCtx(ctx context.Context, reqs []BatchRequest) []Ba
 		go func(tenant string, pl *compPlan, idxs []int) {
 			defer wg.Done()
 			inputs := make([]map[string][]memctx.Item, len(idxs))
+			var borrows []*memctx.Region
 			for k, i := range idxs {
 				inputs[k] = reqs[i].Inputs
+				if reqs[i].Borrow != nil && borrows == nil {
+					borrows = make([]*memctx.Region, len(idxs))
+				}
 			}
-			outs, errs := p.invokeBatch(ctx, tenant, pl, inputs)
+			if borrows != nil {
+				for k, i := range idxs {
+					borrows[k] = reqs[i].Borrow
+				}
+			}
+			outs, errs := p.invokeBatch(ctx, tenant, pl, inputs, borrows)
 			for k, i := range idxs {
 				results[i].Outputs, results[i].Err = outs[k], errs[k]
 			}
@@ -215,8 +234,20 @@ func (p *Platform) InvokeBatchAsCtx(ctx context.Context, tenant string, reqs []B
 // batchState tracks the per-request dataflow of one composition group.
 type batchState struct {
 	stores []*valueStore
-	mu     sync.Mutex
-	errs   []error
+	// borrows, when non-nil, carries each request's wire-memory lease
+	// (BatchRequest.Borrow, parallel to stores); compute instances of
+	// the request adopt their inputs under it on the zero-copy path.
+	borrows []*memctx.Region
+	mu      sync.Mutex
+	errs    []error
+}
+
+// borrow returns request r's lease, nil when the batch carries none.
+func (b *batchState) borrow(r int) *memctx.Region {
+	if b.borrows == nil {
+		return nil
+	}
+	return b.borrows[r]
 }
 
 func (b *batchState) fail(r int, err error) {
@@ -251,10 +282,10 @@ func (b *batchState) live() []int {
 // across the group, honoring DAG dependencies), with compute statements
 // executed through the chunked batch path. Orchestration state — deps,
 // vertices, programs, error labels — comes precompiled from the plan.
-func (p *Platform) invokeBatch(ctx context.Context, tenant string, pl *compPlan, inputs []map[string][]memctx.Item) ([]map[string][]memctx.Item, []error) {
+func (p *Platform) invokeBatch(ctx context.Context, tenant string, pl *compPlan, inputs []map[string][]memctx.Item, borrows []*memctx.Region) ([]map[string][]memctx.Item, []error) {
 	comp := pl.comp
 	n := len(inputs)
-	st := &batchState{stores: make([]*valueStore, n), errs: make([]error, n)}
+	st := &batchState{stores: make([]*valueStore, n), borrows: borrows, errs: make([]error, n)}
 	defer func() {
 		for _, s := range st.stores {
 			putValueStore(s)
@@ -307,10 +338,23 @@ func (p *Platform) invokeBatch(ctx context.Context, tenant string, pl *compPlan,
 
 // batchItem is one function instance within a batched statement.
 type batchItem struct {
-	req  int
-	inst instance
-	outs []memctx.Set
-	err  error
+	req    int
+	inst   instance
+	borrow *memctx.Region
+	// bytes is the instance's cumulative input payload size, the weight
+	// the byte-aware chunk split balances on.
+	bytes int64
+	outs  []memctx.Set
+	err   error
+}
+
+// instanceBytes sums an instance's input payload bytes.
+func instanceBytes(inst instance) int64 {
+	var n int64
+	for _, s := range inst {
+		n += int64(s.TotalBytes())
+	}
+	return n
 }
 
 // batchItemsPool recycles the flat per-statement work lists the batch
@@ -390,6 +434,7 @@ func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *com
 		batchItemsPool.Put(itemsBuf)
 	}()
 	perReq := map[int][]int{}
+	var totalBytes int64
 	for _, r := range live {
 		argItems := make([][]memctx.Item, len(st.Args))
 		skip := false
@@ -414,7 +459,9 @@ func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *com
 		}
 		for _, inst := range insts {
 			perReq[r] = append(perReq[r], len(items))
-			items = append(items, batchItem{req: r, inst: inst})
+			b := instanceBytes(inst)
+			totalBytes += b
+			items = append(items, batchItem{req: r, inst: inst, borrow: bst.borrow(r), bytes: b})
 		}
 	}
 	if len(items) == 0 {
@@ -441,11 +488,22 @@ func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *com
 	// context); a tenant contending for the engines gets chunks sized
 	// down by its DRR share, so the scheduler can interleave other
 	// tenants' work between its chunks and dispatch-wait tails tighten.
-	chunks := p.schedAwareChunks(tenant, len(items))
+	// Both the chunk count and the split boundaries are byte-aware: the
+	// count grows so no chunk carries more than ~chunkByteTarget of
+	// payload, and boundaries balance cumulative bytes rather than item
+	// count, so one 1 MiB instance weighs as much as thousands of tiny
+	// ones and an engine never serializes a byte-heavy chunk while its
+	// peers idle over light ones.
+	chunks := p.schedAwareChunks(tenant, len(items), totalBytes)
+	bounds := chunkBoundsByBytes(items, chunks, totalBytes)
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
-		lo, hi := c*len(items)/chunks, (c+1)*len(items)/chunks
+		lo, hi := bounds[c], bounds[c+1]
 		seg := items[lo:hi]
+		var segBytes int64
+		for i := range seg {
+			segBytes += seg[i].bytes
+		}
 		wg.Add(1)
 		task := sched.Task{
 			DoSharded: func(shard int) {
@@ -459,6 +517,7 @@ func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *com
 				wg.Done()
 			},
 			Deadline: deadline,
+			Bytes:    segBytes,
 		}
 		if err := p.computeSched.Submit(tenant, task); err != nil {
 			for i := range seg {
@@ -497,14 +556,26 @@ func (p *Platform) runStatementBatch(ctx context.Context, tenant string, pl *com
 	}
 }
 
+// chunkByteTarget bounds the cumulative instance-input bytes one chunk
+// should carry (4 MiB, the memctx pool-retention cap): a chunk past the
+// target would grow its reused context beyond what the pool keeps warm,
+// and — because a chunk runs to completion on one engine — would hold
+// that engine for the whole byte-heavy run while the scheduler has no
+// seam to interleave another tenant.
+const chunkByteTarget = 4 << 20
+
 // schedAwareChunks sizes the chunk split of a batched statement's
 // work list. The floor is one chunk per compute engine — the PR-1
 // amortization sweet spot for a tenant running alone. When the tenant
 // shares the compute plane (other tenants have queued or running
 // work), its chunk count scales up by the inverse of its DRR dispatch
 // share — more, smaller chunks — bounded at 4× the engine count so
-// per-chunk amortization never collapses entirely.
-func (p *Platform) schedAwareChunks(tenant string, items int) int {
+// per-chunk amortization never collapses entirely. On top of both, the
+// count grows until no chunk averages more than chunkByteTarget of
+// payload (uncapped — byte pressure, unlike contention, does not
+// amortize away), so large-payload work lists split fine-grained
+// enough to interleave and to keep reused contexts pool-sized.
+func (p *Platform) schedAwareChunks(tenant string, items int, bytes int64) int {
 	engines := p.computePool.Count()
 	if engines < 1 {
 		engines = 1
@@ -516,10 +587,50 @@ func (p *Platform) schedAwareChunks(tenant string, items int) int {
 			chunks = cap
 		}
 	}
+	if byBytes := int((bytes + chunkByteTarget - 1) / chunkByteTarget); byBytes > chunks {
+		chunks = byBytes
+	}
 	if chunks > items {
 		chunks = items
 	}
 	return chunks
+}
+
+// chunkBoundsByBytes splits items into chunks contiguous segments of
+// roughly equal cumulative payload bytes, returning chunks+1 segment
+// boundaries. Every segment is non-empty (callers guarantee chunks ≤
+// len(items)); a work list with no payload bytes at all falls back to
+// an even count split.
+func chunkBoundsByBytes(items []batchItem, chunks int, total int64) []int {
+	bounds := make([]int, chunks+1)
+	if total <= 0 {
+		for c := 1; c < chunks; c++ {
+			bounds[c] = c * len(items) / chunks
+		}
+		bounds[chunks] = len(items)
+		return bounds
+	}
+	var cum int64
+	idx := 0
+	for c := 0; c < chunks; c++ {
+		bounds[c] = idx
+		// Leave at least one item for each remaining chunk; within that,
+		// advance until this chunk covers an even share of the bytes
+		// still unassigned. Rebalancing on the remainder (rather than a
+		// fixed total/chunks prefix target) keeps one oversized item
+		// from starving every later chunk down to its one-item minimum.
+		maxEnd := len(items) - (chunks - 1 - c)
+		left := int64(chunks - c)
+		target := cum + (total-cum+left-1)/left
+		idx++ // every chunk takes at least one item
+		cum += items[idx-1].bytes
+		for idx < maxEnd && cum < target {
+			cum += items[idx].bytes
+			idx++
+		}
+	}
+	bounds[chunks] = len(items)
+	return bounds
 }
 
 // runComputeChunk executes a chunk of same-function instances
@@ -528,8 +639,10 @@ func (p *Platform) schedAwareChunks(tenant string, items int) int {
 // decoded program. Reuse is safe in both data-plane modes: each
 // instance's output sets are taken out of the context (ownership moved
 // to the dispatcher) before the next instance Resets it, and the
-// payloads are independent heap buffers, not region-backed, so neither
-// Reset nor a later pooled reuse can invalidate them.
+// payloads are either independent heap buffers or — for borrowed wire
+// memory — leased under a memctx.Region whose owner holds a reference
+// until the results are consumed, so neither Reset nor a later pooled
+// reuse can invalidate them.
 func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg []batchItem, shard int) {
 	ctx, reused := memctx.NewPooled(funcMemBytes(f))
 	sh := p.ctrs.shardAt(shard)
@@ -542,7 +655,7 @@ func (p *Platform) runComputeChunk(f *registeredFunc, prepared *dvm.Program, seg
 		if i > 0 {
 			ctx.Reset()
 		}
-		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst, sh)
+		seg[i].outs, seg[i].err = p.runComputeIn(ctx, f, prepared, seg[i].inst, seg[i].borrow, sh)
 	}
 	memctx.Recycle(ctx)
 }

@@ -429,3 +429,117 @@ func TestInvokeBatchAsOverridesTenant(t *testing.T) {
 		t.Fatalf("request not accounted to the real tenant: %+v", p.Stats().Tenants)
 	}
 }
+
+// TestInvokeBatchBorrowedRegionLifetime: requests whose inputs alias
+// externally pooled memory (BatchRequest.Borrow) must keep the lease
+// alive for the whole execution in both data-plane modes, and the
+// release hook must fire exactly once — at the creator's release, since
+// every compute context drops its retain when it is reset or recycled
+// before InvokeBatch returns.
+func TestInvokeBatchBorrowedRegionLifetime(t *testing.T) {
+	for _, zc := range []bool{false, true} {
+		t.Run(fmt.Sprintf("ZeroCopy=%v", zc), func(t *testing.T) {
+			p := newPlatform(t, Options{ComputeEngines: 4, ZeroCopy: zc})
+			registerUpperPipeline(t, p)
+
+			recycled := false
+			region := memctx.NewRegion(func() { recycled = true })
+			reqs := make([]BatchRequest, 8)
+			for i := range reqs {
+				reqs[i] = BatchRequest{
+					Composition: "Pipe",
+					Inputs: map[string][]memctx.Item{
+						"In": items(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)),
+					},
+					Borrow: region,
+				}
+			}
+			results := p.InvokeBatch(reqs)
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("request %d failed: %v", i, res.Err)
+				}
+				if !strings.Contains(string(res.Outputs["Result"][0].Data), strings.ToUpper(fmt.Sprintf("a%d", i))) {
+					t.Fatalf("request %d: wrong payload %q", i, res.Outputs["Result"][0].Data)
+				}
+			}
+			// Every context retain must be balanced by the time the batch
+			// returns: only the creator's reference is left, and the hook
+			// has not fired — the caller may still be reading the outputs.
+			if got := region.Refs(); got != 1 {
+				t.Fatalf("refs after InvokeBatch = %d, want 1 (creator)", got)
+			}
+			if recycled {
+				t.Fatal("release hook fired before the creator released")
+			}
+			region.Release()
+			if !recycled {
+				t.Fatal("release hook did not fire at the creator's release")
+			}
+		})
+	}
+}
+
+// TestSchedAwareChunksByteAware: byte pressure splits a solo tenant's
+// work list finer than the one-chunk-per-engine floor — no chunk should
+// average more than chunkByteTarget of payload — while tiny-payload
+// lists keep the floor untouched.
+func TestSchedAwareChunksByteAware(t *testing.T) {
+	const engines = 4
+	p := newPlatform(t, Options{ComputeEngines: engines})
+
+	// 64 MiB over 64 items: 16 chunks of ~4 MiB, well past the floor.
+	if got := p.schedAwareChunks("alice", 64, 64<<20); got != 16 {
+		t.Fatalf("64 MiB chunks = %d, want 16", got)
+	}
+	// Byte pressure never splits finer than one item per chunk.
+	if got := p.schedAwareChunks("alice", 3, 64<<20); got != 3 {
+		t.Fatalf("3-item chunks = %d, want 3", got)
+	}
+	// Tiny payloads leave the engine floor in charge.
+	if got := p.schedAwareChunks("alice", 1000, 1<<10); got != engines {
+		t.Fatalf("tiny-payload chunks = %d, want %d", got, engines)
+	}
+}
+
+// TestChunkBoundsByBytes: boundaries balance cumulative payload bytes,
+// not item count — a single heavy item gets a chunk to itself instead
+// of dragging a count-equal share of light items along.
+func TestChunkBoundsByBytes(t *testing.T) {
+	items := make([]batchItem, 33)
+	items[0].bytes = 1 << 20
+	var total int64 = 1 << 20
+	for i := 1; i < len(items); i++ {
+		items[i].bytes = 1 << 10
+		total += 1 << 10
+	}
+	bounds := chunkBoundsByBytes(items, 4, total)
+	if len(bounds) != 5 || bounds[0] != 0 || bounds[4] != len(items) {
+		t.Fatalf("bad bounds %v", bounds)
+	}
+	for c := 0; c < 4; c++ {
+		if bounds[c+1] <= bounds[c] {
+			t.Fatalf("empty chunk %d in %v", c, bounds)
+		}
+	}
+	// The heavy item already covers chunk 0's byte share alone.
+	if bounds[1] != 1 {
+		t.Fatalf("heavy item not isolated: bounds = %v", bounds)
+	}
+	// The light items spread across the remaining chunks instead of
+	// piling into one.
+	for c := 1; c < 4; c++ {
+		if n := bounds[c+1] - bounds[c]; n < 8 {
+			t.Fatalf("light chunk %d holds %d items, want >= 8 (%v)", c, n, bounds)
+		}
+	}
+
+	// Zero payload bytes: even count split.
+	zero := make([]batchItem, 8)
+	b := chunkBoundsByBytes(zero, 4, 0)
+	for c := 0; c < 4; c++ {
+		if b[c+1]-b[c] != 2 {
+			t.Fatalf("zero-byte split uneven: %v", b)
+		}
+	}
+}

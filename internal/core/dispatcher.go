@@ -74,6 +74,14 @@ type Options struct {
 	// unlisted tenants (including DefaultTenant) get weight 1. Weights
 	// can be changed at runtime via SetTenantWeight.
 	TenantWeights map[string]int
+	// ByteFairness makes the scheduling plane's DRR deficit charge
+	// payload bytes instead of task counts (sched.Config.ByteFairness):
+	// every dispatched task carries its cumulative input bytes, so an
+	// analytics tenant of 1 MiB scans and an equal-weight interactive
+	// tenant of 100-byte invokes split the engines by *bytes moved*,
+	// and the flood cannot starve the interactive tenant of dispatch
+	// slots. Applies to both the compute and communication planes.
+	ByteFairness bool
 	// DispatchWindow bounds dispatched-but-unfinished tasks per engine
 	// pool; 0 tracks the pool size (2× compute engines; comm engines ×
 	// their green-thread capacity).
@@ -190,14 +198,16 @@ func NewPlatform(opts Options) (*Platform, error) {
 	// re-assignments widen or narrow the refill allowance automatically.
 	// Comm engines multiplex green threads, so their window is per-slot.
 	p.computeSched = sched.New(p.computePool.Queue(), sched.Config{
-		Window:   opts.DispatchWindow,
-		WindowFn: func() int { return 2 * p.computePool.Count() },
-		Weights:  opts.TenantWeights,
+		Window:       opts.DispatchWindow,
+		WindowFn:     func() int { return 2 * p.computePool.Count() },
+		Weights:      opts.TenantWeights,
+		ByteFairness: opts.ByteFairness,
 	})
 	p.commSched = sched.New(p.commPool.Queue(), sched.Config{
-		Window:   opts.DispatchWindow,
-		WindowFn: func() int { return p.commPool.Count() * engine.DefaultCommConcurrency },
-		Weights:  opts.TenantWeights,
+		Window:       opts.DispatchWindow,
+		WindowFn:     func() int { return p.commPool.Count() * engine.DefaultCommConcurrency },
+		Weights:      opts.TenantWeights,
+		ByteFairness: opts.ByteFairness,
 	})
 	if opts.Balance {
 		p.balancer = controlplane.NewBalancer(controlplane.NewController(), p.computePool, p.commPool)
@@ -667,7 +677,7 @@ func (p *Platform) runStatement(ctx context.Context, tenant string, sp *stmtPlan
 		}
 		switch {
 		case v.comm != nil:
-			if err := p.commSched.Submit(tenant, sched.Task{Do: run, OnReject: reject, Deadline: deadline}); err != nil {
+			if err := p.commSched.Submit(tenant, sched.Task{Do: run, OnReject: reject, Deadline: deadline, Bytes: instanceBytes(inst)}); err != nil {
 				reject(err)
 			}
 		case v.fn != nil:
@@ -679,7 +689,7 @@ func (p *Platform) runStatement(ctx context.Context, tenant string, sp *stmtPlan
 				outs, err := p.runInstance(ctx, tenant, v, st, inst, depth, p.ctrs.shardAt(shard))
 				results[idx], errs[idx] = outs, err
 			}
-			if err := p.computeSched.Submit(tenant, sched.Task{DoSharded: runOn, OnReject: reject, Deadline: deadline}); err != nil {
+			if err := p.computeSched.Submit(tenant, sched.Task{DoSharded: runOn, OnReject: reject, Deadline: deadline, Bytes: instanceBytes(inst)}); err != nil {
 				reject(err)
 			}
 		default:
@@ -823,7 +833,7 @@ func (p *Platform) runCompute(f *registeredFunc, inst instance, sh *hotShard) ([
 	} else {
 		sh.ctxFresh.Add(1)
 	}
-	outs, err := p.runComputeIn(ctx, f, f.prepared, inst, sh)
+	outs, err := p.runComputeIn(ctx, f, f.prepared, inst, nil, sh)
 	// Safe to recycle in both data-plane modes: harvested outputs were
 	// moved out of (or cloned by) the context, and their payloads are
 	// independent heap buffers, never region-backed.
@@ -849,11 +859,17 @@ func (p *Platform) runCompute(f *registeredFunc, inst instance, sh *hotShard) ([
 // handed off (AdoptOutputs + TakeOutputs), so the dispatcher — and
 // through it the consuming statement's context, also across chunk
 // boundaries within one batch — receives the producer's buffers.
-func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance, sh *hotShard) (outs []memctx.Set, err error) {
+//
+// borrow, when non-nil, is the wire-memory lease of the request the
+// instance belongs to (BatchRequest.Borrow): zero-copy input adoption
+// then goes through AdoptInputSetBorrowed, so the context retains the
+// lease until its Reset/Recycle and the decoder slabs the inputs alias
+// cannot be recycled mid-execution.
+func (p *Platform) runComputeIn(ctx *memctx.Context, f *registeredFunc, prepared *dvm.Program, inst instance, borrow *memctx.Region, sh *hotShard) (outs []memctx.Set, err error) {
 	memBytes := funcMemBytes(f)
 	for _, s := range inst {
 		if p.opts.ZeroCopy {
-			if err := ctx.AdoptInputSet(s); err != nil {
+			if err := ctx.AdoptInputSetBorrowed(s, borrow); err != nil {
 				return nil, err
 			}
 			sh.zcHandoffs.Add(1)

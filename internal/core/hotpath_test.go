@@ -245,10 +245,10 @@ func TestSchedAwareChunks(t *testing.T) {
 	const engines = 4
 	p := newPlatform(t, Options{ComputeEngines: engines})
 
-	if got := p.schedAwareChunks("alice", 1000); got != engines {
+	if got := p.schedAwareChunks("alice", 1000, 0); got != engines {
 		t.Fatalf("solo chunks = %d, want %d", got, engines)
 	}
-	if got := p.schedAwareChunks("alice", 3); got != 3 {
+	if got := p.schedAwareChunks("alice", 3, 0); got != 3 {
 		t.Fatalf("tiny work list chunks = %d, want 3", got)
 	}
 
@@ -277,7 +277,7 @@ func TestSchedAwareChunks(t *testing.T) {
 	if share := p.computeSched.Share("alice"); share >= 1 || share <= 0 {
 		t.Fatalf("contended share = %v, want in (0,1)", share)
 	}
-	got := p.schedAwareChunks("alice", 1000)
+	got := p.schedAwareChunks("alice", 1000, 0)
 	if got <= engines {
 		t.Fatalf("contended chunks = %d, want > %d", got, engines)
 	}

@@ -102,6 +102,15 @@ type Config struct {
 	// registration routes (http.MaxBytesReader; overflow answers 413
 	// with a JSON error body). Zero selects DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// MaxFrameBytes caps one binary-framed record's declared payload
+	// (wire.Decoder.SetMaxFrameBytes) on the streaming batch route.
+	// Zero selects wire.DefaultMaxFrameBytes; values above the body cap
+	// are clamped down to it — a frame can never out-declare the body
+	// it arrives in. A record over the budget is rejected with the
+	// distinct frame-too-large error (413 when it heads the stream,
+	// wire.ErrFrameTooLarge in the frame error otherwise) instead of a
+	// generic framing error.
+	MaxFrameBytes int64
 }
 
 // DefaultMaxBodyBytes is the default request-body cap of the
@@ -120,6 +129,7 @@ type server struct {
 	tracker      *cluster.Tracker
 	routeCluster bool
 	maxBody      int64
+	maxFrame     int
 	now          func() time.Time
 	t0           time.Time
 }
@@ -196,6 +206,17 @@ func NewWithConfig(p *dandelion.Platform, cfg Config) http.Handler {
 	if s.maxBody <= 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
+	frame := cfg.MaxFrameBytes
+	if frame <= 0 {
+		frame = wire.DefaultMaxFrameBytes
+	}
+	if frame > s.maxBody {
+		// A record's declared payload cannot exceed the body it must
+		// arrive in; a larger budget would only defer the rejection from
+		// the cheap length check to the MaxBytesReader overflow.
+		frame = s.maxBody
+	}
+	s.maxFrame = int(frame)
 	if s.tracker != nil && s.cluster == nil {
 		s.cluster = s.tracker.Manager()
 	}
@@ -317,12 +338,20 @@ func (s *server) limitBody(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // bodyError maps a request-body read/decode failure to its status:
-// 413 when the body hit the MaxBytesReader cap, 400 otherwise.
+// 413 when the body hit the MaxBytesReader cap or a binary record
+// declared a payload over the frame budget (wire.ErrFrameTooLarge —
+// the distinct over-budget signal, kept apart from malformed-frame
+// 400s so clients can tell "shrink your payload" from "fix your
+// encoder"), 400 otherwise.
 func bodyError(w http.ResponseWriter, context string, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		jsonError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	if errors.Is(err, wire.ErrFrameTooLarge) {
+		jsonError(w, http.StatusRequestEntityTooLarge, context+err.Error())
 		return
 	}
 	jsonError(w, http.StatusBadRequest, context+err.Error())
@@ -547,8 +576,13 @@ type WireBatchResult = wire.BatchResult
 // serves from: the local platform, or — in coordinator mode — split
 // across the cluster's workers. keys, when non-nil, carries one
 // idempotency key per request (parallel to inputs; empty entries opt
-// out).
-func (s *server) invokeBatchAs(ctx context.Context, tenant, name string, keys []string, inputs []map[string][]dandelion.Item) []dandelion.BatchResult {
+// out). borrow, when non-nil, is the wire-memory lease of the decoded
+// bodies (BatchRequest.Borrow): the binary route passes the region
+// guarding its decoder buffers so the zero-copy data plane may alias
+// them through compute. Coordinator mode ignores it — cluster routing
+// re-serializes the inputs before this call returns, and the caller
+// still holds its own reference until after the response is encoded.
+func (s *server) invokeBatchAs(ctx context.Context, tenant, name string, keys []string, inputs []map[string][]dandelion.Item, borrow *dandelion.Region) []dandelion.BatchResult {
 	if s.routeCluster {
 		if keys != nil {
 			return s.cluster.InvokeBatchKeyedAsCtx(ctx, tenant, name, keys, inputs)
@@ -557,12 +591,24 @@ func (s *server) invokeBatchAs(ctx context.Context, tenant, name string, keys []
 	}
 	reqs := make([]dandelion.BatchRequest, len(inputs))
 	for i, in := range inputs {
-		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: in}
+		reqs[i] = dandelion.BatchRequest{Composition: name, Tenant: tenant, Inputs: in, Borrow: borrow}
 		if keys != nil {
 			reqs[i].Key = keys[i]
 		}
 	}
 	return s.p.InvokeBatchCtx(ctx, reqs)
+}
+
+// setsBytes sums the decoded payload bytes of one request's input
+// sets — the sample the byte-aware admission window divides against.
+func setsBytes(sets map[string][]dandelion.Item) int64 {
+	var n int64
+	for _, items := range sets {
+		for _, it := range items {
+			n += int64(len(it.Data))
+		}
+	}
+	return n
 }
 
 // admitName maps a request tenant onto the admission plane's key
@@ -615,9 +661,11 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	inputs := make([]map[string][]dandelion.Item, len(wireReqs))
 	var keys []string
+	var batchBytes int64
 	baseKey := keyOf(r)
 	for i, wr := range wireReqs {
 		inputs[i] = wire.ToSets(wr.Inputs)
+		batchBytes += setsBytes(inputs[i])
 		// Per-request body keys win; an Idempotency-Key header supplies
 		// a base expanded to "<base>#<i>" for requests without one.
 		k := wr.Key
@@ -632,12 +680,13 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Admit the batch: record demand, then drive it through the
+	// Admit the batch: record demand (count and payload bytes — the
+	// window narrows for byte-heavy tenants), then drive it through the
 	// platform in admission-window-sized sub-batches. The window is
 	// re-read between sub-batches so a sustained burst widens it while
 	// it is still being drained.
 	admitTenant := admitName(tenant)
-	window := s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
+	window := s.adm.AdmitBytes(admitTenant, len(inputs), batchBytes, s.clockSeconds())
 	results := make([]dandelion.BatchResult, 0, len(inputs))
 	for lo := 0; lo < len(inputs); {
 		if window < 1 {
@@ -651,7 +700,7 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 		if keys != nil {
 			ks = keys[lo:hi]
 		}
-		results = append(results, s.invokeBatchAs(ctx, tenant, name, ks, inputs[lo:hi])...)
+		results = append(results, s.invokeBatchAs(ctx, tenant, name, ks, inputs[lo:hi], nil)...)
 		lo = hi
 		if lo < len(inputs) {
 			window = s.adm.Window(admitTenant, s.clockSeconds())
@@ -695,14 +744,20 @@ func (s *server) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 // sub-batches while the body is still uploading; each sub-batch's
 // result frames are written and flushed before the next window is
 // read, so a slow uploader observes its first results mid-upload.
-// Decoder buffers are recycled per sub-batch — results are encoded
-// before the recycle, which keeps the zero-copy data plane (outputs
-// aliasing request payloads) inside the buffers' lifetime.
+// Decoder buffers are recycled per sub-batch through a borrowed-region
+// lease (dandelion.Region wrapping dec.Recycle): each sub-batch's
+// requests carry the region as BatchRequest.Borrow so every compute
+// context that aliases the decoded payloads under the zero-copy data
+// plane retains it, and the frontend drops its own creator reference
+// only after the sub-batch's result frames — which may alias the same
+// buffers — are encoded. The recycle hook fires at the last release,
+// wherever that happens.
 func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWriter, r *http.Request, name string) {
 	tenant := tenantOf(r)
 	admitTenant := admitName(tenant)
 	baseKey := keyOf(r)
 	dec := wire.NewDecoder(r.Body)
+	dec.SetMaxFrameBytes(s.maxFrame)
 	defer dec.Release()
 
 	// Decode the first record before committing a status: a stream
@@ -726,6 +781,7 @@ func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWri
 	keys := make([]string, 0, 16)
 	anyKey := false
 	reqIdx := 0 // running request index, for Idempotency-Key expansion
+	var pendingBytes int64
 	add := func(sets map[string][]dandelion.Item, key string) {
 		// Per-request frame keys win; the Idempotency-Key header
 		// supplies a base expanded to "<base>#<i>" in stream order.
@@ -737,6 +793,7 @@ func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWri
 		}
 		inputs = append(inputs, sets)
 		keys = append(keys, key)
+		pendingBytes += setsBytes(sets)
 		reqIdx++
 	}
 	if err != io.EOF {
@@ -764,8 +821,10 @@ func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWri
 			if anyKey {
 				ks = keys
 			}
-			s.adm.Admit(admitTenant, len(inputs), s.clockSeconds())
-			for _, res := range s.invokeBatchAs(ctx, tenant, name, ks, inputs) {
+			s.adm.AdmitBytes(admitTenant, len(inputs), pendingBytes, s.clockSeconds())
+			pendingBytes = 0
+			borrow := dandelion.NewRegion(dec.Recycle)
+			for _, res := range s.invokeBatchAs(ctx, tenant, name, ks, inputs, borrow) {
 				if res.Err != nil {
 					enc.EncodeError(res.Err.Error())
 				} else {
@@ -773,10 +832,10 @@ func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWri
 				}
 			}
 			rc.Flush()
+			borrow.Release()
 			s.adm.Finish(admitTenant, len(inputs), s.clockSeconds())
 			inputs = inputs[:0]
 			keys = keys[:0]
-			dec.Recycle()
 		}
 		if streamErr == io.EOF {
 			break
@@ -784,7 +843,20 @@ func (s *server) handleInvokeBatchBinary(ctx context.Context, w http.ResponseWri
 		if streamErr != nil {
 			// Corruption after results were already written: the status
 			// is committed, so the only honest signal left is a
-			// truncated response — return without FrameEnd.
+			// truncated response — return without FrameEnd. An
+			// over-budget record is the one diagnosable case (the
+			// decoder rejected it before consuming the stream), so name
+			// it in a frame error first; the missing FrameEnd still
+			// marks the batch incomplete.
+			if errors.Is(streamErr, wire.ErrFrameTooLarge) {
+				enc.EncodeError(streamErr.Error())
+				rc.Flush()
+			}
+			// Discard what's left of the body (bounded by the body cap):
+			// returning with unread bytes on a full-duplex connection
+			// trips net/http's concurrent-read guard when the server
+			// tries to advance past the request.
+			io.Copy(io.Discard, r.Body)
 			return
 		}
 	}

@@ -86,6 +86,12 @@ type Config struct {
 	// request seq of a client; nil selects a small deterministic
 	// default.
 	Payload func(client, seq, i int) []byte
+	// Inputs, when set, supplies an invocation's full input sets and
+	// overrides InputSet/Payload: served workloads like SSBQuery take
+	// several named sets per invocation (docs/WORKLOADS.md), which the
+	// single-item Payload hook cannot express. Requests always travel
+	// through /invoke-batch/ (a BatchSize of 1 sends batches of one).
+	Inputs func(client, seq, i int) map[string][]memctx.Item
 	// Validate, when set, checks each invocation's response payload;
 	// a non-nil return counts the invocation as an error.
 	Validate func(client, seq, i int, body []byte) error
@@ -151,6 +157,33 @@ func (ec *ErrorClasses) failMessage(msg string) {
 	ec.AppErrors++
 }
 
+// TenantReport is one tenant's slice of a run: the same throughput,
+// byte-rate, and request-latency numbers as the top-level report,
+// keyed by the X-Tenant the traffic travelled under ("default" when
+// none was set). This is the view a mixed-tenant run is read by — the
+// combined percentiles of an interactive stream and an analytics flood
+// say nothing about either.
+type TenantReport struct {
+	Requests    int
+	Invocations int
+	Errors      int
+	// Duration spans this tenant's own streams (a tenant that finishes
+	// early is not billed for the rest of the mixed run); Throughput
+	// and BytesPerSec are computed over it.
+	Duration           time.Duration
+	Throughput         float64
+	BytesOut, BytesIn  int64
+	BytesPerSec        float64
+	P50, P95, P99, Max time.Duration
+}
+
+// String renders the one-line per-tenant summary the harnesses log.
+func (t TenantReport) String() string {
+	return fmt.Sprintf("%d reqs (%d inv, %d errors) — %.0f inv/s, %.1f MB/s, p50=%v p95=%v p99=%v max=%v",
+		t.Requests, t.Invocations, t.Errors, t.Throughput, t.BytesPerSec/1e6,
+		t.P50, t.P95, t.P99, t.Max)
+}
+
 // Report summarizes one run.
 type Report struct {
 	// Requests is the number of HTTP round trips issued.
@@ -174,9 +207,13 @@ type Report struct {
 	BytesPerSec       float64
 	// P50, P95, P99, Max are request-latency percentiles.
 	P50, P95, P99, Max time.Duration
+	// Tenants breaks the run down by X-Tenant. A plain Run has one
+	// entry; RunMixed has one per distinct tenant across its streams.
+	Tenants map[string]TenantReport
 }
 
-// String renders the report as the one-line summary the harnesses log.
+// String renders the report as the one-line summary the harnesses log,
+// with one indented line per tenant when the run was mixed.
 func (r Report) String() string {
 	s := fmt.Sprintf(
 		"loadgen: %d reqs (%d invocations, %d errors) in %v — %.0f inv/s, %.1f MB/s, p50=%v p95=%v p99=%v max=%v",
@@ -185,14 +222,80 @@ func (r Report) String() string {
 	if r.Errors > 0 {
 		s += fmt.Sprintf(" [%s]", r.Classes)
 	}
+	if len(r.Tenants) > 1 {
+		names := make([]string, 0, len(r.Tenants))
+		for name := range r.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s += fmt.Sprintf("\n  tenant %s: %s", name, r.Tenants[name])
+		}
+	}
 	return s
 }
 
 // Run executes the configured closed loop and reports latency and
 // throughput.
 func Run(cfg Config) (Report, error) {
-	if (cfg.BaseURL == "" && len(cfg.BaseURLs) == 0) || cfg.Composition == "" || cfg.InputSet == "" {
-		return Report{}, errors.New("loadgen: BaseURL (or BaseURLs), Composition, and InputSet are required")
+	sd, err := runStream(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	return buildReport([]streamData{sd}, sd.duration), nil
+}
+
+// RunMixed executes several closed-loop streams concurrently — the
+// mixed multi-tenant shape, typically one Config per tenant — and
+// reports them as one run: the top-level numbers span all streams,
+// and Report.Tenants carries each tenant's own latency percentiles,
+// throughput, and byte rate, which is the only view where fairness
+// between an interactive tenant and a large-payload flood is legible.
+func RunMixed(cfgs ...Config) (Report, error) {
+	if len(cfgs) == 0 {
+		return Report{}, errors.New("loadgen: RunMixed needs at least one Config")
+	}
+	sds := make([]streamData, len(cfgs))
+	errs := make([]error, len(cfgs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sds[i], errs[i] = runStream(cfgs[i])
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
+	return buildReport(sds, elapsed), nil
+}
+
+// streamData is one closed-loop stream's raw outcome, kept unreduced
+// so buildReport can merge percentiles across streams exactly.
+type streamData struct {
+	tenant      string
+	requests    int
+	invocations int
+	latencies   []time.Duration
+	errs        int
+	classes     ErrorClasses
+	bytesOut    int64
+	bytesIn     int64
+	duration    time.Duration
+}
+
+// runStream drives one Config's closed loop to completion.
+func runStream(cfg Config) (streamData, error) {
+	if (cfg.BaseURL == "" && len(cfg.BaseURLs) == 0) || cfg.Composition == "" ||
+		(cfg.InputSet == "" && cfg.Inputs == nil) {
+		return streamData{}, errors.New("loadgen: BaseURL (or BaseURLs), Composition, and InputSet (or Inputs) are required")
 	}
 	if cfg.Clients <= 0 {
 		cfg.Clients = 1
@@ -242,22 +345,50 @@ func Run(cfg Config) (Report, error) {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
 
-	var all []time.Duration
-	rep := Report{
-		Requests:    cfg.Clients * cfg.Requests,
-		Invocations: cfg.Clients * cfg.Requests * cfg.BatchSize,
-		Duration:    elapsed,
+	sd := streamData{
+		tenant:      tenantKey(cfg.Tenant),
+		requests:    cfg.Clients * cfg.Requests,
+		invocations: cfg.Clients * cfg.Requests * cfg.BatchSize,
+		duration:    time.Since(start),
 	}
 	for _, res := range results {
-		all = append(all, res.latencies...)
-		rep.Errors += res.errs
-		rep.Classes.add(res.classes)
-		rep.BytesOut += res.bytesOut
-		rep.BytesIn += res.bytesIn
+		sd.latencies = append(sd.latencies, res.latencies...)
+		sd.errs += res.errs
+		sd.classes.add(res.classes)
+		sd.bytesOut += res.bytesOut
+		sd.bytesIn += res.bytesIn
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return sd, nil
+}
+
+// tenantKey names the report bucket for a configured tenant.
+func tenantKey(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// buildReport reduces the streams into one Report: combined totals and
+// percentiles over every request, plus the per-tenant breakdown
+// (streams sharing a tenant merge).
+func buildReport(sds []streamData, elapsed time.Duration) Report {
+	rep := Report{Duration: elapsed, Tenants: make(map[string]TenantReport)}
+	var all []time.Duration
+	byTenant := map[string][]*streamData{}
+	for i := range sds {
+		sd := &sds[i]
+		rep.Requests += sd.requests
+		rep.Invocations += sd.invocations
+		rep.Errors += sd.errs
+		rep.Classes.add(sd.classes)
+		rep.BytesOut += sd.bytesOut
+		rep.BytesIn += sd.bytesIn
+		all = append(all, sd.latencies...)
+		byTenant[sd.tenant] = append(byTenant[sd.tenant], sd)
+	}
+	sortDurations(all)
 	rep.P50 = percentile(all, 0.50)
 	rep.P95 = percentile(all, 0.95)
 	rep.P99 = percentile(all, 0.99)
@@ -268,7 +399,34 @@ func Run(cfg Config) (Report, error) {
 		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
 		rep.BytesPerSec = float64(rep.BytesOut+rep.BytesIn) / secs
 	}
-	return rep, nil
+	for tenant, group := range byTenant {
+		var tr TenantReport
+		var lats []time.Duration
+		for _, sd := range group {
+			tr.Requests += sd.requests
+			tr.Invocations += sd.invocations
+			tr.Errors += sd.errs
+			tr.BytesOut += sd.bytesOut
+			tr.BytesIn += sd.bytesIn
+			lats = append(lats, sd.latencies...)
+			if sd.duration > tr.Duration {
+				tr.Duration = sd.duration
+			}
+		}
+		sortDurations(lats)
+		tr.P50 = percentile(lats, 0.50)
+		tr.P95 = percentile(lats, 0.95)
+		tr.P99 = percentile(lats, 0.99)
+		if len(lats) > 0 {
+			tr.Max = lats[len(lats)-1]
+		}
+		if secs := tr.Duration.Seconds(); secs > 0 {
+			tr.Throughput = float64(tr.Invocations-tr.Errors) / secs
+			tr.BytesPerSec = float64(tr.BytesOut+tr.BytesIn) / secs
+		}
+		rep.Tenants[tenant] = tr
+	}
+	return rep
 }
 
 // reqStats is what one round trip reports upward: failed invocations,
@@ -307,13 +465,24 @@ func (st *reqStats) failApp(n int) {
 
 // doRequest issues one closed-loop request and reports its stats.
 func doRequest(cfg Config, client, seq int) reqStats {
-	if cfg.BatchSize == 1 {
+	if cfg.BatchSize == 1 && cfg.Inputs == nil {
 		return doSingle(cfg, client, seq)
 	}
 	if cfg.Binary {
 		return doBatchBinary(cfg, client, seq)
 	}
 	return doBatch(cfg, client, seq)
+}
+
+// inputsFor builds invocation i's input sets: the Inputs hook verbatim,
+// or the classic single-item set from InputSet/Payload.
+func (cfg Config) inputsFor(client, seq, i int) map[string][]memctx.Item {
+	if cfg.Inputs != nil {
+		return cfg.Inputs(client, seq, i)
+	}
+	return map[string][]memctx.Item{
+		cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
+	}
 }
 
 // targetURL picks the frontend a round trip goes to: BaseURL alone
@@ -396,43 +565,95 @@ func readBody(resp *http.Response) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// bodyBufPool recycles the request-body staging buffers across round
+// trips: a closed-loop client re-sending multi-MiB batches would
+// otherwise re-allocate (and re-grow) a body-sized buffer per request,
+// and that allocation dominated the client side of the large-payload
+// serving benchmark. Buffers grown past maxPooledBodyBytes by one
+// outsized batch are dropped instead of pinned warm.
+var bodyBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBodyBytes = 64 << 20
+
+func getBodyBuf() *bytes.Buffer {
+	b := bodyBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBodyBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBodyBytes {
+		bodyBufPool.Put(b)
+	}
+}
+
+// countingReader counts the bytes a streaming decode consumed, so the
+// report's wire-bandwidth numbers stay exact without buffering the
+// whole response first.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func doBatch(cfg Config, client, seq int) reqStats {
 	var st reqStats
 	t0 := time.Now()
 	reqs := make([]frontend.WireBatchRequest, cfg.BatchSize)
 	for i := range reqs {
-		reqs[i] = frontend.WireBatchRequest{Inputs: map[string][]frontend.WireItem{
-			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
-		}, Key: cfg.reqKey(client, seq, i)}
+		in := cfg.inputsFor(client, seq, i)
+		sets := make(map[string][]frontend.WireItem, len(in))
+		for set, items := range in {
+			ws := make([]frontend.WireItem, len(items))
+			for j, it := range items {
+				ws[j] = frontend.WireItem{Name: it.Name, Key: it.Key, Data: it.Data}
+			}
+			sets[set] = ws
+		}
+		reqs[i] = frontend.WireBatchRequest{Inputs: sets, Key: cfg.reqKey(client, seq, i)}
 	}
-	body, err := json.Marshal(reqs)
+	buf := getBodyBuf()
+	defer putBodyBuf(buf)
+	err := json.NewEncoder(buf).Encode(reqs)
 	st.wire = time.Since(t0)
 	if err != nil {
 		st.failApp(cfg.BatchSize)
 		return st
 	}
-	st.bytesOut = int64(len(body))
+	st.bytesOut = int64(buf.Len())
 	resp, err := post(cfg, cfg.targetURL(client, seq)+"/invoke-batch/"+cfg.Composition,
-		"application/json", body)
+		"application/json", buf.Bytes())
 	if err != nil {
 		st.failTransport(cfg.BatchSize, err)
 		return st
 	}
-	raw, err := readBody(resp)
-	st.bytesIn = int64(len(raw))
-	if err != nil {
-		st.failTransport(cfg.BatchSize, err)
-		return st
-	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		raw, rerr := io.ReadAll(resp.Body)
+		st.bytesIn = int64(len(raw))
+		if rerr != nil {
+			st.failTransport(cfg.BatchSize, rerr)
+			return st
+		}
 		st.failStatus(cfg.BatchSize, resp.StatusCode)
 		return st
 	}
 	t1 := time.Now()
+	cr := &countingReader{r: resp.Body}
 	var results []frontend.WireBatchResult
-	err = json.Unmarshal(raw, &results)
+	err = json.NewDecoder(cr).Decode(&results)
+	st.bytesIn = cr.n
 	st.wire += time.Since(t1)
-	if err != nil || len(results) != cfg.BatchSize {
+	if err != nil {
+		st.failTransport(cfg.BatchSize, err)
+		return st
+	}
+	if len(results) != cfg.BatchSize {
 		st.failApp(cfg.BatchSize)
 		return st
 	}
@@ -452,16 +673,21 @@ func doBatch(cfg Config, client, seq int) reqStats {
 }
 
 // doBatchBinary is doBatch in the length-prefixed binary framing: no
-// base64, no JSON reflection, pooled frame buffers on both sides.
+// base64, no JSON reflection, pooled frame buffers on both sides. The
+// request body is staged in a pooled buffer (the encoder's vectored
+// payload writes land in it without intermediate copies growing a
+// fresh allocation per request) and the response is decoded straight
+// off the body stream into the decoder's pooled slabs — no
+// io.ReadAll of a multi-MiB response.
 func doBatchBinary(cfg Config, client, seq int) reqStats {
 	var st reqStats
 	t0 := time.Now()
-	var buf bytes.Buffer
-	enc := wire.NewEncoder(&buf)
+	buf := getBodyBuf()
+	defer putBodyBuf(buf)
+	enc := wire.NewEncoder(buf)
 	for i := 0; i < cfg.BatchSize; i++ {
-		if err := enc.EncodeKeyedRequest(cfg.reqKey(client, seq, i), map[string][]memctx.Item{
-			cfg.InputSet: {{Name: "item0", Data: cfg.Payload(client, seq, i)}},
-		}); err != nil {
+		if err := enc.EncodeKeyedRequest(cfg.reqKey(client, seq, i),
+			cfg.inputsFor(client, seq, i)); err != nil {
 			enc.Release()
 			st.failApp(cfg.BatchSize)
 			return st
@@ -481,18 +707,20 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 		st.failTransport(cfg.BatchSize, err)
 		return st
 	}
-	raw, err := readBody(resp)
-	st.bytesIn = int64(len(raw))
-	if err != nil {
-		st.failTransport(cfg.BatchSize, err)
-		return st
-	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		raw, rerr := io.ReadAll(resp.Body)
+		st.bytesIn = int64(len(raw))
+		if rerr != nil {
+			st.failTransport(cfg.BatchSize, rerr)
+			return st
+		}
 		st.failStatus(cfg.BatchSize, resp.StatusCode)
 		return st
 	}
 	t1 := time.Now()
-	dec := wire.NewDecoder(bytes.NewReader(raw))
+	cr := &countingReader{r: resp.Body}
+	dec := wire.NewDecoder(cr)
 	n := 0
 	for ; ; n++ {
 		outputs, errMsg, derr := dec.DecodeResult()
@@ -517,6 +745,7 @@ func doBatchBinary(cfg Config, client, seq int) reqStats {
 	}
 	dec.Recycle()
 	dec.Release()
+	st.bytesIn = cr.n
 	st.wire += time.Since(t1)
 	if n != cfg.BatchSize {
 		// A truncated or malformed stream fails the whole batch; undo the

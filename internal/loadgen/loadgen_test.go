@@ -512,3 +512,113 @@ func TestRunOpenLoopWireSplit(t *testing.T) {
 		}
 	}
 }
+
+func TestRunReportsTenantBreakdown(t *testing.T) {
+	_, srv := newEchoServer(t)
+	rep, err := Run(Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: "U",
+		InputSet:    "In",
+		Tenant:      "alice",
+		Clients:     2,
+		Requests:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := rep.Tenants["alice"]
+	if !ok {
+		t.Fatalf("tenant breakdown missing: %v", rep.Tenants)
+	}
+	if tr.Requests != rep.Requests || tr.Invocations != rep.Invocations {
+		t.Fatalf("tenant slice %+v disagrees with report %s", tr, rep)
+	}
+	if tr.P50 > tr.P99 || tr.P99 > tr.Max || tr.Max <= 0 {
+		t.Fatalf("tenant percentiles out of order: %+v", tr)
+	}
+	if tr.BytesPerSec <= 0 || tr.Throughput <= 0 {
+		t.Fatalf("tenant rates not computed: %+v", tr)
+	}
+}
+
+func TestRunMixedSplitsTenants(t *testing.T) {
+	_, srv := newEchoServer(t)
+	big := func(client, seq, i int) []byte {
+		return append([]byte("big-"), make([]byte, 32<<10)...)
+	}
+	rep, err := RunMixed(
+		Config{
+			BaseURL: srv.URL, Client: srv.Client(), Composition: "U", InputSet: "In",
+			Tenant: "interactive", Clients: 2, Requests: 6,
+		},
+		Config{
+			BaseURL: srv.URL, Client: srv.Client(), Composition: "U", InputSet: "In",
+			Tenant: "analytics", Clients: 2, Requests: 6, Payload: big,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 24 || rep.Invocations != 24 {
+		t.Fatalf("combined requests/invocations = %d/%d, want 24/24", rep.Requests, rep.Invocations)
+	}
+	ti, ok := rep.Tenants["interactive"]
+	if !ok {
+		t.Fatalf("interactive tenant missing: %v", rep.Tenants)
+	}
+	ta, ok := rep.Tenants["analytics"]
+	if !ok {
+		t.Fatalf("analytics tenant missing: %v", rep.Tenants)
+	}
+	if ti.Requests != 12 || ta.Requests != 12 {
+		t.Fatalf("per-tenant requests = %d/%d, want 12/12", ti.Requests, ta.Requests)
+	}
+	// The analytics stream ships 32 KiB payloads; per-tenant byte
+	// accounting must keep the streams apart.
+	if ta.BytesOut <= ti.BytesOut {
+		t.Fatalf("analytics bytesOut %d not above interactive %d", ta.BytesOut, ti.BytesOut)
+	}
+	if got := ti.BytesOut + ta.BytesOut; got != rep.BytesOut {
+		t.Fatalf("tenant bytesOut sum %d != combined %d", got, rep.BytesOut)
+	}
+	if rep.String() == "" || len(rep.Tenants) != 2 {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+func TestRunMixedMergesSameTenantStreams(t *testing.T) {
+	_, srv := newEchoServer(t)
+	cfg := Config{
+		BaseURL: srv.URL, Client: srv.Client(), Composition: "U", InputSet: "In",
+		Tenant: "alice", Clients: 1, Requests: 4,
+	}
+	rep, err := RunMixed(cfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tenants) != 1 {
+		t.Fatalf("tenants = %v, want one merged entry", rep.Tenants)
+	}
+	if tr := rep.Tenants["alice"]; tr.Requests != 8 {
+		t.Fatalf("merged tenant requests = %d, want 8", tr.Requests)
+	}
+}
+
+func TestOpenLoopReportsTenantBreakdown(t *testing.T) {
+	_, srv := newEchoServer(t)
+	rep, err := RunOpenLoop(OpenConfig{
+		BaseURL: srv.URL, Client: srv.Client(), Composition: "U", InputSet: "In",
+		Tenant: "bob", Rate: 200, Requests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := rep.Tenants["bob"]
+	if !ok {
+		t.Fatalf("tenant breakdown missing: %v", rep.Tenants)
+	}
+	if tr.Requests != 10 || tr.P99 != rep.ServiceP99 {
+		t.Fatalf("tenant slice %+v disagrees with report", tr)
+	}
+}

@@ -1,0 +1,170 @@
+// End-to-end mixed-tenant test of the byte-aware data plane: the three
+// served workload suites (docs/WORKLOADS.md) run concurrently through
+// one HTTP frontend as three tenants — interactive image transcodes,
+// an SSB analytics flood shipping multi-hundred-KiB fact chunks, and
+// storage scans — with byte-fair DRR on. The assertion is the ISSUE 10
+// fairness bound: because dispatch deficits are charged in payload
+// bytes, the interactive tenant's dispatch-wait p99 stays under an
+// explicit threshold even while the analytics tenant floods the same
+// engines with megabyte-class batches.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dandelion"
+	"dandelion/internal/frontend"
+	"dandelion/internal/memctx"
+	"dandelion/internal/ssb"
+	"dandelion/internal/workloads"
+)
+
+// interactiveWaitP99Bound is the dispatch-wait bound asserted for the
+// interactive tenant. Generous against CI noise (the observed p99 with
+// byte fairness is single-digit milliseconds) but far below the
+// multi-second waits an unfair backlog of megabyte batches produces.
+const interactiveWaitP99Bound = 250 * time.Millisecond
+
+func TestMixedTenantE2E(t *testing.T) {
+	p, err := dandelion.New(dandelion.Options{
+		ComputeEngines: 4,
+		ByteFairness:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Shutdown)
+	suites, err := workloads.Register(p, "all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suites) != 3 {
+		t.Fatalf("expected 3 suites, registered %v", suites)
+	}
+	srv := httptest.NewServer(frontend.New(p))
+	t.Cleanup(srv.Close)
+
+	// Interactive tenant: small single-image transcodes, many of them,
+	// so requests span the whole analytics flood.
+	img := workloads.MakeImages(1, 32, 32)[0]
+	interactive := Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: workloads.WorkloadImagePipeline,
+		InputSet:    "Images",
+		OutputSet:   "PNGs",
+		Tenant:      "interactive",
+		Clients:     2,
+		Requests:    80,
+		BatchSize:   1,
+		Payload:     func(client, seq, i int) []byte { return img.Data },
+		Validate: func(client, seq, i int, body []byte) error {
+			if !bytes.HasPrefix(body, []byte("\x89PNG")) {
+				return fmt.Errorf("not a PNG: %q", body[:min(8, len(body))])
+			}
+			return nil
+		},
+	}
+
+	// Analytics tenant: SSB Q1.1 over ~8 K fact rows per invocation
+	// (four ~80 KiB chunks each), batched — the large-payload flood.
+	chunks, err := workloads.MakeSSBChunks(1<<13, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := workloads.MakeSSBQuery(ssb.Q11)
+	analytics := Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: workloads.WorkloadSSBQuery,
+		OutputSet:   "Result",
+		Tenant:      "analytics",
+		Clients:     4,
+		Requests:    8,
+		BatchSize:   4,
+		Binary:      true,
+		Inputs: func(client, seq, i int) map[string][]memctx.Item {
+			return map[string][]memctx.Item{
+				"Query":  {query},
+				"Chunks": chunks,
+			}
+		},
+		Validate: func(client, seq, i int, body []byte) error {
+			if len(body) == 0 {
+				return fmt.Errorf("empty aggregate")
+			}
+			return nil
+		},
+	}
+
+	// Storage tenant: multi-blob scans, a quarter MiB per invocation.
+	blobs := workloads.MakeScanBlobs(2, 128<<10)
+	storage := Config{
+		BaseURL:     srv.URL,
+		Client:      srv.Client(),
+		Composition: workloads.WorkloadStorageScan,
+		OutputSet:   "Result",
+		Tenant:      "storage",
+		Clients:     2,
+		Requests:    8,
+		BatchSize:   2,
+		Binary:      true,
+		Inputs: func(client, seq, i int) map[string][]memctx.Item {
+			return map[string][]memctx.Item{"Blobs": blobs}
+		},
+		Validate: func(client, seq, i int, body []byte) error {
+			if !bytes.HasPrefix(body, []byte("blobs=2 ")) {
+				return fmt.Errorf("bad scan summary %q", body)
+			}
+			return nil
+		},
+	}
+
+	rep, err := RunMixed(interactive, analytics, storage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d invocations failed [%s]", rep.Errors, rep.Invocations, rep.Classes)
+	}
+	for _, tenant := range []string{"interactive", "analytics", "storage"} {
+		tr, ok := rep.Tenants[tenant]
+		if !ok || tr.Invocations == 0 {
+			t.Fatalf("tenant %s missing from mixed report: %+v", tenant, rep.Tenants)
+		}
+	}
+	// The analytics flood must actually have been a flood: it has to
+	// move at least an order of magnitude more bytes than interactive,
+	// or the fairness assertion below is vacuous.
+	if a, i := rep.Tenants["analytics"], rep.Tenants["interactive"]; a.BytesOut < 10*i.BytesOut {
+		t.Fatalf("analytics did not flood: %d bytes out vs interactive %d", a.BytesOut, i.BytesOut)
+	}
+
+	// The fairness bound: with deficits charged in bytes, the cheap
+	// interactive tasks dispatch promptly no matter how many megabyte
+	// batches are parked behind the analytics tenant.
+	var found bool
+	for _, ts := range p.Stats().Tenants {
+		t.Logf("tenant %s: dispatched=%d wait avg=%v p99=%v max=%v",
+			ts.Tenant, ts.Dispatched, ts.AvgDispatchWait, ts.P99DispatchWait, ts.MaxDispatchWait)
+		if ts.Tenant != "interactive" {
+			continue
+		}
+		found = true
+		if ts.Dispatched == 0 {
+			t.Fatal("interactive tenant dispatched nothing")
+		}
+		if ts.P99DispatchWait > interactiveWaitP99Bound {
+			t.Fatalf("interactive dispatch-wait p99 %v exceeds %v under analytics flood",
+				ts.P99DispatchWait, interactiveWaitP99Bound)
+		}
+	}
+	if !found {
+		t.Fatalf("interactive tenant missing from platform stats: %+v", p.Stats().Tenants)
+	}
+}

@@ -93,6 +93,11 @@ type OpenReport struct {
 	// serialization win visible at the harness level: a framing change
 	// moves Wire* without touching the server-side remainder.
 	WireP50, WireP99, WireMax time.Duration
+	// Tenants keys this run's breakdown by its X-Tenant (one entry; the
+	// latency percentiles are service latency), so open-loop runs driven
+	// side by side merge into one per-tenant table the same way closed
+	// loops do.
+	Tenants map[string]TenantReport
 }
 
 // String renders the report as a one-line summary with the queueing /
@@ -212,6 +217,20 @@ func RunOpenLoop(cfg OpenConfig) (OpenReport, error) {
 		rep.Throughput = float64(rep.Invocations-rep.Errors) / secs
 		rep.BytesPerSec = float64(rep.BytesOut+rep.BytesIn) / secs
 	}
+	rep.Tenants = map[string]TenantReport{tenantKey(cfg.Tenant): {
+		Requests:    rep.Requests,
+		Invocations: rep.Invocations,
+		Errors:      rep.Errors,
+		Duration:    elapsed,
+		Throughput:  rep.Throughput,
+		BytesOut:    rep.BytesOut,
+		BytesIn:     rep.BytesIn,
+		BytesPerSec: rep.BytesPerSec,
+		P50:         rep.ServiceP50,
+		P95:         rep.ServiceP95,
+		P99:         rep.ServiceP99,
+		Max:         rep.ServiceMax,
+	}}
 	return rep, nil
 }
 

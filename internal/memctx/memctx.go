@@ -113,6 +113,10 @@ type Context struct {
 	// only pays for what the instance touched, not for the whole grown
 	// region a pooled or chunk-reused context carries.
 	regionHi int
+	// borrowed holds the Regions retained via AdoptInputSetBorrowed:
+	// external pooled memory the inputs alias. Reset releases them (see
+	// borrow.go) after the aliasing descriptors are dropped.
+	borrowed []*Region
 }
 
 // DefaultLimit is the context bound used when the caller gives none:
@@ -209,7 +213,6 @@ func (c *Context) ReadAt(p []byte, off int) error {
 // re-zeroed.
 func (c *Context) Reset() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	clear(c.inputs) // drop payload references so reuse cannot pin them
 	c.inputs = c.inputs[:0]
 	clear(c.output)
@@ -219,6 +222,11 @@ func (c *Context) Reset() {
 	c.committed = 0
 	clear(c.region[:c.regionHi])
 	c.regionHi = 0
+	c.mu.Unlock()
+	// Borrowed regions are released only after the aliasing input
+	// descriptors are gone, and outside c.mu — release hooks recycle
+	// external buffer pools and must not run under the context lock.
+	c.dropBorrowed()
 }
 
 // Seal marks the context read-only. The dispatcher seals a context after

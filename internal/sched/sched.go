@@ -65,6 +65,11 @@ type Task struct {
 	// Deadline passed before dispatch (ErrExpired). It may run under
 	// scheduler locks and must not call back into the Scheduler.
 	OnReject func(error)
+	// Bytes is the task's payload weight — the cumulative input bytes
+	// it will move through an engine. Only read under Config.
+	// ByteFairness, where the DRR deficit charges bytes instead of
+	// task counts; zero (unknown) charges the minimum cost.
+	Bytes int64
 	// Deadline, when non-zero, is the instant after which the task is no
 	// longer worth running. An entry whose deadline has passed by the
 	// time the DRR refill loop reaches it is dropped — OnReject(ErrExpired),
@@ -85,10 +90,34 @@ type Config struct {
 	WindowFn func() int
 	// Weights seeds per-tenant weights; unlisted tenants get weight 1.
 	Weights map[string]int
+	// ByteFairness switches the DRR deficit from task counts to payload
+	// bytes: a backlogged tenant earns ByteQuantum×weight byte credits
+	// per round and each dispatch charges the task's Bytes (minimum
+	// minByteCost), so a tenant of 1 MiB analytics scans consumes its
+	// round on a handful of tasks while an equal-weight tenant of tiny
+	// interactive invokes dispatches hundreds — equal *bytes*, not
+	// equal task slots. A dispatch may overdraw the deficit (the head
+	// task always goes through once credit is positive — no head-of-
+	// line starvation for oversized tasks); the debt carries into the
+	// next round's credit.
+	ByteFairness bool
+	// ByteQuantum is the byte credit per DRR round per unit weight
+	// under ByteFairness (default DefaultByteQuantum).
+	ByteQuantum int64
 	// Now is the clock behind the dispatch-wait gauges (default
 	// time.Now); tests inject a virtual clock.
 	Now func() time.Time
 }
+
+// DefaultByteQuantum is the per-round byte credit of a weight-1 tenant
+// under ByteFairness: 1 MiB, one large-payload invocation's worth.
+const DefaultByteQuantum int64 = 1 << 20
+
+// minByteCost is the floor a dispatch charges under ByteFairness, so
+// zero-byte (or unknown-size) tasks still consume credit and a round
+// over a deep tiny-task backlog terminates: at 4 KiB, a weight-1
+// tenant dispatches at most 256 tiny tasks per round.
+const minByteCost int64 = 4 << 10
 
 // Scheduler fronts one engine queue with per-tenant DRR dispatch. It is
 // safe for concurrent use.
@@ -112,9 +141,13 @@ type entry struct {
 
 // tenantQueue is one tenant's backlog and gauges.
 type tenantQueue struct {
-	name    string
-	weight  int
-	deficit int
+	name   string
+	weight int
+	// deficit is the tenant's remaining dispatch credit this round: task
+	// counts by default, bytes under Config.ByteFairness. It may go
+	// negative when a dispatch overdraws (byte mode only); the debt is
+	// repaid out of the next round's credit.
+	deficit int64
 	charged bool // earned this round's credit and not yet left the round
 	backlog []entry
 
@@ -133,6 +166,9 @@ type tenantQueue struct {
 func New(q *engine.Queue, cfg Config) *Scheduler {
 	if cfg.Quantum < 1 {
 		cfg.Quantum = 1
+	}
+	if cfg.ByteQuantum < 1 {
+		cfg.ByteQuantum = DefaultByteQuantum
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -280,17 +316,20 @@ func (s *Scheduler) pumpLocked() {
 		if !tq.charged {
 			// clampWeight again at credit time: a weight that somehow hit
 			// zero would earn no credit forever, and the refill loop would
-			// spin over a backlogged tenant it can never dispatch.
-			tq.deficit += clampWeight(tq.weight) * s.cfg.Quantum
+			// spin over a backlogged tenant it can never dispatch. Under
+			// ByteFairness the credit adds onto any negative carry from a
+			// round that overdrew, so byte debt is repaid before new work
+			// dispatches.
+			tq.deficit += s.roundCredit(tq)
 			tq.charged = true
 		}
 		for s.inflight < window && len(tq.backlog) > 0 && tq.deficit > 0 {
-			s.dispatchLocked(tq)
-			tq.deficit--
+			tq.deficit -= s.dispatchLocked(tq)
 		}
 		if len(tq.backlog) == 0 {
-			// Drained: forfeit leftover credit (classic DRR) and leave
-			// the round; the cursor now points at the next tenant.
+			// Drained: forfeit leftover credit — and any byte debt, as in
+			// classic DRR's empty-queue reset — and leave the round; the
+			// cursor now points at the next tenant.
 			tq.deficit = 0
 			tq.charged = false
 			s.active = append(s.active[:s.cursor], s.active[s.cursor+1:]...)
@@ -305,16 +344,42 @@ func (s *Scheduler) pumpLocked() {
 	}
 }
 
+// roundCredit is the dispatch credit a tenant earns per DRR round:
+// weight × Quantum task slots, or weight × ByteQuantum bytes under
+// ByteFairness.
+func (s *Scheduler) roundCredit(tq *tenantQueue) int64 {
+	w := int64(clampWeight(tq.weight))
+	if s.cfg.ByteFairness {
+		return w * s.cfg.ByteQuantum
+	}
+	return w * int64(s.cfg.Quantum)
+}
+
+// taskCost is what one dispatch charges against the deficit: 1 task
+// slot, or the task's payload bytes (floored at minByteCost) under
+// ByteFairness.
+func (s *Scheduler) taskCost(t Task) int64 {
+	if !s.cfg.ByteFairness {
+		return 1
+	}
+	if t.Bytes < minByteCost {
+		return minByteCost
+	}
+	return t.Bytes
+}
+
 // dispatchLocked moves one task from the tenant backlog into the engine
-// queue, wrapping it so completion frees the window slot and re-pumps.
-// Entries whose deadline already passed are dropped on the way — they
-// never reach an engine and never consume a window slot; the loop keeps
+// queue, wrapping it so completion frees the window slot and re-pumps,
+// and returns the dispatched task's deficit cost (0 if expired entries
+// drained the backlog and nothing dispatched). Entries whose deadline
+// already passed are dropped on the way — they never reach an engine,
+// never consume a window slot, and charge nothing; the loop keeps
 // popping until it dispatches a live entry or drains the backlog.
-func (s *Scheduler) dispatchLocked(tq *tenantQueue) {
+func (s *Scheduler) dispatchLocked(tq *tenantQueue) int64 {
 	var e entry
 	for {
 		if len(tq.backlog) == 0 {
-			return
+			return 0
 		}
 		e = tq.backlog[0]
 		tq.backlog[0] = entry{} // drop the closure reference
@@ -356,7 +421,9 @@ func (s *Scheduler) dispatchLocked(tq *tenantQueue) {
 		if e.task.OnReject != nil {
 			e.task.OnReject(err)
 		}
+		return 0 // never reached an engine: charge nothing
 	}
+	return s.taskCost(e.task)
 }
 
 // taskDone runs on the engine worker after a task finishes: it frees

@@ -44,10 +44,25 @@
 // garbage-collected memory.
 //
 // Length prefixes are adversarial input: every declared length is
-// checked against the decoder's frame limit, and large payloads are
-// read in bounded steps so a prefix claiming gigabytes backed by a
-// ten-byte stream errors after a small, capped allocation instead of
-// reserving the claimed size up front.
+// checked against the decoder's frame limit. Payloads up to the
+// largest pooled slab class land in one right-sized pooled slab with a
+// single ReadFull — a lying prefix costs one bounded, reusable slab,
+// the same order as a legitimate request of that size. Only payloads
+// beyond the slab classes (> 8 MiB) fall back to growth in bounded
+// steps, so a prefix claiming gigabytes backed by a ten-byte stream
+// still errors after a small, capped allocation.
+//
+// # Vectored writes
+//
+// The encoder stages only framing bytes (type tags, uvarint lengths,
+// names) and small payloads in its pooled scratch buffer. Payload
+// slices of vectorMinBytes or more are never memcpy'd: at flush time
+// the record goes out as a net.Buffers vector — framing runs from the
+// scratch buffer interleaved with the caller's payload slices — which
+// collapses to writev on a TCP connection. Encoding a 1 MiB result
+// therefore costs zero payload copies and zero payload-sized
+// allocations; per-flush buffering is bounded by the framing bytes
+// plus sub-threshold payloads.
 package wire
 
 import (
@@ -57,6 +72,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"sort"
 	"sync"
 
@@ -105,6 +121,14 @@ const (
 // length prefixes exceeding the frame limit.
 var ErrFrame = errors.New("wire: malformed frame")
 
+// ErrFrameTooLarge is the over-budget subclass of ErrFrame: a record's
+// declared payload lengths exceed the decoder's frame budget
+// (SetMaxFrameBytes). It wraps ErrFrame, so existing
+// errors.Is(err, ErrFrame) checks still match; callers that want to
+// distinguish "too big" from "malformed" (the frontend answers 413
+// instead of 400) test for this sentinel first.
+var ErrFrameTooLarge = fmt.Errorf("%w: payload exceeds frame budget", ErrFrame)
+
 // DefaultMaxFrameBytes bounds the total declared payload of one record
 // (64 MiB); Decoder.SetMaxFrameBytes overrides per decoder.
 const DefaultMaxFrameBytes = 64 << 20
@@ -115,20 +139,40 @@ const DefaultMaxFrameBytes = 64 << 20
 const maxItemsPrealloc = 4096
 
 // chunkSize is the pooled read-buffer granularity payloads are sliced
-// from; payloads larger than a chunk get dedicated buffers (grown in
-// readStep-bounded increments) that bypass the pool.
+// from; payloads larger than a chunk land in one right-sized pooled
+// slab (see slabSizes).
 const chunkSize = 256 << 10
 
 // readStep bounds each growth increment when reading a payload larger
-// than a chunk, so a lying length prefix can only ever cost one step
-// of over-allocation.
+// than the largest slab class, so a lying length prefix beyond the
+// pooled sizes can only ever cost one step of over-allocation.
 const readStep = 256 << 10
+
+// vectorMinBytes is the encoder's vectoring threshold: payload slices
+// at least this long are flushed as their own output vector instead of
+// being memcpy'd into the scratch buffer. Below it, the copy is
+// cheaper than the extra Write a non-connection sink would pay.
+const vectorMinBytes = 4 << 10
+
+// maxRetainedEncBuf caps the scratch capacity an encoder returns to
+// the pool: a record dense with sub-threshold payloads can still grow
+// the staging buffer, and retaining multi-megabyte scratch forever
+// would turn the pool into a leak.
+const maxRetainedEncBuf = 1 << 20
+
+// slabSizes are the pooled oversize-payload classes: a payload larger
+// than one chunk is read with a single ReadFull into the smallest slab
+// that fits, instead of growing a dedicated buffer in copy steps.
+// Payloads beyond the largest class (adversarial or truly giant) fall
+// back to readStep-bounded growth.
+var slabSizes = [...]int{512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
 
 var (
 	chunkPool = sync.Pool{New: func() any {
 		b := make([]byte, chunkSize)
 		return &b
 	}}
+	slabPools   [len(slabSizes)]sync.Pool
 	readerPool  = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, 32<<10) }}
 	encBufPool  = sync.Pool{New: func() any { return new([]byte) }}
 	itemSlabLen = 512
@@ -138,16 +182,42 @@ var (
 	}}
 )
 
-// Encoder writes binary frames to w. Records are staged in one pooled
-// scratch buffer and written with a single Write each, so encoding a
-// record costs no allocations in steady state. Encoders are not safe
-// for concurrent use. Call Release when done to return the scratch
-// buffer to the pool.
+func init() {
+	for i := range slabPools {
+		sz := slabSizes[i]
+		slabPools[i].New = func() any {
+			b := make([]byte, sz)
+			return &b
+		}
+	}
+}
+
+// Encoder writes binary frames to w. Framing bytes and sub-threshold
+// payloads are staged in one pooled scratch buffer; payload slices of
+// vectorMinBytes or more are recorded by reference and flushed as a
+// net.Buffers vector (writev on a TCP connection), so large payloads
+// are never memcpy'd into the encoder. Encoding a record costs no
+// payload-sized allocations in steady state. Encoders are not safe for
+// concurrent use. Call Release when done to return the scratch buffer
+// to the pool.
+//
+// Vectored payload slices are borrowed only until the Encode* call
+// returns (every Encode* flushes); callers may reuse or recycle them
+// afterwards.
 type Encoder struct {
 	w           io.Writer
 	buf         []byte
+	ext         []extSlice
+	vecs        net.Buffers
 	names       []string
 	wroteHeader bool
+}
+
+// extSlice records a vectored payload: at flush, data is spliced into
+// the output stream right after buf[:pos].
+type extSlice struct {
+	pos  int
+	data []byte
 }
 
 // NewEncoder returns an encoder framing onto w. The stream header is
@@ -161,15 +231,42 @@ func NewEncoder(w io.Writer) *Encoder {
 // encoder must not be used afterwards.
 func (e *Encoder) Release() {
 	if e.buf != nil {
-		buf := e.buf[:0]
+		if cap(e.buf) <= maxRetainedEncBuf {
+			buf := e.buf[:0]
+			encBufPool.Put(&buf)
+		}
 		e.buf = nil
-		encBufPool.Put(&buf)
 	}
 }
 
 // flush writes the staged record and retains the scratch capacity.
+// With no vectored payloads the record goes out as one Write, exactly
+// as before; otherwise it goes out as a gather vector interleaving
+// framing runs from the scratch buffer with the payload slices.
 func (e *Encoder) flush() error {
-	_, err := e.w.Write(e.buf)
+	var err error
+	if len(e.ext) == 0 {
+		_, err = e.w.Write(e.buf)
+	} else {
+		vecs := e.vecs[:0]
+		cur := 0
+		for _, x := range e.ext {
+			if x.pos > cur {
+				vecs = append(vecs, e.buf[cur:x.pos])
+			}
+			if len(x.data) > 0 {
+				vecs = append(vecs, x.data)
+			}
+			cur = x.pos
+		}
+		if cur < len(e.buf) {
+			vecs = append(vecs, e.buf[cur:])
+		}
+		bufs := vecs
+		_, err = bufs.WriteTo(e.w)
+		e.vecs = vecs[:0]
+		e.ext = e.ext[:0]
+	}
 	e.buf = e.buf[:0]
 	return err
 }
@@ -192,6 +289,12 @@ func (e *Encoder) putString(s string) {
 
 func (e *Encoder) putBytes(b []byte) {
 	e.putUvarint(uint64(len(b)))
+	if len(b) >= vectorMinBytes {
+		// Vectored: the slice goes out by reference at flush time,
+		// never copied into the scratch buffer.
+		e.ext = append(e.ext, extSlice{pos: len(e.buf), data: b})
+		return
+	}
 	e.buf = append(e.buf, b...)
 }
 
@@ -309,7 +412,8 @@ func NewDecoder(r io.Reader) *Decoder {
 }
 
 // SetMaxFrameBytes bounds the total declared payload of one record;
-// declared lengths beyond it fail with ErrFrame before allocating.
+// declared lengths beyond it fail with ErrFrameTooLarge before
+// allocating.
 func (d *Decoder) SetMaxFrameBytes(n int) {
 	if n > 0 {
 		d.maxFrame = n
@@ -326,6 +430,14 @@ func (d *Decoder) Recycle() {
 		if cap(c) == chunkSize {
 			c = c[:chunkSize]
 			chunkPool.Put(&c)
+			continue
+		}
+		for i, sz := range slabSizes {
+			if cap(c) == sz {
+				c = c[:sz]
+				slabPools[i].Put(&c)
+				break
+			}
 		}
 	}
 	d.chunks = d.chunks[:0]
@@ -403,7 +515,7 @@ func (d *Decoder) readLen(budget *int) (int, error) {
 		return 0, err
 	}
 	if v > uint64(math.MaxInt) || int(v) > *budget {
-		return 0, frameErrf("declared length %d exceeds frame limit", v)
+		return 0, fmt.Errorf("%w (declared length %d)", ErrFrameTooLarge, v)
 	}
 	*budget -= int(v)
 	return int(v), nil
@@ -431,10 +543,14 @@ func (d *Decoder) carve(n int) []byte {
 }
 
 // readBytes reads an n-byte payload. Payloads at most one chunk long
-// are sliced out of the pooled arena; larger ones are read into a
-// dedicated buffer grown in readStep-bounded increments, so a length
-// prefix lying about a short stream errors after at most one step of
-// allocation beyond the data actually present.
+// are sliced out of the pooled arena. Larger payloads up to the
+// largest slab class land in one right-sized pooled slab with a single
+// ReadFull — no growth, no copy steps; a lying length prefix costs one
+// reusable slab, the same order as a legitimate payload of that size.
+// Only payloads beyond the slab classes fall back to a dedicated
+// buffer grown in readStep-bounded increments, so a prefix claiming
+// gigabytes backed by a short stream still errors after at most one
+// bounded step of allocation.
 func (d *Decoder) readBytes(n int) ([]byte, error) {
 	if n == 0 {
 		return []byte{}, nil
@@ -445,6 +561,19 @@ func (d *Decoder) readBytes(n int) ([]byte, error) {
 			return nil, frameErrf("payload truncated: %v", err)
 		}
 		return b, nil
+	}
+	if n <= slabSizes[len(slabSizes)-1] {
+		for i, sz := range slabSizes {
+			if n <= sz {
+				s := *(slabPools[i].Get().(*[]byte))
+				d.chunks = append(d.chunks, s)
+				b := s[:n:n]
+				if _, err := io.ReadFull(d.br, b); err != nil {
+					return nil, frameErrf("payload truncated: %v", err)
+				}
+				return b, nil
+			}
+		}
 	}
 	buf := make([]byte, 0, readStep)
 	for len(buf) < n {
@@ -525,7 +654,7 @@ func (d *Decoder) carveItems(n int) []memctx.Item {
 		d.itemOff = 0
 	}
 	cur := d.slabs[len(d.slabs)-1]
-	s := cur[d.itemOff:d.itemOff : d.itemOff+n]
+	s := cur[d.itemOff : d.itemOff : d.itemOff+n]
 	d.itemOff += n
 	return s
 }

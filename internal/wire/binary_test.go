@@ -280,6 +280,12 @@ func FuzzWireRoundTrip(f *testing.F) {
 		{"a": {{Name: "x", Data: nil}, {Name: "y", Data: []byte{}}}, "b": nil},
 		{"c": {{Name: "z", Key: "kk", Data: bytes.Repeat([]byte{1}, 300)}}},
 	}))
+	// One payload past the 256 KiB pooled chunk, so the fuzzer's corpus
+	// always exercises the oversize-ingest path (dedicated right-sized
+	// slab instead of carved chunks).
+	f.Add(seed([]map[string][]memctx.Item{
+		{"big": {{Name: "blob", Data: bytes.Repeat([]byte{0xAB}, chunkSize+4096)}}},
+	}))
 	f.Add([]byte{Magic, Version, FrameRequest, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Add([]byte{Magic, 0x02})
 

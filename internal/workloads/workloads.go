@@ -1,0 +1,431 @@
+// Package workloads registers the paper's data-heavy evaluation
+// applications as served compositions: the Star Schema Benchmark
+// analytics queries (§7.7, internal/ssb), the QOI image-transcoding
+// pipeline (§7.6, internal/qoiimg), and byte-heavy storage scans. The
+// examples/ directory runs these same applications as self-contained
+// programs against local mock services; this package instead puts them
+// behind a worker node's serving plane — payloads arrive through the
+// HTTP frontend and wire codec, flow through admission and DRR
+// dispatch, and leave the same way — which is what the large-payload
+// data-plane work is measured against.
+//
+// Suites are selected by name ("ssb", "image", "storage", or "all"),
+// typically via cmd/dandelion's -workloads flag. Every composition
+// registered here is described in docs/WORKLOADS.md (enforced by
+// docs-check Rule 8). The MakeSSB*/Image*/Storage* helpers build the
+// matching deterministic inputs so benchmarks, e2e tests, and remote
+// clients agree on payload bytes without shipping a dataset.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dandelion/internal/core"
+	"dandelion/internal/memctx"
+	"dandelion/internal/qoiimg"
+	"dandelion/internal/ssb"
+)
+
+// Served workload composition names, one constant per composition a
+// suite registers. docs-check Rule 8 requires every quoted name below
+// to be documented in docs/WORKLOADS.md.
+const (
+	WorkloadSSBQuery      = "SSBQuery"
+	WorkloadImagePipeline = "ImagePipeline"
+	WorkloadStorageScan   = "StorageScan"
+	WorkloadStorageFetch  = "StorageFetch"
+)
+
+// Registrar is the slice of the platform the suites need; both
+// *core.Platform and the public *dandelion.Platform satisfy it.
+type Registrar interface {
+	RegisterFunction(core.ComputeFunc) error
+	RegisterCompositionText(src string) ([]string, error)
+}
+
+// Suites lists the registrable suite names in registration order.
+func Suites() []string { return []string{"ssb", "image", "storage"} }
+
+// Register installs the requested workload suites on p. spec is a
+// comma-separated subset of Suites(), or "all"; names are trimmed and
+// deduplicated, so "ssb, ssb" registers once. It returns the suite
+// names actually registered, in registration order.
+func Register(p Registrar, spec string) ([]string, error) {
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "":
+		case "all":
+			for _, s := range Suites() {
+				want[s] = true
+			}
+		case "ssb", "image", "storage":
+			want[name] = true
+		default:
+			return nil, fmt.Errorf("workloads: unknown suite %q (want one of %s, or all)",
+				name, strings.Join(Suites(), "/"))
+		}
+	}
+	var registered []string
+	for _, s := range Suites() {
+		if !want[s] {
+			continue
+		}
+		var err error
+		switch s {
+		case "ssb":
+			err = registerSSB(p)
+		case "image":
+			err = registerImage(p)
+		case "storage":
+			err = registerStorage(p)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workloads: suite %s: %w", s, err)
+		}
+		registered = append(registered, s)
+	}
+	return registered, nil
+}
+
+// setNamed finds one of a function's input sets by parameter name.
+func setNamed(in []memctx.Set, name string) (memctx.Set, error) {
+	for _, s := range in {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return memctx.Set{}, fmt.Errorf("workloads: input set %q missing", name)
+}
+
+// --- SSB analytics suite -------------------------------------------------
+
+// The SSB suite serves all four query flights over a deterministic
+// database: dimension tables live on the worker (generated once per
+// process from a fixed seed), while fact-table chunks ship through the
+// serving plane as request payloads — the shared-nothing scan shape
+// whose bytes-per-invocation dwarfs every microbench payload. Clients
+// build matching chunks with MakeSSBChunks; any prefix of the fact
+// table is valid input, so request size is tunable without touching
+// the registered plans.
+const (
+	ssbSeed = 42
+	// ssbRows bounds MakeSSBChunks: the full fact table is ~2.6 MiB
+	// encoded (40 B/row), enough for several 1 MiB-class chunks.
+	ssbRows = 1 << 16
+)
+
+var (
+	ssbOnce sync.Once
+	ssbDB   *ssb.DB
+)
+
+func ssbData() *ssb.DB {
+	ssbOnce.Do(func() { ssbDB = ssb.Generate(ssbRows, ssbSeed) })
+	return ssbDB
+}
+
+func registerSSB(p Registrar) error {
+	plans := make(map[string]*ssb.Plan, len(ssb.Queries()))
+	for _, q := range ssb.Queries() {
+		plan, err := ssb.NewPlan(ssbData(), q)
+		if err != nil {
+			return err
+		}
+		plans[string(q)] = plan
+	}
+	err := p.RegisterFunction(core.ComputeFunc{Name: "SSBPartial", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		qs, err := setNamed(in, "Q")
+		if err != nil {
+			return nil, err
+		}
+		if len(qs.Items) == 0 {
+			return nil, fmt.Errorf("workloads: empty Query set")
+		}
+		plan := plans[strings.TrimSpace(string(qs.Items[0].Data))]
+		if plan == nil {
+			return nil, fmt.Errorf("workloads: unknown SSB query %q", qs.Items[0].Data)
+		}
+		chunks, err := setNamed(in, "Chunk")
+		if err != nil {
+			return nil, err
+		}
+		out := memctx.Set{Name: "Out"}
+		for _, it := range chunks.Items {
+			chunk, err := ssb.DecodeChunk(it.Data)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, memctx.Item{
+				Name: it.Name, Data: plan.Partial(chunk).Encode(),
+			})
+		}
+		return []memctx.Set{out}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	err = p.RegisterFunction(core.ComputeFunc{Name: "SSBMerge", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		merged := ssb.NewGroupSum()
+		for _, s := range in {
+			for _, it := range s.Items {
+				g, err := ssb.DecodeGroupSum(it.Data)
+				if err != nil {
+					return nil, err
+				}
+				merged.Merge(g)
+			}
+		}
+		return []memctx.Set{{Name: "Out", Items: []memctx.Item{
+			{Name: "result", Data: merged.Encode()},
+		}}}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	_, err = p.RegisterCompositionText(`
+composition SSBQuery(Query, Chunks) => Result {
+    SSBPartial(Q = all Query, Chunk = each Chunks) => (partials = Out);
+    SSBMerge(Partials = all partials) => (Result = Out);
+}`)
+	return err
+}
+
+// MakeSSBQuery renders the Query input item selecting one of
+// ssb.Queries() (e.g. ssb.Q11).
+func MakeSSBQuery(q ssb.QueryID) memctx.Item {
+	return memctx.Item{Name: "query", Data: []byte(q)}
+}
+
+// MakeSSBChunks encodes the first rows fact rows (at most the
+// deterministic table's full size) split into nChunks Chunks items.
+func MakeSSBChunks(rows, nChunks int) ([]memctx.Item, error) {
+	facts := ssbData().Facts
+	if rows < 1 || rows > facts.Len() {
+		return nil, fmt.Errorf("workloads: rows %d out of range [1, %d]", rows, facts.Len())
+	}
+	if nChunks < 1 || nChunks > rows {
+		return nil, fmt.Errorf("workloads: nChunks %d out of range [1, %d]", nChunks, rows)
+	}
+	items := make([]memctx.Item, 0, nChunks)
+	for c := 0; c < nChunks; c++ {
+		lo, hi := c*rows/nChunks, (c+1)*rows/nChunks
+		items = append(items, memctx.Item{
+			Name: fmt.Sprintf("chunk%03d", c),
+			Data: ssb.EncodeChunk(facts.Slice(lo, hi)),
+		})
+	}
+	return items, nil
+}
+
+// SSBExpect computes the reference answer for MakeSSBChunks(rows, ·)
+// under query q, independent of chunking (partial aggregation merges
+// associatively).
+func SSBExpect(q ssb.QueryID, rows int) (*ssb.GroupSum, error) {
+	plan, err := ssb.NewPlan(ssbData(), q)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Partial(ssbData().Facts.Slice(0, rows)), nil
+}
+
+// --- QOI image suite -----------------------------------------------------
+
+// The image suite serves the §7.6 transcode step: QOI images arrive as
+// request payload, one sandboxed instance per image converts QOI→PNG,
+// and the PNGs return as response payload — symmetric megabyte-class
+// traffic in both wire directions.
+func registerImage(p Registrar) error {
+	err := p.RegisterFunction(core.ComputeFunc{Name: "ImageTranscode", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		images, err := setNamed(in, "Image")
+		if err != nil {
+			return nil, err
+		}
+		out := memctx.Set{Name: "Out"}
+		for _, it := range images.Items {
+			png, err := qoiimg.ToPNG(it.Data)
+			if err != nil {
+				return nil, fmt.Errorf("workloads: %s: %w", it.Name, err)
+			}
+			out.Items = append(out.Items, memctx.Item{Name: it.Name + ".png", Data: png})
+		}
+		return []memctx.Set{out}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	_, err = p.RegisterCompositionText(`
+composition ImagePipeline(Images) => PNGs {
+    ImageTranscode(Image = each Images) => (PNGs = Out);
+}`)
+	return err
+}
+
+// MakeImages renders n QOI-encoded deterministic test images of
+// roughly w×h pixels (widths vary slightly per image so instances do
+// unequal work, like a real batch).
+func MakeImages(n, w, h int) []memctx.Item {
+	items := make([]memctx.Item, 0, n)
+	for i := 0; i < n; i++ {
+		items = append(items, memctx.Item{
+			Name: fmt.Sprintf("img%03d.qoi", i),
+			Data: qoiimg.Encode(qoiimg.TestImage(w+8*(i%4), h)),
+		})
+	}
+	return items
+}
+
+// --- Storage suite -------------------------------------------------------
+
+// The storage suite serves the two halves of an object-scan workload
+// split by wire direction: StorageScan ships large blobs in and
+// returns a small digest (ingest-heavy — the request path's oversize
+// reads and byte-aware admission carry the load), StorageFetch ships
+// small size descriptors in and returns generated blobs (egress-heavy
+// — the response path's vectored writes carry it).
+func registerStorage(p Registrar) error {
+	err := p.RegisterFunction(core.ComputeFunc{Name: "StoreScan", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		blobs, err := setNamed(in, "Blob")
+		if err != nil {
+			return nil, err
+		}
+		out := memctx.Set{Name: "Out"}
+		for _, it := range blobs.Items {
+			var records, bytes int
+			var hash uint64 = fnvOffset
+			for _, b := range it.Data {
+				hash = (hash ^ uint64(b)) * fnvPrime
+				bytes++
+				if b == '\n' {
+					records++
+				}
+			}
+			out.Items = append(out.Items, memctx.Item{
+				Name: it.Name,
+				Data: []byte(fmt.Sprintf("blobs=1 bytes=%d records=%d hash=%016x", bytes, records, hash)),
+			})
+		}
+		return []memctx.Set{out}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	err = p.RegisterFunction(core.ComputeFunc{Name: "StoreSum", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		var blobs, bytes, records int
+		var hash uint64
+		for _, s := range in {
+			for _, it := range s.Items {
+				var b, n, r int
+				var h uint64
+				if _, err := fmt.Sscanf(string(it.Data), "blobs=%d bytes=%d records=%d hash=%x", &b, &n, &r, &h); err != nil {
+					return nil, fmt.Errorf("workloads: bad scan digest %q: %w", it.Data, err)
+				}
+				blobs += b
+				bytes += n
+				records += r
+				hash ^= h // order-independent combine: blobs may arrive in any order
+			}
+		}
+		return []memctx.Set{{Name: "Out", Items: []memctx.Item{{
+			Name: "summary",
+			Data: []byte(fmt.Sprintf("blobs=%d bytes=%d records=%d hash=%016x", blobs, bytes, records, hash)),
+		}}}}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	err = p.RegisterFunction(core.ComputeFunc{Name: "StoreGen", Go: func(in []memctx.Set) ([]memctx.Set, error) {
+		sizes, err := setNamed(in, "Size")
+		if err != nil {
+			return nil, err
+		}
+		out := memctx.Set{Name: "Out"}
+		for _, it := range sizes.Items {
+			var n int
+			if _, err := fmt.Sscanf(string(it.Data), "%d", &n); err != nil || n < 0 {
+				return nil, fmt.Errorf("workloads: bad blob size %q", it.Data)
+			}
+			out.Items = append(out.Items, memctx.Item{
+				Name: it.Name,
+				Data: MakeBlob(n, SeedFromName(it.Name)),
+			})
+		}
+		return []memctx.Set{out}, nil
+	}})
+	if err != nil {
+		return err
+	}
+	_, err = p.RegisterCompositionText(`
+composition StorageScan(Blobs) => Result {
+    StoreScan(Blob = each Blobs) => (digests = Out);
+    StoreSum(Digests = all digests) => (Result = Out);
+}
+composition StorageFetch(Sizes) => Blobs {
+    StoreGen(Size = each Sizes) => (Blobs = Out);
+}`)
+	return err
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// SeedFromName derives a blob-generator seed from an item name (FNV-1a),
+// the convention StoreGen uses, so clients can reproduce fetched blobs.
+func SeedFromName(name string) uint64 {
+	var h uint64 = fnvOffset
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	return h
+}
+
+// MakeBlob renders n deterministic pseudo-record bytes from seed:
+// xorshift-filled lines of ~64 bytes, so StoreScan sees a plausible
+// record structure and the payload stays incompressible-ish.
+func MakeBlob(n int, seed uint64) []byte {
+	if seed == 0 {
+		seed = fnvOffset
+	}
+	b := make([]byte, n)
+	x := seed
+	for i := range b {
+		if (i+1)%64 == 0 {
+			b[i] = '\n'
+			continue
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = ' ' + byte(x%94) // printable, never '\n'
+	}
+	return b
+}
+
+// MakeScanBlobs renders nBlobs Blobs items of blobSize bytes each for
+// StorageScan, deterministic in the item name.
+func MakeScanBlobs(nBlobs, blobSize int) []memctx.Item {
+	items := make([]memctx.Item, 0, nBlobs)
+	for i := 0; i < nBlobs; i++ {
+		name := fmt.Sprintf("blob%03d", i)
+		items = append(items, memctx.Item{Name: name, Data: MakeBlob(blobSize, SeedFromName(name))})
+	}
+	return items
+}
+
+// MakeFetchSizes renders nBlobs Sizes items each requesting a
+// blobSize-byte generated blob from StorageFetch.
+func MakeFetchSizes(nBlobs, blobSize int) []memctx.Item {
+	items := make([]memctx.Item, 0, nBlobs)
+	for i := 0; i < nBlobs; i++ {
+		items = append(items, memctx.Item{
+			Name: fmt.Sprintf("blob%03d", i),
+			Data: []byte(fmt.Sprintf("%d", blobSize)),
+		})
+	}
+	return items
+}

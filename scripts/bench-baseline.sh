@@ -1,15 +1,18 @@
 #!/bin/sh
 # bench-baseline: capture the serving-path performance trajectory in
-# BENCH_8.json so future PRs have concrete numbers to regress against.
-# The committed BENCH_4.json / BENCH_5.json / BENCH_7.json stay in
-# place as prior markers, so the files side by side show the trajectory
-# across PRs.
+# BENCH_10.json so future PRs have concrete numbers to regress against.
+# The committed BENCH_4.json / BENCH_5.json / BENCH_7.json / BENCH_8.json
+# stay in place as prior markers, so the files side by side show the
+# trajectory across PRs.
 #
 # Records, per benchmark: ns/op, inv/s (where reported), B/op, and
 # allocs/op for the single-invoke and batched dispatch paths (both
 # data-plane modes), the HTTP-level serving benchmark crossing the two
-# wire framings (JSON vs binary, docs/WIRE.md) with small and multi-KiB
-# payloads, the journaled serving modes (ServingJournal off vs
+# wire framings (JSON vs binary, docs/WIRE.md) with payloads from 64 B
+# to 1 MiB (the ISSUE 10 large-payload rows), the per-scenario rows of
+# the mixed multi-tenant benchmark (interactive transcodes vs an SSB
+# analytics flood vs storage scans under byte-fair DRR — each tenant's
+# inv/s, wire MB/s, and p99), the journaled serving modes (ServingJournal off vs
 # on-unkeyed vs on-keyed — the off/on-unkeyed delta is the cost of
 # merely enabling `-journal`, which must stay under 2% since unkeyed
 # traffic writes no records), the journal append path itself (memory vs
@@ -22,13 +25,13 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-out=BENCH_8.json
+out=BENCH_10.json
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run XXX -bench 'BenchmarkInvokeBatch|BenchmarkPlatformInvoke' \
     -benchmem -benchtime 1s -count 1 . >"$tmp"
-go test -run XXX -bench 'BenchmarkServingHTTP|BenchmarkServingJournal' \
+go test -run XXX -bench 'BenchmarkServingHTTP|BenchmarkServingJournal|BenchmarkMixedTenants' \
     -benchmem -benchtime 2s -count 3 . >>"$tmp"
 go test -run XXX -bench 'BenchmarkJournalAppend' \
     -benchmem -benchtime 1s -count 1 ./internal/journal/ >>"$tmp"
@@ -37,7 +40,7 @@ go test -run XXX -bench 'BenchmarkStatsContention' \
 
 {
     printf '{\n'
-    printf '  "issue": 8,\n'
+    printf '  "issue": 10,\n'
     printf '  "generated_by": "make bench-baseline",\n'
     printf '  "goos_goarch_cpu": "%s",\n' \
         "$(awk '/^goos:/{os=$2} /^goarch:/{arch=$2} /^cpu:/{sub(/^cpu: */,""); cpu=$0} END{printf "%s/%s %s", os, arch, cpu}' "$tmp")"

@@ -90,6 +90,18 @@ for name in $(grep -ho '^\s*Fault[A-Za-z0-9]\{1,\}' internal/faultinject/*.go | 
   fi
 done
 
+# Rule 8: every registered workload composition name (the quoted value
+# of a Workload* constant in internal/workloads) must be documented in
+# docs/WORKLOADS.md as a backticked identifier. Served workloads are an
+# operator surface: an undocumented composition is a route nobody knows
+# how to invoke.
+for name in $(sed -n 's/^\s*Workload[A-Za-z0-9]*\s*=\s*"\([A-Za-z0-9]*\)".*/\1/p' internal/workloads/*.go | sort -u); do
+  if ! grep -q -- "\`$name\`" docs/WORKLOADS.md; then
+    echo "docs-check: workload composition $name not documented in docs/WORKLOADS.md" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-check: OK"
 fi
